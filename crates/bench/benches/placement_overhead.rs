@@ -1,0 +1,114 @@
+//! Criterion benchmarks for placement-policy compute time (Figure 18's
+//! measurement, at microbenchmark precision): one `place` decision plus a
+//! whole epoch's worth of allocations, across cluster sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pal::{PalPlacement, PmFirstPlacement};
+use pal_bench::{longhorn_profile, PROFILE_SEED};
+use pal_cluster::{ClusterState, ClusterTopology, JobClass, LocalityModel};
+use pal_sim::placement::PackedPlacement;
+use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest};
+use pal_trace::JobId;
+use std::hint::black_box;
+
+fn request(demand: usize) -> PlacementRequest {
+    PlacementRequest {
+        job: JobId(0),
+        model: "resnet50",
+        class: JobClass::A,
+        gpu_demand: demand,
+    }
+}
+
+/// Occupy half the cluster so the free list is realistic.
+fn half_busy(topo: ClusterTopology) -> ClusterState {
+    let mut state = ClusterState::new(topo);
+    let gpus: Vec<_> = topo
+        .all_gpus()
+        .into_iter()
+        .filter(|g| g.index() % 2 == 0)
+        .collect();
+    state.allocate(&gpus);
+    state
+}
+
+fn bench_single_placement(c: &mut Criterion) {
+    let locality = LocalityModel::uniform(1.7);
+    let mut group = c.benchmark_group("single_place_4gpu_job");
+    for nodes in [16usize, 32, 64] {
+        let topo = ClusterTopology::new(nodes, 4);
+        let n = topo.total_gpus();
+        let profile = longhorn_profile(n, PROFILE_SEED);
+        let state = half_busy(topo);
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+        };
+        let mut pal = PalPlacement::new(&profile);
+        group.bench_with_input(BenchmarkId::new("PAL", n), &n, |b, _| {
+            b.iter(|| black_box(pal.place(&request(4), &ctx, &state)))
+        });
+        let mut pmf = PmFirstPlacement::new(&profile);
+        group.bench_with_input(BenchmarkId::new("PM-First", n), &n, |b, _| {
+            b.iter(|| black_box(pmf.place(&request(4), &ctx, &state)))
+        });
+        let mut packed = PackedPlacement::deterministic();
+        group.bench_with_input(BenchmarkId::new("Packed", n), &n, |b, _| {
+            b.iter(|| black_box(packed.place(&request(4), &ctx, &state)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_epoch_allocation(c: &mut Criterion) {
+    // A whole epoch: fill an empty cluster with mixed-demand jobs, like the
+    // first (worst-case) scheduling round the paper reports.
+    let locality = LocalityModel::uniform(1.7);
+    let mut group = c.benchmark_group("epoch_fill_cluster");
+    for nodes in [16usize, 64] {
+        let topo = ClusterTopology::new(nodes, 4);
+        let n = topo.total_gpus();
+        let profile = longhorn_profile(n, PROFILE_SEED);
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+        };
+        let demands: Vec<usize> = (0..n / 2).map(|i| [1, 1, 2, 4][i % 4]).collect();
+        group.bench_with_input(BenchmarkId::new("PAL", n), &n, |b, _| {
+            let mut pal = PalPlacement::new(&profile);
+            b.iter(|| {
+                let mut state = ClusterState::new(topo);
+                for &d in &demands {
+                    if state.free_count() < d {
+                        break;
+                    }
+                    let alloc = pal.place(&request(d), &ctx, &state);
+                    state.allocate(&alloc);
+                }
+                black_box(state.free_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_construction(c: &mut Criterion) {
+    // Table construction (binning with silhouette K selection) happens at
+    // design time but must stay tractable at scale.
+    let mut group = c.benchmark_group("pm_score_table_build");
+    for n in [64usize, 256] {
+        let profile = longhorn_profile(n, PROFILE_SEED);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(PalPlacement::new(&profile)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_placement,
+    bench_epoch_allocation,
+    bench_policy_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation: how much of PAL's benefit comes from *application-specific*
+//! variability awareness (the classification layer of Section III-A)?
+//!
+//! Arms, all running PAL's allocation machinery, with ground-truth
+//! execution always using each job's true class (only the *policy's view*
+//! is degraded):
+//!
+//! - **class-aware**: jobs carry their true class (the paper's design);
+//! - **all-class-A**: the policy treats every job as maximally
+//!   variability-sensitive (no classifier; one conservative profile row);
+//! - **all-class-C**: the policy treats every job as insensitive —
+//!   variability is effectively invisible and PAL degenerates to
+//!   locality-first placement.
+
+use pal::PalPlacement;
+use pal_bench::{hours, longhorn_profile, PROFILE_SEED};
+use pal_cluster::{ClusterState, ClusterTopology, GpuId, JobClass, LocalityModel};
+use pal_gpumodel::GpuSpec;
+use pal_sim::sched::Fifo;
+use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest, SimConfig, Simulator};
+use pal_trace::{ModelCatalog, SiaPhillyConfig};
+
+/// Wraps a placement policy, overriding the class it perceives for every
+/// request. Execution (ground truth) is untouched — only the policy's
+/// decisions are degraded.
+struct ForcedClassView<P> {
+    inner: P,
+    class: Option<JobClass>,
+}
+
+impl<P: PlacementPolicy> ForcedClassView<P> {
+    fn rewrite(&self, requests: &[PlacementRequest]) -> Vec<PlacementRequest> {
+        requests
+            .iter()
+            .map(|r| PlacementRequest {
+                class: self.class.unwrap_or(r.class),
+                ..r.clone()
+            })
+            .collect()
+    }
+}
+
+impl<P: PlacementPolicy> PlacementPolicy for ForcedClassView<P> {
+    fn name(&self) -> &str {
+        "PAL-forced-class"
+    }
+
+    fn placement_order(&self, requests: &[PlacementRequest], ctx: &PlacementCtx) -> Vec<usize> {
+        self.inner.placement_order(&self.rewrite(requests), ctx)
+    }
+
+    fn place(
+        &mut self,
+        request: &PlacementRequest,
+        ctx: &PlacementCtx,
+        state: &ClusterState,
+    ) -> Vec<GpuId> {
+        let forced = PlacementRequest {
+            class: self.class.unwrap_or(request.class),
+            ..request.clone()
+        };
+        self.inner.place(&forced, ctx, state)
+    }
+}
+
+fn main() {
+    let topo = ClusterTopology::sia_64();
+    let profile = longhorn_profile(64, PROFILE_SEED);
+    let locality = LocalityModel::frontera_per_model();
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let traces: Vec<_> = (1..=4u32)
+        .map(|w| SiaPhillyConfig::default().generate(w, &catalog))
+        .collect();
+
+    println!("# Ablation: value of the classification layer (mean over 4 Sia workloads)");
+    println!("arm,avg_jct_h");
+    for (label, forced) in [
+        ("class-aware", None),
+        ("all-class-A", Some(JobClass::A)),
+        ("all-class-C", Some(JobClass::C)),
+    ] {
+        let jcts: Vec<f64> = traces
+            .iter()
+            .map(|t| {
+                let mut policy = ForcedClassView {
+                    inner: PalPlacement::new(&profile),
+                    class: forced,
+                };
+                Simulator::new(SimConfig::non_sticky())
+                    .run(t, topo, &profile, &locality, &Fifo, &mut policy)
+                    .avg_jct()
+            })
+            .collect();
+        println!(
+            "{label},{:.2}",
+            hours(pal_stats::mean(&jcts).expect("non-empty"))
+        );
+    }
+    println!();
+    println!("# Expected: class-aware best; all-class-C (variability-blind) worst");
+}

@@ -1,0 +1,61 @@
+//! Ablation: sensitivity of PAL to the PM-score bin count K
+//! (Section III-B argues small K loses fidelity and large K
+//! over-discriminates; the paper selects K by silhouette score).
+//!
+//! Sweeps fixed K values against the silhouette-selected default on the
+//! Sia workloads.
+
+use pal::PalPlacement;
+use pal_bench::{hours, longhorn_profile, PROFILE_SEED};
+use pal_cluster::{ClusterTopology, LocalityModel};
+use pal_gpumodel::GpuSpec;
+use pal_kmeans::ScoreBinning;
+use pal_sim::sched::Fifo;
+use pal_sim::{SimConfig, Simulator};
+use pal_trace::{ModelCatalog, SiaPhillyConfig};
+
+fn main() {
+    let topo = ClusterTopology::sia_64();
+    let profile = longhorn_profile(64, PROFILE_SEED);
+    let locality = LocalityModel::frontera_per_model();
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let traces: Vec<_> = (1..=4u32)
+        .map(|w| SiaPhillyConfig::default().generate(w, &catalog))
+        .collect();
+
+    println!("# Ablation: PAL avg JCT (hours, mean over 4 Sia workloads) vs PM-score bin count");
+    println!("binning,avg_jct_h");
+    let run_with = |label: String, binning: ScoreBinning| {
+        let jcts: Vec<f64> = traces
+            .iter()
+            .map(|trace| {
+                Simulator::new(SimConfig::non_sticky())
+                    .run(
+                        trace,
+                        topo,
+                        &profile,
+                        &locality,
+                        &Fifo,
+                        &mut PalPlacement::with_binning(&profile, &binning),
+                    )
+                    .avg_jct()
+            })
+            .collect();
+        println!(
+            "{label},{:.2}",
+            hours(pal_stats::mean(&jcts).expect("non-empty"))
+        );
+    };
+
+    for k in [2usize, 3, 5, 8, 11] {
+        run_with(
+            format!("fixed-K{k}"),
+            ScoreBinning {
+                k_min: k,
+                k_max: k,
+                ..Default::default()
+            },
+        );
+    }
+    run_with("silhouette-selected".to_string(), ScoreBinning::default());
+}

@@ -1,0 +1,61 @@
+//! Ablation: sticky variants of PM-First and PAL.
+//!
+//! The paper runs its policies non-sticky "to ensure jobs can migrate to
+//! better GPUs in each scheduling round" (Section IV-A1). This ablation
+//! quantifies that choice by also running both policies sticky.
+
+use pal::{PalPlacement, PmFirstPlacement};
+use pal_bench::{hours, longhorn_profile, PROFILE_SEED};
+use pal_cluster::{ClusterTopology, LocalityModel};
+use pal_gpumodel::GpuSpec;
+use pal_sim::sched::Fifo;
+use pal_sim::{PlacementPolicy, SimConfig, Simulator};
+use pal_trace::{ModelCatalog, SiaPhillyConfig};
+
+fn main() {
+    let topo = ClusterTopology::sia_64();
+    let profile = longhorn_profile(64, PROFILE_SEED);
+    let locality = LocalityModel::frontera_per_model();
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let traces: Vec<_> = (1..=4u32)
+        .map(|w| SiaPhillyConfig::default().generate(w, &catalog))
+        .collect();
+
+    println!("# Ablation: sticky vs non-sticky PM-First and PAL (mean over 4 Sia workloads)");
+    println!("policy,mode,avg_jct_h,total_migrations");
+    for (name, sticky) in [
+        ("PM-First", false),
+        ("PM-First", true),
+        ("PAL", false),
+        ("PAL", true),
+    ] {
+        let mut jcts = Vec::new();
+        let mut migrations = 0u64;
+        for trace in &traces {
+            let mut policy: Box<dyn PlacementPolicy> = match name {
+                "PM-First" => Box::new(PmFirstPlacement::new(&profile)),
+                _ => Box::new(PalPlacement::new(&profile)),
+            };
+            let config = if sticky {
+                SimConfig::sticky()
+            } else {
+                SimConfig::non_sticky()
+            };
+            let r = Simulator::new(config).run(
+                trace,
+                topo,
+                &profile,
+                &locality,
+                &Fifo,
+                policy.as_mut(),
+            );
+            jcts.push(r.avg_jct());
+            migrations += r.total_migrations();
+        }
+        println!(
+            "{name},{},{:.2},{migrations}",
+            if sticky { "Sticky" } else { "Non-Sticky" },
+            hours(pal_stats::mean(&jcts).expect("non-empty"))
+        );
+    }
+}

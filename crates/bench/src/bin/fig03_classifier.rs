@@ -1,0 +1,36 @@
+//! Figure 3: classification of applications via 2-D clustering over the
+//! `DRAMUtil × PeakFUUtil` space.
+//!
+//! Prints each zoo application's utilization features and assigned class,
+//! plus the class centroids, as CSV.
+
+use pal::AppClassifier;
+use pal_gpumodel::{utilization_features, GpuSpec, Workload};
+
+fn main() {
+    let spec = GpuSpec::v100();
+    let workloads: Vec<Workload> = Workload::ALL.to_vec();
+    let classifier = AppClassifier::fit_workloads(&workloads, &spec, 3, 0xC1A55);
+
+    println!("# Figure 3: application classification (K = 3)");
+    println!("app,dram_util,peak_fu_util,class,paper_class");
+    for (i, w) in workloads.iter().enumerate() {
+        let (dram, fu) = utilization_features(&w.spec(), &spec);
+        let class = classifier.class_of_sample(i);
+        let expected = pal_cluster::JobClass(w.spec().expected_class);
+        println!(
+            "{},{:.3},{:.3},{},{}",
+            w.name(),
+            dram,
+            fu,
+            class.label(),
+            expected.label()
+        );
+    }
+    println!();
+    println!("# class centroids");
+    println!("class,dram_util,peak_fu_util");
+    for (i, (d, f)) in classifier.centroids().iter().enumerate() {
+        println!("{},{:.3},{:.3}", pal_cluster::JobClass(i).label(), d, f);
+    }
+}

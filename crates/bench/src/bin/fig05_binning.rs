@@ -1,0 +1,42 @@
+//! Figure 5: K-Means binning of a class-A variability profile on a 128-GPU
+//! cluster.
+//!
+//! Prints each GPU's normalized performance, its bin (PM-score level), and
+//! the bin centroids (the blue crosses of the figure).
+
+use pal::PmScoreTable;
+use pal_bench::{longhorn_profile, PROFILE_SEED};
+use pal_cluster::{GpuId, JobClass};
+
+fn main() {
+    let profile = longhorn_profile(128, PROFILE_SEED);
+    let table = PmScoreTable::build_default(&profile);
+    let class = JobClass::A;
+
+    println!("# Figure 5: PM-score binning, 128-GPU cluster, class A profile");
+    println!(
+        "# chosen K = {} inlier bins, {} total score levels, worst-bin silhouette = {:.3}",
+        table.bins_of(class),
+        table.levels(class).len(),
+        table.binned(class).silhouette
+    );
+    println!("gpu,normalized_perf,pm_score,level_index,is_outlier");
+    let binned = table.binned(class);
+    for g in 0..profile.num_gpus() {
+        let gpu = GpuId(g as u32);
+        println!(
+            "{},{:.4},{:.4},{},{}",
+            g,
+            profile.score(class, gpu),
+            table.score(class, gpu),
+            binned.level_of[g],
+            binned.outlier_indices.contains(&g)
+        );
+    }
+    println!();
+    println!("# bin centroids (PM-score levels)");
+    println!("level_index,pm_score");
+    for (i, l) in table.levels(class).iter().enumerate() {
+        println!("{i},{l:.4}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Figures 6, 7, and 8: normalized performance variability profiles of the
+//! Frontera cluster, the Longhorn cluster, and the 64-GPU Frontera testbed,
+//! grouped by cabinet (the figures' boxplot panels).
+//!
+//! For each (cluster, model) pair, prints per-cabinet boxplot statistics of
+//! iteration time normalized to the cluster median, plus the aggregate
+//! geomean variability and max slowdown the paper quotes in the text.
+
+use pal_bench::{profile_table3, PROFILE_SEED};
+use pal_gpumodel::{ClusterFlavor, GpuSpec};
+use pal_stats::BoxplotStats;
+
+fn main() {
+    let systems = [
+        ("Figure 6: Frontera", GpuSpec::quadro_rtx5000(), ClusterFlavor::Frontera, 360),
+        ("Figure 7: Longhorn", GpuSpec::v100(), ClusterFlavor::Longhorn, 416),
+        (
+            "Figure 8: Frontera 64-GPU testbed",
+            GpuSpec::quadro_rtx5000(),
+            ClusterFlavor::FronteraTestbed,
+            64,
+        ),
+    ];
+    for (title, spec, flavor, n) in systems {
+        println!("# {title} ({n} GPUs)");
+        let profiled = profile_table3(&spec, flavor, n, PROFILE_SEED);
+        for p in &profiled {
+            println!(
+                "# {}: geomean variability = {:.1}%, max slowdown = {:.2}x",
+                p.app,
+                p.geomean_variability() * 100.0,
+                p.max_slowdown()
+            );
+            println!("model,cabinet,q1,median,q3,whisker_lo,whisker_hi,outliers");
+            for cab in 0..flavor.cabinet_count() {
+                let vals: Vec<f64> = p
+                    .normalized
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| flavor.cabinet_of(i) == cab)
+                    .map(|(_, &v)| v)
+                    .collect();
+                if let Some(b) = BoxplotStats::of(&vals) {
+                    println!(
+                        "{},c{:03},{:.3},{:.3},{:.3},{:.3},{:.3},{}",
+                        p.app,
+                        cab + 196,
+                        b.q1,
+                        b.median,
+                        b.q3,
+                        b.whisker_lo,
+                        b.whisker_hi,
+                        b.outliers.len()
+                    );
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 11 and the Section V-B headline numbers: average JCT normalized
+//! to Tiresias for the eight Sia-Philly workloads on a 64-GPU cluster with
+//! FIFO scheduling, across all six placement policies.
+
+use pal_bench::*;
+use pal_cluster::{ClusterTopology, LocalityModel};
+use pal_gpumodel::GpuSpec;
+use pal_sim::sched::Fifo;
+use pal_trace::{ModelCatalog, SiaPhillyConfig};
+use std::collections::HashMap;
+
+fn main() {
+    let topo = ClusterTopology::sia_64();
+    let profile = longhorn_profile(64, PROFILE_SEED);
+    let locality = LocalityModel::frontera_per_model();
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+
+    println!("# Figure 11: avg JCT normalized to Tiresias (Packed-Sticky = 1.0)");
+    println!("workload,policy,avg_jct_h,normalized_to_tiresias");
+    let mut metrics: HashMap<&str, Vec<(f64, f64, f64, f64)>> = HashMap::new();
+    for w in 1..=8u32 {
+        let trace = SiaPhillyConfig::default().generate(w, &catalog);
+        let results = run_all_policies(&trace, topo, &profile, &locality, &Fifo);
+        let tiresias = results
+            .iter()
+            .find(|(k, _)| *k == PolicyKind::Tiresias)
+            .expect("Tiresias ran")
+            .1
+            .avg_jct();
+        for (kind, r) in &results {
+            println!(
+                "{w},{},{:.2},{:.3}",
+                kind.name(),
+                hours(r.avg_jct()),
+                r.avg_jct() / tiresias
+            );
+            metrics.entry(kind.name()).or_default().push((
+                r.avg_jct(),
+                r.p99_jct(),
+                r.makespan(),
+                r.utilization(),
+            ));
+        }
+    }
+
+    println!();
+    println!("# Section V-B summary: geomean improvement over Tiresias across the 8 workloads");
+    println!("policy,geomean_avg_jct,geomean_p99_jct,geomean_makespan,geomean_utilization");
+    let tiresias = metrics["Tiresias"].clone();
+    for kind in PolicyKind::ALL {
+        let rows = &metrics[kind.name()];
+        let ratio = |f: fn(&(f64, f64, f64, f64)) -> f64| {
+            let num: Vec<f64> = rows.iter().map(f).collect();
+            let den: Vec<f64> = tiresias.iter().map(f).collect();
+            pal_stats::geomean_of_ratios(&num, &den).expect("positive metrics")
+        };
+        println!(
+            "{},{:.3},{:.3},{:.3},{:.3}",
+            kind.name(),
+            ratio(|r| r.0),
+            ratio(|r| r.1),
+            ratio(|r| r.2),
+            ratio(|r| r.3)
+        );
+    }
+    println!();
+    println!("# (ratios < 1.0 mean better JCT/makespan; utilization ratios > 1.0 mean better)");
+}

@@ -1,0 +1,35 @@
+//! Figure 13: average JCT for the Sia workloads as the inter-node locality
+//! penalty varies from 1.0 to 3.0 (uniform `L_across`, FIFO, 64 GPUs).
+//!
+//! As the penalty rises, packing-first baselines close the gap to PM-First,
+//! while PAL — which prices locality into its L×V traversal — keeps its
+//! lead.
+
+use pal_bench::*;
+use pal_cluster::{ClusterTopology, LocalityModel};
+use pal_gpumodel::GpuSpec;
+use pal_sim::sched::Fifo;
+use pal_trace::{ModelCatalog, SiaPhillyConfig};
+
+fn main() {
+    let topo = ClusterTopology::sia_64();
+    let profile = longhorn_profile(64, PROFILE_SEED);
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let traces: Vec<_> = SiaPhillyConfig::default().generate_all(&catalog);
+
+    println!("# Figure 13: avg JCT (hours, mean over the 8 Sia workloads) vs locality penalty");
+    println!("locality_penalty,policy,avg_jct_h");
+    for penalty in [1.0, 1.5, 2.0, 2.5, 3.0] {
+        let locality = LocalityModel::uniform(penalty);
+        for kind in PolicyKind::ALL {
+            let jcts: Vec<f64> = traces
+                .iter()
+                .map(|t| run_policy(t, topo, &profile, &locality, &Fifo, kind).avg_jct())
+                .collect();
+            let mean = pal_stats::mean(&jcts).expect("eight traces");
+            println!("C{penalty:.1},{},{:.2}", kind.name(), hours(mean));
+        }
+    }
+    println!();
+    println!("# (PM-First's edge over Tiresias should shrink with the penalty; PAL's should persist)");
+}

@@ -1,0 +1,31 @@
+//! Figure 15: number of GPUs in use at every scheduling epoch for Synergy
+//! at 8 and 10 jobs/hour, Tiresias vs PAL (FIFO, 256 GPUs).
+//!
+//! PAL's utilization curve "runs ahead" of Tiresias — it finishes the same
+//! work earlier, freeing resources sooner.
+
+use pal_bench::*;
+use pal_cluster::{ClusterTopology, LocalityModel};
+use pal_gpumodel::GpuSpec;
+use pal_sim::sched::Fifo;
+use pal_trace::{ModelCatalog, SynergyConfig};
+
+fn main() {
+    let topo = ClusterTopology::synergy_256();
+    let profile = longhorn_profile(256, PROFILE_SEED);
+    let locality = LocalityModel::uniform(1.7);
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+
+    println!("# Figure 15: GPUs in use over time");
+    println!("jobs_per_hour,policy,time_s,gpus_in_use");
+    for load in [8.0, 10.0] {
+        let trace = SynergyConfig::default().at_load(load).generate(&catalog);
+        for kind in [PolicyKind::Tiresias, PolicyKind::Pal] {
+            let r = run_policy(&trace, topo, &profile, &locality, &Fifo, kind);
+            let span = r.makespan();
+            for (t, v) in r.gpus_in_use.resample(0.0, span, 200) {
+                println!("{load},{},{t:.0},{v:.0}", kind.name());
+            }
+        }
+    }
+}

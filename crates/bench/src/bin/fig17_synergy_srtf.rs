@@ -1,0 +1,36 @@
+//! Figure 17: average JCT for Synergy traces with the SRTF scheduler as
+//! job load varies from 8 to 14 jobs/hour.
+
+use pal_bench::*;
+use pal_cluster::{ClusterTopology, LocalityModel};
+use pal_gpumodel::GpuSpec;
+use pal_sim::sched::Srtf;
+use pal_trace::{ModelCatalog, SynergyConfig};
+
+fn main() {
+    let topo = ClusterTopology::synergy_256();
+    let profile = longhorn_profile(256, PROFILE_SEED);
+    let locality = LocalityModel::uniform(1.7);
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+
+    println!("# Figure 17: Synergy avg JCT (hours) vs job load, SRTF scheduler");
+    println!("jobs_per_hour,policy,avg_jct_h,pal_improvement_over_tiresias_pct");
+    for load in [8.0, 10.0, 12.0, 14.0] {
+        let trace = SynergyConfig::default().at_load(load).generate(&catalog);
+        let results = run_all_policies(&trace, topo, &profile, &locality, &Srtf);
+        let tiresias = results
+            .iter()
+            .find(|(k, _)| *k == PolicyKind::Tiresias)
+            .expect("Tiresias ran")
+            .1
+            .avg_jct();
+        for (kind, r) in &results {
+            let imp = if *kind == PolicyKind::Pal {
+                format!("{:.0}%", (1.0 - r.avg_jct() / tiresias) * 100.0)
+            } else {
+                String::new()
+            };
+            println!("{load},{},{:.2},{imp}", kind.name(), hours(r.avg_jct()));
+        }
+    }
+}

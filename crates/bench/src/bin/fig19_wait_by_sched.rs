@@ -1,0 +1,34 @@
+//! Figure 19: Tiresias' and PAL's wait times under (a) LAS, (b) SRTF, and
+//! (c) FIFO schedulers, for the Synergy trace at 8 jobs/hour.
+//!
+//! LAS gives fresh jobs priority, so waits decay over the trace; FIFO's
+//! waits grow monotonically; SRTF sits between.
+
+use pal_bench::*;
+use pal_cluster::{ClusterTopology, LocalityModel};
+use pal_gpumodel::GpuSpec;
+use pal_sim::sched::{Fifo, Las, SchedulingPolicy, Srtf};
+use pal_trace::{ModelCatalog, SynergyConfig};
+
+fn main() {
+    let topo = ClusterTopology::synergy_256();
+    let profile = longhorn_profile(256, PROFILE_SEED);
+    let locality = LocalityModel::uniform(1.7);
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let trace = SynergyConfig::default().at_load(8.0).generate(&catalog);
+
+    let las = Las::default();
+    let schedulers: [(&str, &(dyn SchedulingPolicy + Sync)); 3] =
+        [("LAS", &las), ("SRTF", &Srtf), ("FIFO", &Fifo)];
+
+    println!("# Figure 19: wait time (hours) vs job ID per scheduler");
+    println!("scheduler,policy,job_id,wait_time_h");
+    for (name, sched) in schedulers {
+        for kind in [PolicyKind::Tiresias, PolicyKind::Pal] {
+            let r = run_policy(&trace, topo, &profile, &locality, sched, kind);
+            for (id, wait) in r.wait_times() {
+                println!("{name},{},{id},{:.3}", kind.name(), hours(wait));
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 20: average JCT for the Synergy trace at 10 jobs/hour as the
+//! inter-node locality penalty varies from 1.0 to 1.7 (FIFO, 256 GPUs).
+
+use pal_bench::*;
+use pal_cluster::{ClusterTopology, LocalityModel};
+use pal_gpumodel::GpuSpec;
+use pal_sim::sched::Fifo;
+use pal_trace::{ModelCatalog, SynergyConfig};
+
+fn main() {
+    let topo = ClusterTopology::synergy_256();
+    let profile = longhorn_profile(256, PROFILE_SEED);
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let trace = SynergyConfig::default().at_load(10.0).generate(&catalog);
+
+    println!("# Figure 20: Synergy avg JCT (hours) vs locality penalty, 10 jobs/hour, FIFO");
+    println!("locality_penalty,policy,avg_jct_h,pal_improvement_over_tiresias_pct");
+    for penalty in [1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7] {
+        let locality = LocalityModel::uniform(penalty);
+        let results = run_all_policies(&trace, topo, &profile, &locality, &Fifo);
+        let tiresias = results
+            .iter()
+            .find(|(k, _)| *k == PolicyKind::Tiresias)
+            .expect("Tiresias ran")
+            .1
+            .avg_jct();
+        for (kind, r) in &results {
+            let imp = if *kind == PolicyKind::Pal {
+                format!("{:.0}%", (1.0 - r.avg_jct() / tiresias) * 100.0)
+            } else {
+                String::new()
+            };
+            println!(
+                "C{penalty:.1},{},{:.2},{imp}",
+                kind.name(),
+                hours(r.avg_jct())
+            );
+        }
+    }
+}

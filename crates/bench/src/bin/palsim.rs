@@ -1,0 +1,208 @@
+//! `palsim` — command-line driver for one-off simulations.
+//!
+//! ```text
+//! palsim [--trace sia|synergy] [--workload 1..8] [--load JOBS_PER_HOUR]
+//!        [--jobs N] [--nodes N] [--gpus-per-node N]
+//!        [--policy random-sticky|random|gandiva|tiresias|pmfirst|pal|adaptive-pal]
+//!        [--sched fifo|las|srtf|srsf] [--locality L] [--seed S]
+//!        [--csv] [--wait-times]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! palsim --trace sia --workload 5 --policy pal
+//! palsim --trace synergy --load 10 --nodes 64 --policy tiresias --sched las
+//! ```
+
+use pal::{AdaptivePal, PalPlacement, PmFirstPlacement};
+use pal_bench::{longhorn_profile, PROFILE_SEED};
+use pal_cluster::{ClusterTopology, LocalityModel};
+use pal_gpumodel::GpuSpec;
+use pal_sim::placement::{PackedPlacement, RandomPlacement};
+use pal_sim::sched::{Fifo, Las, SchedulingPolicy, Srsf, Srtf};
+use pal_sim::{PlacementPolicy, SimConfig, Simulator};
+use pal_trace::{ModelCatalog, SiaPhillyConfig, SynergyConfig, Trace};
+
+#[derive(Debug)]
+struct Args {
+    trace: String,
+    workload: u32,
+    load: f64,
+    jobs: Option<usize>,
+    nodes: usize,
+    gpus_per_node: usize,
+    policy: String,
+    sched: String,
+    locality: f64,
+    seed: u64,
+    csv: bool,
+    wait_times: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            trace: "sia".into(),
+            workload: 1,
+            load: 10.0,
+            jobs: None,
+            nodes: 16,
+            gpus_per_node: 4,
+            policy: "pal".into(),
+            sched: "fifo".into(),
+            locality: 1.5,
+            seed: PROFILE_SEED,
+            csv: false,
+            wait_times: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: palsim [--trace sia|synergy] [--workload 1..8] [--load JPH] \
+         [--jobs N] [--nodes N] [--gpus-per-node N] \
+         [--policy random-sticky|random|gandiva|tiresias|pmfirst|pal|adaptive-pal] \
+         [--sched fifo|las|srtf|srsf] [--locality L] [--seed S] [--csv] [--wait-times]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match flag {
+            "--trace" => args.trace = value(&mut i),
+            "--workload" => args.workload = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--load" => args.load = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--jobs" => args.jobs = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
+            "--nodes" => args.nodes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--gpus-per-node" => {
+                args.gpus_per_node = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--policy" => args.policy = value(&mut i),
+            "--sched" => args.sched = value(&mut i),
+            "--locality" => args.locality = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--csv" => args.csv = true,
+            "--wait-times" => args.wait_times = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn build_trace(args: &Args) -> Trace {
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    match args.trace.as_str() {
+        "sia" => {
+            let mut cfg = SiaPhillyConfig::default();
+            if let Some(n) = args.jobs {
+                cfg.num_jobs = n;
+            }
+            cfg.generate(args.workload, &catalog)
+        }
+        "synergy" => {
+            let mut cfg = SynergyConfig::default().at_load(args.load);
+            if let Some(n) = args.jobs {
+                cfg.num_jobs = n;
+            }
+            cfg.generate(&catalog)
+        }
+        other => {
+            eprintln!("unknown trace family: {other}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let topo = ClusterTopology::new(args.nodes, args.gpus_per_node);
+    let profile = longhorn_profile(topo.total_gpus(), args.seed);
+    let locality = LocalityModel::uniform(args.locality);
+    let trace = build_trace(&args);
+
+    let (sticky, mut policy): (bool, Box<dyn PlacementPolicy>) = match args.policy.as_str() {
+        "random-sticky" => (true, Box::new(RandomPlacement::new(args.seed))),
+        "random" => (false, Box::new(RandomPlacement::new(args.seed))),
+        "gandiva" => (false, Box::new(PackedPlacement::randomized(args.seed))),
+        "tiresias" => (true, Box::new(PackedPlacement::randomized(args.seed))),
+        "pmfirst" => (false, Box::new(PmFirstPlacement::new(&profile))),
+        "pal" => (false, Box::new(PalPlacement::new(&profile))),
+        "adaptive-pal" => (false, Box::new(AdaptivePal::new(&profile))),
+        other => {
+            eprintln!("unknown policy: {other}");
+            usage()
+        }
+    };
+    let las = Las::default();
+    let sched: &dyn SchedulingPolicy = match args.sched.as_str() {
+        "fifo" => &Fifo,
+        "las" => &las,
+        "srtf" => &Srtf,
+        "srsf" => &Srsf,
+        other => {
+            eprintln!("unknown scheduler: {other}");
+            usage()
+        }
+    };
+    let config = SimConfig {
+        sticky,
+        ..Default::default()
+    };
+
+    let r = Simulator::new(config).run(&trace, topo, &profile, &locality, sched, policy.as_mut());
+
+    if args.csv {
+        println!("job_id,model,class,gpu_demand,arrival_s,first_start_s,finish_s,jct_s,wait_s,migrations,preemptions");
+        for rec in &r.records {
+            println!(
+                "{},{},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{},{}",
+                rec.id.index(),
+                rec.model,
+                rec.class.label(),
+                rec.gpu_demand,
+                rec.arrival,
+                rec.first_start,
+                rec.finish,
+                rec.jct(),
+                rec.wait_time(),
+                rec.migrations,
+                rec.preemptions
+            );
+        }
+        return;
+    }
+
+    println!("trace      : {} ({} jobs)", r.trace, r.records.len());
+    println!("cluster    : {} nodes x {} GPUs", args.nodes, args.gpus_per_node);
+    println!("scheduler  : {}", r.scheduler);
+    println!("placement  : {}", r.placement);
+    println!("locality   : L_across = {}", args.locality);
+    println!("avg JCT    : {:.2} h", r.avg_jct() / 3600.0);
+    println!("p99 JCT    : {:.2} h", r.p99_jct() / 3600.0);
+    println!("makespan   : {:.2} h", r.makespan() / 3600.0);
+    println!("utilization: {:.3} (effective), {:.3} (occupancy)", r.utilization(), r.occupancy());
+    println!("migrations : {}", r.total_migrations());
+    println!("rounds     : {}", r.rounds);
+    if args.wait_times {
+        println!("\njob_id,wait_h");
+        for (id, w) in r.wait_times() {
+            println!("{id},{:.3}", w / 3600.0);
+        }
+    }
+}

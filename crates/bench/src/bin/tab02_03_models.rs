@@ -1,0 +1,42 @@
+//! Tables II and III: the model zoo used in the real-cluster evaluation
+//! and the profiling representatives used for PM-penalty estimation.
+
+use pal_bench::{profile_table3, PROFILE_SEED};
+use pal_gpumodel::{ClusterFlavor, GpuSpec, Workload};
+use pal_trace::ModelCatalog;
+
+fn main() {
+    println!("# Table II: models used in real cluster evaluation");
+    println!("task,model,dataset,batch_size,class,base_iter_time_ms");
+    let catalog = ModelCatalog::table2(&GpuSpec::quadro_rtx5000());
+    for e in catalog.entries() {
+        let spec = e.model.spec();
+        println!(
+            "{},{},{},{},{},{:.2}",
+            spec.task,
+            spec.name,
+            spec.dataset,
+            spec.batch_size,
+            e.class.label(),
+            e.base_iter_time * 1e3
+        );
+    }
+
+    println!();
+    println!("# Table III: applications profiled for PM penalty estimation");
+    println!("benchmark,cluster,geomean_variability_pct,max_slowdown");
+    for (cluster, spec, flavor, n) in [
+        ("Longhorn", GpuSpec::v100(), ClusterFlavor::Longhorn, 416usize),
+        ("Frontera", GpuSpec::quadro_rtx5000(), ClusterFlavor::Frontera, 360),
+    ] {
+        let profiled = profile_table3(&spec, flavor, n, PROFILE_SEED);
+        for (w, p) in Workload::TABLE_III.iter().zip(&profiled) {
+            println!(
+                "{},{cluster},{:.1},{:.2}",
+                w.name(),
+                p.geomean_variability() * 100.0,
+                p.max_slowdown()
+            );
+        }
+    }
+}

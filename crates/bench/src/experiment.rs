@@ -1,0 +1,176 @@
+//! Shared experiment plumbing: cluster/profile construction matching the
+//! paper's methodology (Section IV) and a uniform runner over the six
+//! placement configurations of Section IV-A1.
+
+use pal::{PalPlacement, PmFirstPlacement};
+use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
+use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, ProfiledApp, Workload};
+use pal_sim::placement::{PackedPlacement, RandomPlacement};
+use pal_sim::{PlacementPolicy, SchedulingPolicy, SimConfig, SimResult, Simulator};
+use pal_trace::Trace;
+
+/// Default seed for profile synthesis — fixed so every figure binary sees
+/// the same cluster.
+pub const PROFILE_SEED: u64 = 0x70AC_C01D;
+
+/// Measured-cluster sizes the synthetic profiles are drawn from. Longhorn
+/// had 448 V100s (8 nodes × 4 GPUs × 14 chassis in the GPU subsystem);
+/// anything ≥ the largest simulated cluster works for
+/// sample-without-repetition.
+pub const LONGHORN_MEASURED_GPUS: usize = 448;
+
+/// Profile the three Table III representatives on a modeled cluster.
+pub fn profile_table3(spec: &GpuSpec, flavor: ClusterFlavor, n: usize, seed: u64) -> Vec<ProfiledApp> {
+    let gpus = profiler::build_cluster_gpus(spec, flavor, n, seed);
+    Workload::TABLE_III
+        .iter()
+        .map(|w| profiler::profile_cluster(&w.spec(), &gpus))
+        .collect()
+}
+
+/// The Longhorn-derived simulation profile of Section IV-C: profile the
+/// measured cluster, then sample `n_gpus` PM penalties per class without
+/// repetition.
+pub fn longhorn_profile(n_gpus: usize, seed: u64) -> VariabilityProfile {
+    let profiled = profile_table3(
+        &GpuSpec::v100(),
+        ClusterFlavor::Longhorn,
+        LONGHORN_MEASURED_GPUS,
+        seed,
+    );
+    VariabilityProfile::sample_from_profiled(&profiled, n_gpus, seed ^ 0x5A5A)
+}
+
+/// The exact 64-GPU Frontera testbed profile of Section V-A (indexed by
+/// GPU UUID — i.e., per-device, no sampling).
+pub fn frontera_testbed_profile(seed: u64) -> VariabilityProfile {
+    let gpus = profiler::build_cluster_gpus(
+        &GpuSpec::quadro_rtx5000(),
+        ClusterFlavor::FronteraTestbed,
+        64,
+        seed,
+    );
+    let apps: Vec<_> = Workload::TABLE_III.iter().map(|w| w.spec()).collect();
+    VariabilityProfile::from_modeled_gpus(&apps, &gpus)
+}
+
+/// The six placement configurations of the evaluation (Section IV-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Random placement, sticky.
+    RandomSticky,
+    /// Random placement, non-sticky.
+    RandomNonSticky,
+    /// Packed non-sticky — the paper's *Gandiva* baseline.
+    Gandiva,
+    /// Packed sticky — the paper's *Tiresias* baseline (best baseline).
+    Tiresias,
+    /// PM-First (non-sticky, Section III-B).
+    PmFirst,
+    /// PAL (non-sticky, Section III-C).
+    Pal,
+}
+
+impl PolicyKind {
+    /// All six, in Figure 11's legend order.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::RandomNonSticky,
+        PolicyKind::RandomSticky,
+        PolicyKind::Gandiva,
+        PolicyKind::Tiresias,
+        PolicyKind::PmFirst,
+        PolicyKind::Pal,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::RandomSticky => "Random-Sticky",
+            PolicyKind::RandomNonSticky => "Random-Non-Sticky",
+            PolicyKind::Gandiva => "Gandiva",
+            PolicyKind::Tiresias => "Tiresias",
+            PolicyKind::PmFirst => "PM-First",
+            PolicyKind::Pal => "PAL",
+        }
+    }
+
+    /// Whether this configuration runs sticky.
+    pub fn sticky(self) -> bool {
+        matches!(self, PolicyKind::RandomSticky | PolicyKind::Tiresias)
+    }
+
+    /// Instantiate the placement policy object.
+    pub fn build(self, profile: &VariabilityProfile, seed: u64) -> Box<dyn PlacementPolicy> {
+        match self {
+            PolicyKind::RandomSticky | PolicyKind::RandomNonSticky => {
+                Box::new(RandomPlacement::new(seed))
+            }
+            PolicyKind::Gandiva | PolicyKind::Tiresias => Box::new(PackedPlacement::randomized(seed)),
+            PolicyKind::PmFirst => Box::new(PmFirstPlacement::new(profile)),
+            PolicyKind::Pal => Box::new(PalPlacement::new(profile)),
+        }
+    }
+}
+
+/// Run one `(trace, policy)` simulation with the policy-appropriate sticky
+/// mode.
+pub fn run_policy(
+    trace: &Trace,
+    topology: ClusterTopology,
+    profile: &VariabilityProfile,
+    locality: &LocalityModel,
+    scheduler: &dyn SchedulingPolicy,
+    kind: PolicyKind,
+) -> SimResult {
+    let config = if kind.sticky() {
+        SimConfig::sticky()
+    } else {
+        SimConfig::non_sticky()
+    };
+    let mut placement = kind.build(profile, 0xD1CE ^ trace.jobs.len() as u64);
+    let mut result = Simulator::new(config).run(
+        trace,
+        topology,
+        profile,
+        locality,
+        scheduler,
+        placement.as_mut(),
+    );
+    // The engine reports "<policy>-<Sticky|NonSticky>"; use the paper's
+    // labels instead.
+    result.placement = kind.name().to_string();
+    result
+}
+
+/// Run every policy of [`PolicyKind::ALL`] over one trace, in parallel.
+pub fn run_all_policies(
+    trace: &Trace,
+    topology: ClusterTopology,
+    profile: &VariabilityProfile,
+    locality: &LocalityModel,
+    scheduler: &(dyn SchedulingPolicy + Sync),
+) -> Vec<(PolicyKind, SimResult)> {
+    let mut out: Vec<(PolicyKind, SimResult)> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = PolicyKind::ALL
+            .iter()
+            .map(|&kind| {
+                s.spawn(move || {
+                    (
+                        kind,
+                        run_policy(trace, topology, profile, locality, scheduler, kind),
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("policy run panicked"));
+        }
+    });
+    out
+}
+
+/// Seconds → hours, for printing in the paper's units.
+pub fn hours(seconds: f64) -> f64 {
+    seconds / 3600.0
+}

@@ -1,0 +1,13 @@
+//! # pal-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md's per-experiment index). Each figure
+//! has a binary under `src/bin/` that prints the figure's rows/series as
+//! CSV on stdout; Criterion benches cover the placement-overhead
+//! measurements of Figure 18.
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+
+pub use experiment::*;

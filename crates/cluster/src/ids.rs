@@ -1,0 +1,102 @@
+//! Typed identifiers for GPUs, nodes, and application classes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a GPU within a cluster (dense, `0..total_gpus`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GpuId(pub u32);
+
+impl GpuId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// Index of a node within a cluster (dense, `0..nodes`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// An application variability class, ordered by sensitivity: class 0 ("A")
+/// is the most variability-sensitive (compute-bound), the last class the
+/// least (memory-bound). The paper uses three classes A, B, C but the design
+/// supports any K (Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobClass(pub usize);
+
+impl JobClass {
+    /// Class A — most variability-sensitive.
+    pub const A: JobClass = JobClass(0);
+    /// Class B.
+    pub const B: JobClass = JobClass(1);
+    /// Class C — least variability-sensitive.
+    pub const C: JobClass = JobClass(2);
+
+    /// Letter label ("A", "B", …, falling back to `class{n}` past "Z").
+    pub fn label(self) -> String {
+        if self.0 < 26 {
+            char::from(b'A' + self.0 as u8).to_string()
+        } else {
+            format!("class{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for JobClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(JobClass::A.label(), "A");
+        assert_eq!(JobClass::B.label(), "B");
+        assert_eq!(JobClass::C.label(), "C");
+        assert_eq!(JobClass(25).label(), "Z");
+        assert_eq!(JobClass(26).label(), "class26");
+    }
+
+    #[test]
+    fn class_ordering_matches_sensitivity() {
+        assert!(JobClass::A < JobClass::B);
+        assert!(JobClass::B < JobClass::C);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(GpuId(3).to_string(), "gpu3");
+        assert_eq!(NodeId(2).to_string(), "node2");
+        assert_eq!(JobClass::A.to_string(), "A");
+    }
+
+    #[test]
+    fn gpu_index_roundtrip() {
+        assert_eq!(GpuId(17).index(), 17);
+        assert_eq!(NodeId(4).index(), 4);
+    }
+}

@@ -1,0 +1,236 @@
+//! Per-class, per-GPU variability profiles — the PM penalties of
+//! Section IV-C.
+//!
+//! A profile stores, for each application class, every GPU's iteration time
+//! normalized to the cluster median (1.0 = median GPU, 1.5 = 50 % slower).
+//! The paper builds these either by measuring every GPU directly (the
+//! 64-GPU testbed, indexed by GPU UUID) or, for simulations of an N-GPU
+//! cluster, by "discretely, randomly sampling this profiling data without
+//! repetition".
+
+use crate::ids::{GpuId, JobClass};
+use pal_gpumodel::{profile_cluster, AppSpec, ModeledGpu, ProfiledApp};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Variability profile of a cluster: `scores[class][gpu]` is the normalized
+/// iteration time of class `class`'s representative app on GPU `gpu`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariabilityProfile {
+    scores: Vec<Vec<f64>>,
+}
+
+impl VariabilityProfile {
+    /// Build from raw per-class score vectors. Panics if empty or ragged.
+    pub fn from_raw(scores: Vec<Vec<f64>>) -> Self {
+        assert!(!scores.is_empty(), "profile needs at least one class");
+        let n = scores[0].len();
+        assert!(n > 0, "profile needs at least one GPU");
+        assert!(
+            scores.iter().all(|c| c.len() == n),
+            "per-class score vectors must have equal length"
+        );
+        assert!(
+            scores.iter().flatten().all(|&s| s > 0.0 && s.is_finite()),
+            "scores must be positive and finite"
+        );
+        VariabilityProfile { scores }
+    }
+
+    /// Exact profile of a modeled cluster: profile each class representative
+    /// on every GPU (the testbed path, Section IV-C's "index into the
+    /// variability profile using GPU UUID").
+    pub fn from_modeled_gpus(class_apps: &[AppSpec], gpus: &[ModeledGpu]) -> Self {
+        let scores = class_apps
+            .iter()
+            .map(|app| profile_cluster(app, gpus).normalized)
+            .collect();
+        VariabilityProfile::from_raw(scores)
+    }
+
+    /// Simulation-cluster construction: sample `n` PM penalties per class
+    /// from measured profiles *without repetition* (Section IV-C). The same
+    /// GPU permutation is used across classes so that one physically slow
+    /// device is slow for every class it affects — per-GPU identity is
+    /// preserved, as in the real measurement.
+    ///
+    /// Panics if any profile has fewer than `n` entries.
+    pub fn sample_from_profiled(profiled: &[ProfiledApp], n: usize, seed: u64) -> Self {
+        assert!(!profiled.is_empty(), "need at least one class profile");
+        for p in profiled {
+            assert!(
+                p.normalized.len() >= n,
+                "profile {} has {} entries, need {n} (sampling is without repetition)",
+                p.app,
+                p.normalized.len()
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..profiled[0].normalized.len()).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(n);
+        let scores = profiled
+            .iter()
+            .map(|p| indices.iter().map(|&i| p.normalized[i]).collect())
+            .collect();
+        VariabilityProfile::from_raw(scores)
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.scores[0].len()
+    }
+
+    /// Normalized iteration time (PM penalty) of `class` on `gpu`.
+    pub fn score(&self, class: JobClass, gpu: GpuId) -> f64 {
+        self.scores[class.0][gpu.index()]
+    }
+
+    /// All scores of one class, indexed by GPU.
+    pub fn class_scores(&self, class: JobClass) -> &[f64] {
+        &self.scores[class.0]
+    }
+
+    /// A copy with the scores of `gpus` for `class` multiplied by `factor`
+    /// — models stale profiles (Section V-A found node 0's profiled class-A
+    /// scores ~8× lower than the penalties jobs actually experienced).
+    pub fn perturbed(&self, class: JobClass, gpus: &[GpuId], factor: f64) -> Self {
+        assert!(factor > 0.0, "perturbation factor must be positive");
+        let mut scores = self.scores.clone();
+        for &g in gpus {
+            scores[class.0][g.index()] *= factor;
+        }
+        VariabilityProfile { scores }
+    }
+
+    /// Geomean variability (`geomean(score) - 1`) of one class, the paper's
+    /// headline spread metric.
+    pub fn geomean_variability(&self, class: JobClass) -> f64 {
+        pal_stats::geomean(&self.scores[class.0]).expect("positive scores") - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pal_gpumodel::{ClusterFlavor, GpuSpec, Workload};
+
+    fn modeled(n: usize) -> Vec<ModeledGpu> {
+        pal_gpumodel::profiler::build_cluster_gpus(
+            &GpuSpec::v100(),
+            ClusterFlavor::Longhorn,
+            n,
+            7,
+        )
+    }
+
+    fn class_apps() -> Vec<AppSpec> {
+        Workload::TABLE_III.iter().map(|w| w.spec()).collect()
+    }
+
+    #[test]
+    fn from_modeled_has_three_classes() {
+        let p = VariabilityProfile::from_modeled_gpus(&class_apps(), &modeled(32));
+        assert_eq!(p.num_classes(), 3);
+        assert_eq!(p.num_gpus(), 32);
+    }
+
+    #[test]
+    fn class_a_more_variable_than_class_c() {
+        let p = VariabilityProfile::from_modeled_gpus(&class_apps(), &modeled(256));
+        assert!(p.geomean_variability(JobClass::A) > p.geomean_variability(JobClass::C));
+        assert!(p.geomean_variability(JobClass::C) < 0.03);
+    }
+
+    #[test]
+    fn sampling_without_repetition_preserves_values() {
+        let gpus = modeled(128);
+        let profiled: Vec<ProfiledApp> = class_apps()
+            .iter()
+            .map(|a| profile_cluster(a, &gpus))
+            .collect();
+        let p = VariabilityProfile::sample_from_profiled(&profiled, 64, 3);
+        assert_eq!(p.num_gpus(), 64);
+        // Every sampled class-A score exists in the source profile.
+        for g in 0..64 {
+            let s = p.score(JobClass::A, GpuId(g));
+            assert!(profiled[0].normalized.iter().any(|&v| (v - s).abs() < 1e-15));
+        }
+    }
+
+    #[test]
+    fn sampling_uses_same_permutation_across_classes() {
+        let gpus = modeled(64);
+        let profiled: Vec<ProfiledApp> = class_apps()
+            .iter()
+            .map(|a| profile_cluster(a, &gpus))
+            .collect();
+        let p = VariabilityProfile::sample_from_profiled(&profiled, 32, 9);
+        // For each sampled slot, the (classA, classB, classC) triple must
+        // correspond to one source GPU index.
+        for g in 0..32 {
+            let triple = (
+                p.score(JobClass::A, GpuId(g)),
+                p.score(JobClass::B, GpuId(g)),
+                p.score(JobClass::C, GpuId(g)),
+            );
+            let found = (0..64).any(|i| {
+                (profiled[0].normalized[i] - triple.0).abs() < 1e-15
+                    && (profiled[1].normalized[i] - triple.1).abs() < 1e-15
+                    && (profiled[2].normalized[i] - triple.2).abs() < 1e-15
+            });
+            assert!(found, "slot {g} not traceable to one source GPU");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without repetition")]
+    fn oversampling_panics() {
+        let gpus = modeled(16);
+        let profiled: Vec<ProfiledApp> = class_apps()
+            .iter()
+            .map(|a| profile_cluster(a, &gpus))
+            .collect();
+        VariabilityProfile::sample_from_profiled(&profiled, 32, 0);
+    }
+
+    #[test]
+    fn perturbed_scales_only_targets() {
+        let p = VariabilityProfile::from_raw(vec![vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0]]);
+        let q = p.perturbed(JobClass::A, &[GpuId(1)], 8.0);
+        assert_eq!(q.score(JobClass::A, GpuId(1)), 8.0);
+        assert_eq!(q.score(JobClass::A, GpuId(0)), 1.0);
+        assert_eq!(q.score(JobClass::B, GpuId(1)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_raw_panics() {
+        VariabilityProfile::from_raw(vec![vec![1.0, 1.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nonpositive_score_panics() {
+        VariabilityProfile::from_raw(vec![vec![1.0, 0.0]]);
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let gpus = modeled(64);
+        let profiled: Vec<ProfiledApp> = class_apps()
+            .iter()
+            .map(|a| profile_cluster(a, &gpus))
+            .collect();
+        let a = VariabilityProfile::sample_from_profiled(&profiled, 32, 5);
+        let b = VariabilityProfile::sample_from_profiled(&profiled, 32, 5);
+        assert_eq!(a, b);
+    }
+}

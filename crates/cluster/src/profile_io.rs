@@ -1,0 +1,163 @@
+//! Variability-profile persistence: CSV with one row per GPU and one
+//! column per class, so profiles measured once ("design time",
+//! Section IV-C) can be archived and reloaded across experiments.
+//!
+//! ```csv
+//! gpu,class_A,class_B,class_C
+//! 0,1.0234,1.0107,0.9998
+//! ```
+
+use crate::ids::JobClass;
+use crate::profile::VariabilityProfile;
+use std::io::{BufRead, Write};
+
+/// Errors from profile (de)serialization.
+#[derive(Debug)]
+pub enum ProfileIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for ProfileIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileIoError::Io(e) => write!(f, "profile I/O error: {e}"),
+            ProfileIoError::Parse(line, msg) => {
+                write!(f, "profile parse error on line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileIoError {}
+
+impl From<std::io::Error> for ProfileIoError {
+    fn from(e: std::io::Error) -> Self {
+        ProfileIoError::Io(e)
+    }
+}
+
+/// Serialize a profile as CSV.
+pub fn write_profile_csv<W: Write>(
+    profile: &VariabilityProfile,
+    mut out: W,
+) -> Result<(), ProfileIoError> {
+    write!(out, "gpu")?;
+    for c in 0..profile.num_classes() {
+        write!(out, ",class_{}", JobClass(c).label())?;
+    }
+    writeln!(out)?;
+    for g in 0..profile.num_gpus() {
+        write!(out, "{g}")?;
+        for c in 0..profile.num_classes() {
+            write!(out, ",{}", profile.score(JobClass(c), crate::ids::GpuId(g as u32)))?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Parse a profile from CSV produced by [`write_profile_csv`].
+pub fn read_profile_csv<R: BufRead>(input: R) -> Result<VariabilityProfile, ProfileIoError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut num_classes: Option<usize> = None;
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("gpu") {
+            num_classes = Some(line.split(',').count() - 1);
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        let expected = num_classes
+            .ok_or_else(|| ProfileIoError::Parse(lineno + 1, "missing header".to_string()))?;
+        if fields.len() != expected + 1 {
+            return Err(ProfileIoError::Parse(
+                lineno + 1,
+                format!("expected {} fields, got {}", expected + 1, fields.len()),
+            ));
+        }
+        let scores: Result<Vec<f64>, _> = fields[1..]
+            .iter()
+            .map(|f| {
+                f.parse::<f64>()
+                    .map_err(|_| ProfileIoError::Parse(lineno + 1, format!("bad score `{f}`")))
+            })
+            .collect();
+        rows.push(scores?);
+    }
+    if rows.is_empty() {
+        return Err(ProfileIoError::Parse(0, "no GPU rows".to_string()));
+    }
+    // Transpose rows (per-GPU) into per-class vectors.
+    let classes = rows[0].len();
+    let mut scores = vec![Vec::with_capacity(rows.len()); classes];
+    for row in &rows {
+        for (c, &v) in row.iter().enumerate() {
+            scores[c].push(v);
+        }
+    }
+    Ok(VariabilityProfile::from_raw(scores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample() -> VariabilityProfile {
+        VariabilityProfile::from_raw(vec![
+            vec![1.0, 1.5, 0.9, 2.3],
+            vec![1.0, 1.2, 0.95, 1.7],
+            vec![1.0, 1.01, 0.99, 1.0],
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = sample();
+        let mut buf = Vec::new();
+        write_profile_csv(&p, &mut buf).unwrap();
+        let parsed = read_profile_csv(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn header_names_classes() {
+        let mut buf = Vec::new();
+        write_profile_csv(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("gpu,class_A,class_B,class_C\n"));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let input = "gpu,class_A,class_B\n0,1.0,1.0\n1,1.0\n";
+        let err = read_profile_csv(BufReader::new(input.as_bytes())).unwrap_err();
+        assert!(matches!(err, ProfileIoError::Parse(3, _)), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let input = "0,1.0,1.0\n";
+        assert!(read_profile_csv(BufReader::new(input.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let input = "gpu,class_A\n";
+        assert!(read_profile_csv(BufReader::new(input.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let input = "gpu,class_A\n0,abc\n";
+        let err = read_profile_csv(BufReader::new(input.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("abc"));
+    }
+}

@@ -1,0 +1,164 @@
+//! GPU occupancy tracking: the scheduler's live view of which GPUs are free
+//! (the "Cluster State Monitor" box of Blox's architecture, Figure 1).
+
+use crate::ids::{GpuId, NodeId};
+use crate::topology::ClusterTopology;
+use serde::{Deserialize, Serialize};
+
+/// Occupancy state of every GPU in a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterState {
+    topology: ClusterTopology,
+    in_use: Vec<bool>,
+}
+
+impl ClusterState {
+    /// All-free state for a topology.
+    pub fn new(topology: ClusterTopology) -> Self {
+        ClusterState {
+            in_use: vec![false; topology.total_gpus()],
+            topology,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Whether a GPU is currently free.
+    pub fn is_free(&self, gpu: GpuId) -> bool {
+        !self.in_use[gpu.index()]
+    }
+
+    /// Number of free GPUs.
+    pub fn free_count(&self) -> usize {
+        self.in_use.iter().filter(|&&u| !u).count()
+    }
+
+    /// Number of busy GPUs.
+    pub fn busy_count(&self) -> usize {
+        self.topology.total_gpus() - self.free_count()
+    }
+
+    /// The free list, in GPU-id order.
+    pub fn free_gpus(&self) -> Vec<GpuId> {
+        self.in_use
+            .iter()
+            .enumerate()
+            .filter(|&(_, &u)| !u)
+            .map(|(i, _)| GpuId(i as u32))
+            .collect()
+    }
+
+    /// Free GPUs grouped by node, in node order (nodes with none are
+    /// included as empty vectors so indices align with node ids).
+    pub fn free_gpus_by_node(&self) -> Vec<Vec<GpuId>> {
+        let mut by_node = vec![Vec::new(); self.topology.nodes];
+        for gpu in self.free_gpus() {
+            by_node[self.topology.node_of(gpu).index()].push(gpu);
+        }
+        by_node
+    }
+
+    /// Nodes that currently have at least `want` free GPUs.
+    pub fn nodes_with_free(&self, want: usize) -> Vec<NodeId> {
+        self.free_gpus_by_node()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.len() >= want)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Mark GPUs busy. Panics if any is already in use or duplicated — a
+    /// double-allocation is always a scheduler bug, never a recoverable
+    /// condition.
+    pub fn allocate(&mut self, gpus: &[GpuId]) {
+        for &g in gpus {
+            assert!(
+                !self.in_use[g.index()],
+                "double allocation of {g}: already in use"
+            );
+            self.in_use[g.index()] = true;
+        }
+    }
+
+    /// Mark GPUs free. Panics if any was not in use.
+    pub fn release(&mut self, gpus: &[GpuId]) {
+        for &g in gpus {
+            assert!(self.in_use[g.index()], "releasing free GPU {g}");
+            self.in_use[g.index()] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ClusterState {
+        ClusterState::new(ClusterTopology::new(2, 4))
+    }
+
+    #[test]
+    fn fresh_state_all_free() {
+        let s = state();
+        assert_eq!(s.free_count(), 8);
+        assert_eq!(s.busy_count(), 0);
+        assert_eq!(s.free_gpus().len(), 8);
+    }
+
+    #[test]
+    fn allocate_release_roundtrip() {
+        let mut s = state();
+        let alloc = vec![GpuId(1), GpuId(5)];
+        s.allocate(&alloc);
+        assert_eq!(s.free_count(), 6);
+        assert!(!s.is_free(GpuId(1)));
+        assert!(!s.is_free(GpuId(5)));
+        s.release(&alloc);
+        assert_eq!(s.free_count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "double allocation")]
+    fn double_allocate_panics() {
+        let mut s = state();
+        s.allocate(&[GpuId(0)]);
+        s.allocate(&[GpuId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double allocation")]
+    fn duplicate_in_one_call_panics() {
+        let mut s = state();
+        s.allocate(&[GpuId(2), GpuId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing free GPU")]
+    fn release_free_panics() {
+        let mut s = state();
+        s.release(&[GpuId(0)]);
+    }
+
+    #[test]
+    fn free_by_node_respects_topology() {
+        let mut s = state();
+        s.allocate(&[GpuId(0), GpuId(1), GpuId(2), GpuId(3)]); // node 0 full
+        let by_node = s.free_gpus_by_node();
+        assert!(by_node[0].is_empty());
+        assert_eq!(by_node[1].len(), 4);
+    }
+
+    #[test]
+    fn nodes_with_free_thresholds() {
+        let mut s = state();
+        s.allocate(&[GpuId(0), GpuId(1), GpuId(2)]); // node 0 has 1 free
+        assert_eq!(s.nodes_with_free(1).len(), 2);
+        assert_eq!(s.nodes_with_free(2), vec![NodeId(1)]);
+        assert_eq!(s.nodes_with_free(4), vec![NodeId(1)]);
+        assert!(s.nodes_with_free(5).is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-module tests for the cluster crate: profiles built from the GPU
+//! model, persisted through CSV, perturbed, and sampled must stay
+//! consistent.
+
+use pal_cluster::{
+    read_profile_csv, write_profile_csv, ClusterTopology, GpuId, JobClass, VariabilityProfile,
+};
+use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
+use std::io::BufReader;
+
+fn modeled_profile(n: usize, seed: u64) -> VariabilityProfile {
+    let gpus = profiler::build_cluster_gpus(&GpuSpec::v100(), ClusterFlavor::Frontera, n, seed);
+    let apps: Vec<_> = Workload::TABLE_III.iter().map(|w| w.spec()).collect();
+    VariabilityProfile::from_modeled_gpus(&apps, &gpus)
+}
+
+#[test]
+fn modeled_profile_roundtrips_through_csv() {
+    let p = modeled_profile(64, 3);
+    let mut buf = Vec::new();
+    write_profile_csv(&p, &mut buf).unwrap();
+    let q = read_profile_csv(BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(p.num_classes(), q.num_classes());
+    assert_eq!(p.num_gpus(), q.num_gpus());
+    for c in 0..p.num_classes() {
+        for g in 0..p.num_gpus() {
+            let (a, b) = (
+                p.score(JobClass(c), GpuId(g as u32)),
+                q.score(JobClass(c), GpuId(g as u32)),
+            );
+            assert!(
+                (a - b).abs() < 1e-12,
+                "class {c} gpu {g}: {a} != {b} after round trip"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampling_preserves_class_spread_ordering() {
+    let gpus = profiler::build_cluster_gpus(&GpuSpec::v100(), ClusterFlavor::Longhorn, 448, 7);
+    let profiled: Vec<_> = Workload::TABLE_III
+        .iter()
+        .map(|w| profiler::profile_cluster(&w.spec(), &gpus))
+        .collect();
+    let sampled = VariabilityProfile::sample_from_profiled(&profiled, 128, 5);
+    assert!(
+        sampled.geomean_variability(JobClass::A) > sampled.geomean_variability(JobClass::C)
+    );
+}
+
+#[test]
+fn perturbation_composes_with_topology() {
+    let topo = ClusterTopology::new(4, 4);
+    let p = modeled_profile(16, 9);
+    let node2 = topo.gpus_of(pal_cluster::NodeId(2));
+    let q = p.perturbed(JobClass::A, &node2, 5.0);
+    for g in topo.all_gpus() {
+        let factor = q.score(JobClass::A, g) / p.score(JobClass::A, g);
+        if node2.contains(&g) {
+            assert!((factor - 5.0).abs() < 1e-9);
+        } else {
+            assert!((factor - 1.0).abs() < 1e-12);
+        }
+        // Other classes untouched everywhere.
+        assert_eq!(q.score(JobClass::B, g), p.score(JobClass::B, g));
+    }
+}
+
+#[test]
+fn state_and_topology_agree_on_shape() {
+    let topo = ClusterTopology::new(6, 4);
+    let state = pal_cluster::ClusterState::new(topo);
+    assert_eq!(state.free_gpus().len(), topo.total_gpus());
+    assert_eq!(state.free_gpus_by_node().len(), topo.nodes);
+    for (n, gpus) in state.free_gpus_by_node().iter().enumerate() {
+        for g in gpus {
+            assert_eq!(topo.node_of(*g).index(), n);
+        }
+    }
+}

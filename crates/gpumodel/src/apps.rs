@@ -1,0 +1,356 @@
+//! The application zoo: every workload the paper profiles, classifies
+//! (Figure 3, Tables II & III), or schedules, with kernel mixes tuned so the
+//! roofline model lands each app where Figure 3 places it in the
+//! `DRAMUtil × PeakFUUtil` plane.
+
+use crate::kernel::{FuncUnit, Kernel};
+use serde::{Deserialize, Serialize};
+
+/// A profiled application: its identity plus the kernel mix executed each
+/// training iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Application name as used in the paper's figures.
+    pub name: String,
+    /// Task family (Image / Language / Vision / HPC / Kernel), per Table II.
+    pub task: String,
+    /// Training dataset, per Table II.
+    pub dataset: String,
+    /// Minibatch size, per Table II.
+    pub batch_size: u32,
+    /// Kernel mix of one iteration.
+    pub kernels: Vec<Kernel>,
+    /// The class the paper assigns this app (0 = A, 1 = B, 2 = C), used by
+    /// tests to validate the classifier's ordering.
+    pub expected_class: usize,
+}
+
+/// The workloads that appear in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Workload {
+    ResNet50,
+    SingleGpuResNet,
+    MultiGpuResNet,
+    Vgg19,
+    Dcgan,
+    Sgemm,
+    Bert,
+    Gpt2,
+    PointNet,
+    PageRank,
+    Lammps,
+}
+
+impl Workload {
+    /// All zoo entries, in Figure 3's legend order.
+    pub const ALL: [Workload; 11] = [
+        Workload::Lammps,
+        Workload::PageRank,
+        Workload::PointNet,
+        Workload::MultiGpuResNet,
+        Workload::SingleGpuResNet,
+        Workload::Sgemm,
+        Workload::Dcgan,
+        Workload::Vgg19,
+        Workload::Bert,
+        Workload::Gpt2,
+        Workload::ResNet50,
+    ];
+
+    /// The six models of the real-cluster evaluation (Table II).
+    pub const TABLE_II: [Workload; 6] = [
+        Workload::PointNet,
+        Workload::Vgg19,
+        Workload::Dcgan,
+        Workload::Bert,
+        Workload::ResNet50,
+        Workload::Gpt2,
+    ];
+
+    /// The three profiling representatives of Table III (one per class).
+    pub const TABLE_III: [Workload; 3] = [Workload::ResNet50, Workload::Bert, Workload::PageRank];
+
+    /// Build the full specification for this workload.
+    ///
+    /// Kernel volumes use a V100-like machine balance (~17 FLOP/byte for
+    /// FP32); `efficiency` steers achieved peak-FU utilization (≈ 10×eff for
+    /// compute-bound kernels) and arithmetic intensity steers DRAM
+    /// utilization, so each app reproduces its Figure 3 coordinates.
+    pub fn spec(self) -> AppSpec {
+        // Helper: kernel from (unit, efficiency, arithmetic intensity,
+        // GFLOP per call, calls per iteration).
+        fn k(
+            name: &str,
+            unit: FuncUnit,
+            eff: f64,
+            ai: f64,
+            gflop: f64,
+            calls: u32,
+        ) -> Kernel {
+            Kernel::new(name, unit, gflop, gflop / ai, eff, calls)
+        }
+        use FuncUnit::*;
+        match self {
+            Workload::ResNet50 => AppSpec {
+                name: "resnet50".into(),
+                task: "Image".into(),
+                dataset: "ImageNet2012".into(),
+                batch_size: 32,
+                kernels: vec![
+                    k("conv_fprop", SinglePrecision, 0.85, 60.0, 120.0, 1),
+                    k("conv_bprop", SinglePrecision, 0.83, 55.0, 240.0, 1),
+                    k("bn_relu", SinglePrecision, 0.55, 2.0, 1.0, 1),
+                ],
+                expected_class: 0,
+            },
+            Workload::SingleGpuResNet => AppSpec {
+                name: "single_gpu_resnet".into(),
+                task: "Image".into(),
+                dataset: "ImageNet2012".into(),
+                batch_size: 32,
+                kernels: vec![
+                    k("conv_fprop", SinglePrecision, 0.84, 58.0, 110.0, 1),
+                    k("conv_bprop", SinglePrecision, 0.82, 52.0, 220.0, 1),
+                    k("bn_relu", SinglePrecision, 0.50, 2.0, 1.0, 1),
+                ],
+                expected_class: 0,
+            },
+            Workload::MultiGpuResNet => AppSpec {
+                name: "multi_gpu_resnet".into(),
+                task: "Image".into(),
+                dataset: "ImageNet2012".into(),
+                batch_size: 64,
+                kernels: vec![
+                    k("conv_fprop", SinglePrecision, 0.83, 56.0, 230.0, 1),
+                    k("conv_bprop", SinglePrecision, 0.81, 50.0, 460.0, 1),
+                    k("allreduce_pack", SinglePrecision, 0.40, 1.5, 1.5, 1),
+                ],
+                expected_class: 0,
+            },
+            Workload::Vgg19 => AppSpec {
+                name: "vgg19".into(),
+                task: "Image".into(),
+                dataset: "ImageNet2012".into(),
+                batch_size: 32,
+                kernels: vec![
+                    k("conv3x3_fprop", SinglePrecision, 0.90, 80.0, 400.0, 1),
+                    k("conv3x3_bprop", SinglePrecision, 0.88, 75.0, 800.0, 1),
+                    k("fc_gemm", SinglePrecision, 0.85, 40.0, 60.0, 1),
+                ],
+                expected_class: 0,
+            },
+            Workload::Dcgan => AppSpec {
+                name: "dcgan".into(),
+                task: "Vision".into(),
+                dataset: "LSUN".into(),
+                batch_size: 128,
+                kernels: vec![
+                    k("deconv_gen", SinglePrecision, 0.85, 45.0, 90.0, 1),
+                    k("conv_disc", SinglePrecision, 0.87, 50.0, 110.0, 1),
+                    k("bn_leakyrelu", SinglePrecision, 0.45, 2.2, 2.5, 1),
+                ],
+                expected_class: 0,
+            },
+            Workload::Sgemm => AppSpec {
+                name: "sgemm".into(),
+                task: "Kernel".into(),
+                dataset: "synthetic-8192".into(),
+                batch_size: 1,
+                kernels: vec![k("sgemm_nn", SinglePrecision, 0.92, 120.0, 1100.0, 1)],
+                expected_class: 0,
+            },
+            Workload::Bert => AppSpec {
+                name: "bert".into(),
+                task: "Language".into(),
+                dataset: "WikiText".into(),
+                batch_size: 64,
+                kernels: vec![
+                    k("attention_qkv", SinglePrecision, 0.62, 35.0, 90.0, 1),
+                    k("ffn_gemm", SinglePrecision, 0.64, 40.0, 110.0, 1),
+                    k("softmax_layernorm", SinglePrecision, 0.50, 1.2, 4.0, 1),
+                ],
+                expected_class: 1,
+            },
+            Workload::Gpt2 => AppSpec {
+                name: "gpt2".into(),
+                task: "Language".into(),
+                dataset: "WikiText".into(),
+                batch_size: 128,
+                kernels: vec![
+                    k("attention_qkv", SinglePrecision, 0.60, 33.0, 160.0, 1),
+                    k("ffn_gemm", SinglePrecision, 0.62, 38.0, 200.0, 1),
+                    k("softmax_layernorm", SinglePrecision, 0.48, 1.1, 6.0, 1),
+                ],
+                expected_class: 1,
+            },
+            Workload::PointNet => AppSpec {
+                name: "pointnet".into(),
+                task: "Image".into(),
+                dataset: "ShapeNet".into(),
+                batch_size: 32,
+                kernels: vec![
+                    k("mlp_small", SinglePrecision, 0.25, 8.0, 12.0, 1),
+                    k("tnet_gemm", SinglePrecision, 0.30, 10.0, 10.0, 1),
+                    k("gather_scatter", SinglePrecision, 0.20, 0.6, 4.0, 1),
+                ],
+                expected_class: 2,
+            },
+            Workload::PageRank => AppSpec {
+                name: "pagerank".into(),
+                task: "HPC".into(),
+                dataset: "web-graph-644k".into(),
+                batch_size: 1,
+                kernels: vec![
+                    k("spmv", SinglePrecision, 0.65, 2.6, 30.0, 1),
+                    k("rank_update", SinglePrecision, 0.60, 1.8, 8.0, 1),
+                ],
+                expected_class: 2,
+            },
+            Workload::Lammps => AppSpec {
+                name: "lammps".into(),
+                task: "HPC".into(),
+                dataset: "lj-melt".into(),
+                batch_size: 1,
+                kernels: vec![
+                    k("pair_lj", DoublePrecision, 0.22, 3.5, 10.0, 1),
+                    k("neighbor_build", SinglePrecision, 0.18, 0.9, 3.0, 1),
+                ],
+                expected_class: 2,
+            },
+        }
+    }
+
+    /// Parse a workload from its plot name (inverse of [`Workload::name`]).
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == name)
+    }
+
+    /// Workload name as it appears in the paper's plots.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::ResNet50 => "resnet50",
+            Workload::SingleGpuResNet => "single_gpu_resnet",
+            Workload::MultiGpuResNet => "multi_gpu_resnet",
+            Workload::Vgg19 => "vgg19",
+            Workload::Dcgan => "dcgan",
+            Workload::Sgemm => "sgemm",
+            Workload::Bert => "bert",
+            Workload::Gpt2 => "gpt2",
+            Workload::PointNet => "pointnet",
+            Workload::PageRank => "pagerank",
+            Workload::Lammps => "lammps",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{GpuSpec, ModeledGpu};
+    use crate::pm::PmState;
+
+    fn nominal_v100() -> ModeledGpu {
+        ModeledGpu {
+            spec: GpuSpec::v100(),
+            pm: PmState::nominal(),
+        }
+    }
+
+    fn peak_fu(g: &ModeledGpu, app: &AppSpec) -> f64 {
+        g.fu_utilization(&app.kernels)
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn all_specs_build() {
+        for w in Workload::ALL {
+            let s = w.spec();
+            assert!(!s.kernels.is_empty());
+            assert_eq!(s.name, w.name());
+        }
+    }
+
+    #[test]
+    fn class_a_apps_have_high_fu_utilization() {
+        let g = nominal_v100();
+        for w in [Workload::ResNet50, Workload::Vgg19, Workload::Sgemm, Workload::Dcgan] {
+            let s = w.spec();
+            let fu = peak_fu(&g, &s);
+            assert!(fu > 6.5, "{}: peak FU util {fu}", s.name);
+        }
+    }
+
+    #[test]
+    fn pagerank_is_memory_bound() {
+        let g = nominal_v100();
+        let s = Workload::PageRank.spec();
+        let dram = g.dram_utilization(&s.kernels);
+        let fu = peak_fu(&g, &s);
+        assert!(dram > 5.0, "pagerank dram util {dram}");
+        assert!(fu < 3.0, "pagerank fu util {fu}");
+    }
+
+    #[test]
+    fn bert_sits_between_resnet_and_pagerank_in_fu() {
+        let g = nominal_v100();
+        let fu_of = |w: Workload| peak_fu(&g, &w.spec());
+        let (r, b, p) = (
+            fu_of(Workload::ResNet50),
+            fu_of(Workload::Bert),
+            fu_of(Workload::PageRank),
+        );
+        assert!(r > b && b > p, "FU ordering violated: {r} {b} {p}");
+    }
+
+    #[test]
+    fn compute_bound_apps_inherit_frequency_variability() {
+        // The paper's key insight: a slow GPU slows ResNet-50 far more than
+        // PageRank.
+        let spec = GpuSpec::v100();
+        let slow = ModeledGpu {
+            spec: spec.clone(),
+            pm: PmState {
+                freq_multiplier: 0.5,
+                mem_multiplier: 1.0,
+            },
+        };
+        let fast = ModeledGpu {
+            spec,
+            pm: PmState::nominal(),
+        };
+        let slowdown = |w: Workload| {
+            let s = w.spec();
+            slow.iteration_time(&s.kernels) / fast.iteration_time(&s.kernels)
+        };
+        let resnet = slowdown(Workload::ResNet50);
+        let pagerank = slowdown(Workload::PageRank);
+        assert!(resnet > 1.8, "resnet slowdown {resnet}");
+        assert!(pagerank < 1.15, "pagerank slowdown {pagerank}");
+    }
+
+    #[test]
+    fn table_constants_are_subsets_of_all() {
+        for w in Workload::TABLE_II.iter().chain(Workload::TABLE_III.iter()) {
+            assert!(Workload::ALL.contains(w));
+        }
+    }
+
+    #[test]
+    fn expected_classes_cover_a_b_c() {
+        let classes: std::collections::HashSet<usize> =
+            Workload::ALL.iter().map(|w| w.spec().expected_class).collect();
+        assert_eq!(classes, [0usize, 1, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn iteration_times_positive_and_sub_second() {
+        let g = nominal_v100();
+        for w in Workload::ALL {
+            let t = g.iteration_time(&w.spec().kernels);
+            assert!(t > 0.0 && t < 1.0, "{}: iter time {t}", w.name());
+        }
+    }
+}

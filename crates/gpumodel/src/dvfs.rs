@@ -1,0 +1,280 @@
+//! A first-principles power-management model: derive each GPU's sustained
+//! frequency from its die characteristics and cooling environment, instead
+//! of sampling a frequency distribution directly.
+//!
+//! The paper attributes iso-architecture variability primarily to "power
+//! management (PM) in accelerators, which can lead to power and frequency
+//! variations across nodes", compounded by manufacturing variation (die
+//! binning, leakage) and non-uniform cooling. This module models that
+//! causal chain:
+//!
+//! ```text
+//! P(f) = P_dyn(f) + P_leak(T)      total board power at frequency f
+//! P_dyn(f) = c_dyn · f³            dynamic power (V scales ~linearly
+//!                                  with f on the DVFS ladder, P ∝ f·V²)
+//! P_leak(T) = c_leak · leakage · (1 + k_T · (T - T_ref))
+//! ```
+//!
+//! The PM governor picks the highest frequency on the DVFS ladder whose
+//! total power stays within the board's power cap. High-leakage dies and
+//! hot inlets burn more of the cap on leakage, leaving less for dynamic
+//! power, and therefore sustain lower clocks — exactly the consistent,
+//! device-specific slowdowns the paper measures.
+//!
+//! [`DvfsModel::sustained_frequency`] is deterministic per device;
+//! [`sample_die`]/[`sample_environment`] generate the population.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-die manufacturing characteristics (process variation / binning).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DieCharacteristics {
+    /// Leakage multiplier relative to a typical die (1.0 = nominal).
+    /// Log-normally distributed across a wafer population.
+    pub leakage: f64,
+    /// Maximum stable frequency multiplier from binning (some dies simply
+    /// cannot clock to nominal regardless of power headroom).
+    pub max_freq: f64,
+}
+
+/// Node-level operating environment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingEnvironment {
+    /// Inlet / coolant temperature in °C (mineral-oil cooled Frontera runs
+    /// cooler and tighter than air-cooled racks).
+    pub inlet_temp_c: f64,
+}
+
+/// The board-level power model and DVFS governor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsModel {
+    /// Board power cap in watts (e.g. 250 W for a V100 SXM2).
+    pub power_cap_w: f64,
+    /// Dynamic power at nominal frequency (f = 1.0) in watts.
+    pub dyn_power_at_nominal_w: f64,
+    /// Leakage power of a nominal die at reference temperature, watts.
+    pub leak_power_nominal_w: f64,
+    /// Reference temperature for the leakage model, °C.
+    pub t_ref_c: f64,
+    /// Fractional leakage increase per °C above reference.
+    pub leak_temp_coeff: f64,
+    /// DVFS ladder step as a fraction of nominal frequency (governors move
+    /// in discrete P-state steps, not continuously).
+    pub freq_step: f64,
+    /// Lowest selectable frequency multiplier.
+    pub min_freq: f64,
+}
+
+impl DvfsModel {
+    /// A V100-like board: 250 W cap, ~185 W dynamic at nominal, ~40 W
+    /// nominal leakage, 15 MHz-ish ladder steps (~1% of nominal).
+    pub fn v100() -> Self {
+        DvfsModel {
+            power_cap_w: 250.0,
+            dyn_power_at_nominal_w: 185.0,
+            leak_power_nominal_w: 40.0,
+            t_ref_c: 30.0,
+            leak_temp_coeff: 0.012,
+            freq_step: 0.01,
+            min_freq: 0.25,
+        }
+    }
+
+    /// Total board power at frequency multiplier `f` for a given die and
+    /// environment.
+    pub fn power_at(&self, f: f64, die: &DieCharacteristics, env: &CoolingEnvironment) -> f64 {
+        let dynamic = self.dyn_power_at_nominal_w * f * f * f;
+        let temp_factor = 1.0 + self.leak_temp_coeff * (env.inlet_temp_c - self.t_ref_c).max(0.0);
+        let leakage = self.leak_power_nominal_w * die.leakage * temp_factor;
+        dynamic + leakage
+    }
+
+    /// The sustained frequency multiplier the governor settles on: the
+    /// highest ladder step not exceeding the die's bin limit whose power
+    /// fits under the cap.
+    pub fn sustained_frequency(&self, die: &DieCharacteristics, env: &CoolingEnvironment) -> f64 {
+        let mut f = die.max_freq;
+        // Snap to the ladder.
+        f = (f / self.freq_step).floor() * self.freq_step;
+        while f > self.min_freq && self.power_at(f, die, env) > self.power_cap_w {
+            f -= self.freq_step;
+        }
+        f.max(self.min_freq)
+    }
+}
+
+/// Sample a die from a wafer population: log-normal leakage (σ controls
+/// process maturity) and a small probability of a low-bin part.
+pub fn sample_die(rng: &mut StdRng, leakage_sigma: f64, low_bin_frac: f64) -> DieCharacteristics {
+    let z = gaussian(rng);
+    let leakage = (leakage_sigma * z).exp();
+    let max_freq = if rng.gen::<f64>() < low_bin_frac {
+        rng.gen_range(0.55..0.85)
+    } else {
+        rng.gen_range(0.98..1.06)
+    };
+    DieCharacteristics { leakage, max_freq }
+}
+
+/// Sample a node's cooling environment: base inlet plus rack-position
+/// spread (the paper's per-cabinet legends come from exactly this effect).
+pub fn sample_environment(rng: &mut StdRng, base_c: f64, spread_c: f64) -> CoolingEnvironment {
+    CoolingEnvironment {
+        inlet_temp_c: base_c + rng.gen_range(0.0..=spread_c),
+    }
+}
+
+/// Derive `n` PM frequency multipliers from the physical model — an
+/// alternative to the distribution-fit sampling of
+/// [`crate::pm::ClusterFlavor`], useful for studying *why* the profiles
+/// look the way they do (leakage sigma ↔ spread, cooling spread ↔ cabinet
+/// structure).
+pub fn derive_frequencies(
+    model: &DvfsModel,
+    n: usize,
+    leakage_sigma: f64,
+    low_bin_frac: f64,
+    base_temp_c: f64,
+    temp_spread_c: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let die = sample_die(&mut rng, leakage_sigma, low_bin_frac);
+            let env = sample_environment(&mut rng, base_temp_c, temp_spread_c);
+            model.sustained_frequency(&die, &env)
+        })
+        .collect()
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal_die() -> DieCharacteristics {
+        DieCharacteristics {
+            leakage: 1.0,
+            max_freq: 1.0,
+        }
+    }
+
+    fn cool() -> CoolingEnvironment {
+        CoolingEnvironment { inlet_temp_c: 30.0 }
+    }
+
+    #[test]
+    fn nominal_die_sustains_nominal_frequency() {
+        let m = DvfsModel::v100();
+        // 185 + 40 = 225 W < 250 W cap: full speed.
+        let f = m.sustained_frequency(&nominal_die(), &cool());
+        assert!(f >= 0.99, "nominal die throttled to {f}");
+    }
+
+    #[test]
+    fn leaky_die_throttles() {
+        let m = DvfsModel::v100();
+        let leaky = DieCharacteristics {
+            leakage: 3.0,
+            max_freq: 1.0,
+        };
+        let f = m.sustained_frequency(&leaky, &cool());
+        assert!(f < 0.95, "leaky die should throttle, got {f}");
+        // And power at the chosen point respects the cap.
+        assert!(m.power_at(f, &leaky, &cool()) <= m.power_cap_w + 1e-9);
+    }
+
+    #[test]
+    fn hot_inlet_throttles_more_than_cool() {
+        let m = DvfsModel::v100();
+        let die = DieCharacteristics {
+            leakage: 2.0,
+            max_freq: 1.0,
+        };
+        let f_cool = m.sustained_frequency(&die, &cool());
+        let f_hot = m.sustained_frequency(&die, &CoolingEnvironment { inlet_temp_c: 55.0 });
+        assert!(f_hot <= f_cool, "hotter inlet should never clock higher");
+        assert!(f_hot < f_cool, "a 2x-leakage die at 55C must lose steps");
+    }
+
+    #[test]
+    fn bin_limit_caps_frequency_even_with_headroom() {
+        let m = DvfsModel::v100();
+        let low_bin = DieCharacteristics {
+            leakage: 0.5,
+            max_freq: 0.7,
+        };
+        let f = m.sustained_frequency(&low_bin, &cool());
+        assert!(f <= 0.7 + 1e-9);
+    }
+
+    #[test]
+    fn frequency_never_below_floor() {
+        let m = DvfsModel::v100();
+        let pathological = DieCharacteristics {
+            leakage: 50.0,
+            max_freq: 1.0,
+        };
+        let f = m.sustained_frequency(&pathological, &CoolingEnvironment { inlet_temp_c: 70.0 });
+        assert!(f >= m.min_freq - 1e-12);
+    }
+
+    #[test]
+    fn power_monotone_in_frequency() {
+        let m = DvfsModel::v100();
+        let die = nominal_die();
+        let env = cool();
+        let mut last = 0.0;
+        for i in 1..=20 {
+            let f = i as f64 * 0.05;
+            let p = m.power_at(f, &die, &env);
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn derived_population_shape_matches_measured_clusters() {
+        // With moderate process spread, most devices run near nominal and
+        // a tail throttles — the Figure 6/7 shape.
+        let m = DvfsModel::v100();
+        let freqs = derive_frequencies(&m, 2000, 0.35, 0.03, 32.0, 10.0, 42);
+        let near_nominal = freqs.iter().filter(|&&f| f >= 0.95).count();
+        let throttled = freqs.iter().filter(|&&f| f < 0.85).count();
+        assert!(
+            near_nominal > 1000,
+            "most devices should be near nominal ({near_nominal}/2000)"
+        );
+        assert!(throttled > 20, "a tail should throttle ({throttled}/2000)");
+        for &f in &freqs {
+            assert!((m.min_freq..=1.06).contains(&f));
+        }
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let m = DvfsModel::v100();
+        let a = derive_frequencies(&m, 100, 0.3, 0.02, 32.0, 8.0, 7);
+        let b = derive_frequencies(&m, 100, 0.3, 0.02, 32.0, 8.0, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tighter_process_reduces_spread() {
+        let m = DvfsModel::v100();
+        let spread = |sigma: f64| {
+            let f = derive_frequencies(&m, 1000, sigma, 0.0, 32.0, 0.0, 3);
+            let mean = f.iter().sum::<f64>() / f.len() as f64;
+            (f.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / f.len() as f64).sqrt()
+        };
+        assert!(spread(0.1) <= spread(0.5));
+    }
+}

@@ -1,0 +1,232 @@
+//! Modeled GPU: architectural peaks plus a per-device power-management
+//! state, with roofline kernel timing.
+
+use crate::kernel::{FuncUnit, Kernel};
+use crate::pm::PmState;
+use serde::{Deserialize, Serialize};
+
+/// Architectural peak rates for a GPU model (identical for every device of
+/// an iso-architecture cluster — variability comes from [`PmState`], not the
+/// spec).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `V100` or `QuadroRTX5000`.
+    pub name: String,
+    /// Peak GFLOP/s per functional unit (indexed by [`FuncUnit::index`]).
+    pub peak_gflops: [f64; 5],
+    /// Peak DRAM bandwidth in GB/s.
+    pub peak_bw_gbs: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA V100-like peaks (Longhorn's GPU).
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "V100".to_string(),
+            // SP, DP, Texture, Special, Tensor
+            peak_gflops: [15_700.0, 7_800.0, 1_900.0, 3_900.0, 125_000.0],
+            peak_bw_gbs: 900.0,
+        }
+    }
+
+    /// NVIDIA Quadro RTX 5000-like peaks (Frontera's GPU subsystem).
+    pub fn quadro_rtx5000() -> Self {
+        GpuSpec {
+            name: "QuadroRTX5000".to_string(),
+            peak_gflops: [11_200.0, 350.0, 1_400.0, 2_800.0, 89_200.0],
+            peak_bw_gbs: 448.0,
+        }
+    }
+
+    /// Peak rate of one functional unit.
+    pub fn peak_of(&self, unit: FuncUnit) -> f64 {
+        self.peak_gflops[unit.index()]
+    }
+}
+
+/// One physical GPU: spec plus its sampled power-management state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeledGpu {
+    /// Architectural peaks.
+    pub spec: GpuSpec,
+    /// This device's power-management state.
+    pub pm: PmState,
+}
+
+impl ModeledGpu {
+    /// Roofline execution time of one kernel invocation, in seconds.
+    ///
+    /// Compute peak scales with the PM frequency multiplier; memory
+    /// bandwidth with the (nearly constant) memory multiplier. The kernel
+    /// takes the max of its compute time and memory time — so compute-bound
+    /// kernels inherit frequency variability and memory-bound kernels are
+    /// insulated from it, which is the mechanism behind the paper's
+    /// application-specific variability observation.
+    pub fn kernel_time(&self, k: &Kernel) -> f64 {
+        let eff_flops = self.spec.peak_of(k.unit) * k.efficiency * self.pm.freq_multiplier;
+        let eff_bw = self.spec.peak_bw_gbs * k.efficiency * self.pm.mem_multiplier;
+        let t_compute = if k.flops > 0.0 { k.flops / eff_flops } else { 0.0 };
+        let t_memory = if k.bytes > 0.0 { k.bytes / eff_bw } else { 0.0 };
+        t_compute.max(t_memory)
+    }
+
+    /// Time for one full application iteration (sum over kernel types of
+    /// per-call time × calls per iteration).
+    pub fn iteration_time(&self, kernels: &[Kernel]) -> f64 {
+        kernels
+            .iter()
+            .map(|k| self.kernel_time(k) * k.calls_per_iter as f64)
+            .sum()
+    }
+
+    /// Achieved utilization of each functional unit over one iteration, in
+    /// nsight-compute's `[0, 10]` scale: runtime-weighted achieved fraction
+    /// of peak, per the paper's `FU_util` formula.
+    pub fn fu_utilization(&self, kernels: &[Kernel]) -> [f64; 5] {
+        let total_time = self.iteration_time(kernels);
+        let mut util = [0.0f64; 5];
+        if total_time <= 0.0 {
+            return util;
+        }
+        for k in kernels {
+            let t = self.kernel_time(k) * k.calls_per_iter as f64;
+            // Achieved rate vs (PM-scaled) peak while this kernel runs.
+            let peak = self.spec.peak_of(k.unit) * self.pm.freq_multiplier;
+            let achieved = if t > 0.0 {
+                (k.flops * k.calls_per_iter as f64 / t) / peak
+            } else {
+                0.0
+            };
+            util[k.unit.index()] += t * achieved.clamp(0.0, 1.0) * 10.0;
+        }
+        for u in &mut util {
+            *u /= total_time;
+        }
+        util
+    }
+
+    /// Achieved DRAM utilization over one iteration in `[0, 10]`
+    /// (`DRAMUtil = bandwidth / peak_bandwidth × 10`).
+    pub fn dram_utilization(&self, kernels: &[Kernel]) -> f64 {
+        let total_time = self.iteration_time(kernels);
+        if total_time <= 0.0 {
+            return 0.0;
+        }
+        let total_bytes: f64 = kernels
+            .iter()
+            .map(|k| k.bytes * k.calls_per_iter as f64)
+            .sum();
+        let achieved_bw = total_bytes / total_time;
+        (achieved_bw / (self.spec.peak_bw_gbs * self.pm.mem_multiplier) * 10.0).clamp(0.0, 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal(spec: GpuSpec) -> ModeledGpu {
+        ModeledGpu {
+            spec,
+            pm: PmState::nominal(),
+        }
+    }
+
+    fn compute_kernel() -> Kernel {
+        // AI = 1000 FLOP/byte: firmly compute-bound on any GPU here.
+        Kernel::new("gemm", FuncUnit::SinglePrecision, 100.0, 0.1, 0.8, 1)
+    }
+
+    fn memory_kernel() -> Kernel {
+        // AI = 0.01: firmly memory-bound.
+        Kernel::new("spmv", FuncUnit::SinglePrecision, 0.5, 50.0, 0.8, 1)
+    }
+
+    #[test]
+    fn compute_bound_time_scales_with_frequency() {
+        let spec = GpuSpec::v100();
+        let fast = ModeledGpu {
+            spec: spec.clone(),
+            pm: PmState {
+                freq_multiplier: 1.0,
+                mem_multiplier: 1.0,
+            },
+        };
+        let slow = ModeledGpu {
+            spec,
+            pm: PmState {
+                freq_multiplier: 0.5,
+                mem_multiplier: 1.0,
+            },
+        };
+        let k = compute_kernel();
+        let ratio = slow.kernel_time(&k) / fast.kernel_time(&k);
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_time_ignores_frequency() {
+        let spec = GpuSpec::v100();
+        let fast = nominal(spec.clone());
+        let slow = ModeledGpu {
+            spec,
+            pm: PmState {
+                freq_multiplier: 0.5,
+                mem_multiplier: 1.0,
+            },
+        };
+        let k = memory_kernel();
+        let ratio = slow.kernel_time(&k) / fast.kernel_time(&k);
+        assert!((ratio - 1.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn iteration_time_sums_kernels() {
+        let g = nominal(GpuSpec::v100());
+        let ks = vec![compute_kernel(), memory_kernel()];
+        let sum = g.kernel_time(&ks[0]) + g.kernel_time(&ks[1]);
+        assert!((g.iteration_time(&ks) - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn calls_per_iter_multiplies() {
+        let g = nominal(GpuSpec::v100());
+        let mut k = compute_kernel();
+        let t1 = g.iteration_time(std::slice::from_ref(&k));
+        k.calls_per_iter = 3;
+        let t3 = g.iteration_time(std::slice::from_ref(&k));
+        assert!((t3 / t1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_kernel_has_high_fu_low_dram_util() {
+        let g = nominal(GpuSpec::v100());
+        let ks = vec![compute_kernel()];
+        let fu = g.fu_utilization(&ks);
+        let peak_fu = fu.iter().cloned().fold(0.0, f64::max);
+        let dram = g.dram_utilization(&ks);
+        assert!(peak_fu > 7.0, "peak FU util {peak_fu}");
+        assert!(dram < 2.0, "dram util {dram}");
+    }
+
+    #[test]
+    fn memory_kernel_has_high_dram_low_fu_util() {
+        let g = nominal(GpuSpec::v100());
+        let ks = vec![memory_kernel()];
+        let fu = g.fu_utilization(&ks);
+        let peak_fu = fu.iter().cloned().fold(0.0, f64::max);
+        let dram = g.dram_utilization(&ks);
+        assert!(dram > 7.0, "dram util {dram}");
+        assert!(peak_fu < 2.0, "peak FU util {peak_fu}");
+    }
+
+    #[test]
+    fn utilizations_bounded_zero_ten() {
+        let g = nominal(GpuSpec::quadro_rtx5000());
+        let ks = vec![compute_kernel(), memory_kernel()];
+        for u in g.fu_utilization(&ks) {
+            assert!((0.0..=10.0).contains(&u));
+        }
+        assert!((0.0..=10.0).contains(&g.dram_utilization(&ks)));
+    }
+}

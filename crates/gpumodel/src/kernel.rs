@@ -1,0 +1,141 @@
+//! GPU kernel model: work volumes per functional unit and memory traffic,
+//! roofline-timed on a [`crate::gpu::ModeledGpu`].
+
+use serde::{Deserialize, Serialize};
+
+/// GPU functional-unit categories, mirroring the paper's classifier inputs:
+/// "single precision, double precision, texture, special and tensor function
+/// units" (Section III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuncUnit {
+    /// FP32 ALUs.
+    SinglePrecision,
+    /// FP64 ALUs.
+    DoublePrecision,
+    /// Texture units.
+    Texture,
+    /// Special function units (transcendentals).
+    Special,
+    /// Tensor cores.
+    Tensor,
+}
+
+impl FuncUnit {
+    /// All functional units, in a fixed order used for utilization vectors.
+    pub const ALL: [FuncUnit; 5] = [
+        FuncUnit::SinglePrecision,
+        FuncUnit::DoublePrecision,
+        FuncUnit::Texture,
+        FuncUnit::Special,
+        FuncUnit::Tensor,
+    ];
+
+    /// Stable index of this unit into utilization vectors.
+    pub fn index(self) -> usize {
+        match self {
+            FuncUnit::SinglePrecision => 0,
+            FuncUnit::DoublePrecision => 1,
+            FuncUnit::Texture => 2,
+            FuncUnit::Special => 3,
+            FuncUnit::Tensor => 4,
+        }
+    }
+}
+
+/// One kernel type inside an application's iteration.
+///
+/// `flops` is the dominant-unit work volume in GFLOP, `bytes` the DRAM
+/// traffic in GB, and `efficiency` in `(0, 1]` scales achievable peak (real
+/// kernels do not hit theoretical peak; nsight utilization reflects
+/// achieved rates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Human-readable kernel name (e.g. `conv2d_fprop`).
+    pub name: String,
+    /// Functional unit this kernel's compute predominantly uses.
+    pub unit: FuncUnit,
+    /// Compute work in GFLOP per invocation.
+    pub flops: f64,
+    /// DRAM traffic in GB per invocation.
+    pub bytes: f64,
+    /// Fraction of theoretical peak this kernel can achieve on its unit.
+    pub efficiency: f64,
+    /// Invocations per training iteration.
+    pub calls_per_iter: u32,
+}
+
+impl Kernel {
+    /// Construct a kernel, validating parameter ranges.
+    pub fn new(
+        name: impl Into<String>,
+        unit: FuncUnit,
+        flops: f64,
+        bytes: f64,
+        efficiency: f64,
+        calls_per_iter: u32,
+    ) -> Self {
+        assert!(flops >= 0.0 && bytes >= 0.0, "negative work volume");
+        assert!(flops > 0.0 || bytes > 0.0, "kernel does no work");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency out of (0,1]"
+        );
+        assert!(calls_per_iter > 0, "kernel never called");
+        Kernel {
+            name: name.into(),
+            unit,
+            flops,
+            bytes,
+            efficiency,
+            calls_per_iter,
+        }
+    }
+
+    /// Arithmetic intensity in FLOP/byte.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_intensity_basic() {
+        let k = Kernel::new("k", FuncUnit::SinglePrecision, 8.0, 2.0, 0.9, 1);
+        assert_eq!(k.arithmetic_intensity(), 4.0);
+    }
+
+    #[test]
+    fn zero_bytes_is_infinite_intensity() {
+        let k = Kernel::new("k", FuncUnit::Tensor, 1.0, 0.0, 0.5, 1);
+        assert!(k.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "does no work")]
+    fn zero_work_panics() {
+        Kernel::new("k", FuncUnit::Special, 0.0, 0.0, 0.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn bad_efficiency_panics() {
+        Kernel::new("k", FuncUnit::Special, 1.0, 1.0, 1.5, 1);
+    }
+
+    #[test]
+    fn unit_indices_are_distinct_and_dense() {
+        let mut seen = [false; 5];
+        for u in FuncUnit::ALL {
+            assert!(!seen[u.index()]);
+            seen[u.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,240 @@
+//! Power-management state sampling.
+//!
+//! Each GPU gets a core-frequency multiplier and a memory-bandwidth
+//! multiplier. Distributions are shaped to match the published profiles
+//! (Figures 5–8): a dominant mass just around nominal, a modest slow band,
+//! and a small fraction of extreme stragglers (the paper observed ResNet-50
+//! iteration times up to 3.5× the median on Longhorn). Cabinet-level cooling
+//! differences (the "Cabinet" legend of Figures 6–8) appear as a per-cabinet
+//! frequency offset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-device power-management state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PmState {
+    /// Core-frequency multiplier relative to nominal (1.0). Compute-bound
+    /// kernel throughput scales with this.
+    pub freq_multiplier: f64,
+    /// Memory-bandwidth multiplier relative to nominal. Nearly 1.0 on real
+    /// hardware — memory clocks are not throttled by the PM algorithms the
+    /// paper studies.
+    pub mem_multiplier: f64,
+}
+
+impl PmState {
+    /// A device running exactly at nominal.
+    pub fn nominal() -> Self {
+        PmState {
+            freq_multiplier: 1.0,
+            mem_multiplier: 1.0,
+        }
+    }
+}
+
+/// Which measured cluster a synthetic profile should resemble.
+///
+/// Parameters are tuned so the *normalized iteration time* spread of a
+/// compute-bound app matches the paper's reported numbers for each system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClusterFlavor {
+    /// TACC Longhorn (V100): the paper's simulation profile source. Class A
+    /// spread ≈ 22 % geomean with outliers up to ≈3.5×.
+    Longhorn,
+    /// TACC Frontera full system (Quadro RTX 5000): Class A spread ≈ 13.3 %.
+    Frontera,
+    /// The 64-GPU Frontera testbed subset of Section V-A: ≈6 % class A
+    /// spread, milder outliers.
+    FronteraTestbed,
+}
+
+/// Distribution parameters for one flavor.
+#[derive(Debug, Clone, Copy)]
+struct FlavorParams {
+    /// Std-dev of the main (near-nominal) frequency band.
+    main_sigma: f64,
+    /// Fraction of devices in the slow band.
+    slow_frac: f64,
+    /// Slow band frequency range (multiplier lo..hi).
+    slow_range: (f64, f64),
+    /// Fraction of devices that are extreme stragglers.
+    outlier_frac: f64,
+    /// Straggler frequency range (multiplier lo..hi).
+    outlier_range: (f64, f64),
+    /// Half-width of the uniform cabinet-level frequency offset.
+    cabinet_spread: f64,
+    /// Number of cabinets devices are spread over.
+    cabinets: usize,
+}
+
+impl ClusterFlavor {
+    fn params(self) -> FlavorParams {
+        match self {
+            // Longhorn: widest spread (paper: 22% geomean variability for
+            // ResNet-50, max 3.5x). freq 0.29 -> ~3.5x slowdown.
+            ClusterFlavor::Longhorn => FlavorParams {
+                main_sigma: 0.06,
+                slow_frac: 0.35,
+                slow_range: (0.55, 0.85),
+                outlier_frac: 0.06,
+                outlier_range: (0.28, 0.50),
+                cabinet_spread: 0.035,
+                cabinets: 8,
+            },
+            // Frontera full profile: 13.3% class A variability, outliers to
+            // ~2.5x (Figure 6 tops out near 3.0).
+            ClusterFlavor::Frontera => FlavorParams {
+                main_sigma: 0.045,
+                slow_frac: 0.28,
+                slow_range: (0.62, 0.88),
+                outlier_frac: 0.03,
+                outlier_range: (0.40, 0.60),
+                cabinet_spread: 0.025,
+                cabinets: 4,
+            },
+            // 64-GPU testbed: 6% class A variability, outliers to ~2.2x
+            // (Figure 8).
+            ClusterFlavor::FronteraTestbed => FlavorParams {
+                main_sigma: 0.03,
+                slow_frac: 0.25,
+                slow_range: (0.70, 0.92),
+                outlier_frac: 0.05,
+                outlier_range: (0.45, 0.65),
+                cabinet_spread: 0.012,
+                cabinets: 4,
+            },
+        }
+    }
+
+    /// Number of cabinets this flavor spreads devices across.
+    pub fn cabinet_count(self) -> usize {
+        self.params().cabinets
+    }
+
+    /// Sample PM states for `n` devices.
+    ///
+    /// Deterministic in `(self, n, seed)`. Device `i` belongs to cabinet
+    /// `i % cabinets` (round-robin rack assignment), and each cabinet gets
+    /// its own small frequency offset (non-uniform cooling).
+    pub fn sample_states(self, n: usize, seed: u64) -> Vec<PmState> {
+        let p = self.params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cabinet_offsets: Vec<f64> = (0..p.cabinets)
+            .map(|_| rng.gen_range(-p.cabinet_spread..=p.cabinet_spread))
+            .collect();
+        (0..n)
+            .map(|i| {
+                let roll: f64 = rng.gen();
+                let base = if roll < p.outlier_frac {
+                    rng.gen_range(p.outlier_range.0..=p.outlier_range.1)
+                } else if roll < p.outlier_frac + p.slow_frac {
+                    rng.gen_range(p.slow_range.0..=p.slow_range.1)
+                } else {
+                    // Truncated normal around 1.0 via rejection; bounded so
+                    // the "main band" never wanders into outlier land.
+                    loop {
+                        let g = gaussian(&mut rng) * p.main_sigma + 1.0;
+                        if (0.9..=1.12).contains(&g) {
+                            break g;
+                        }
+                    }
+                };
+                let freq = (base + cabinet_offsets[i % p.cabinets]).clamp(0.2, 1.15);
+                // Memory clocks barely vary: +/- 0.7%.
+                let mem = 1.0 + gaussian(&mut rng) * 0.004;
+                PmState {
+                    freq_multiplier: freq,
+                    mem_multiplier: mem.clamp(0.985, 1.015),
+                }
+            })
+            .collect()
+    }
+
+    /// Cabinet label for device `i` (e.g. `c196`), mirroring the node-name
+    /// legends of Figures 6–8.
+    pub fn cabinet_of(self, device: usize) -> usize {
+        device % self.params().cabinets
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_sampling() {
+        let a = ClusterFlavor::Longhorn.sample_states(100, 7);
+        let b = ClusterFlavor::Longhorn.sample_states(100, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ClusterFlavor::Longhorn.sample_states(100, 7);
+        let b = ClusterFlavor::Longhorn.sample_states(100, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn multipliers_in_sane_ranges() {
+        for flavor in [
+            ClusterFlavor::Longhorn,
+            ClusterFlavor::Frontera,
+            ClusterFlavor::FronteraTestbed,
+        ] {
+            for s in flavor.sample_states(500, 42) {
+                assert!((0.2..=1.15).contains(&s.freq_multiplier));
+                assert!((0.985..=1.015).contains(&s.mem_multiplier));
+            }
+        }
+    }
+
+    #[test]
+    fn longhorn_has_extreme_stragglers_at_scale() {
+        let states = ClusterFlavor::Longhorn.sample_states(2000, 1);
+        let min_freq = states
+            .iter()
+            .map(|s| s.freq_multiplier)
+            .fold(f64::INFINITY, f64::min);
+        // Some device should be slow enough to produce a ~2.5x+ slowdown.
+        assert!(min_freq < 0.45, "min freq {min_freq}");
+    }
+
+    #[test]
+    fn testbed_tighter_than_longhorn() {
+        let spread = |flavor: ClusterFlavor| {
+            let s = flavor.sample_states(1000, 3);
+            let freqs: Vec<f64> = s.iter().map(|x| x.freq_multiplier).collect();
+            let mean = freqs.iter().sum::<f64>() / freqs.len() as f64;
+            (freqs.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / freqs.len() as f64).sqrt()
+        };
+        assert!(spread(ClusterFlavor::FronteraTestbed) < spread(ClusterFlavor::Longhorn));
+    }
+
+    #[test]
+    fn most_devices_near_nominal() {
+        let states = ClusterFlavor::Frontera.sample_states(1000, 11);
+        let near = states
+            .iter()
+            .filter(|s| (0.9..=1.12).contains(&s.freq_multiplier))
+            .count();
+        assert!(near > 550, "only {near}/1000 near nominal");
+    }
+
+    #[test]
+    fn cabinet_assignment_round_robin() {
+        let f = ClusterFlavor::Frontera;
+        assert_eq!(f.cabinet_of(0), 0);
+        assert_eq!(f.cabinet_of(1), 1);
+        assert_eq!(f.cabinet_of(f.cabinet_count()), 0);
+    }
+}

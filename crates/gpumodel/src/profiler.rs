@@ -1,0 +1,157 @@
+//! The offline profiling pass (Section IV-C): run representative apps on
+//! every GPU of a modeled cluster, collect iteration times, and normalize to
+//! the cluster median — producing exactly the data of Figures 5–8 — plus
+//! nsight-compute-style utilization features for the classifier (Figure 3).
+
+use crate::apps::AppSpec;
+use crate::gpu::{GpuSpec, ModeledGpu};
+use crate::pm::ClusterFlavor;
+use serde::{Deserialize, Serialize};
+
+/// The profile of one application across a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfiledApp {
+    /// Application name.
+    pub app: String,
+    /// Raw iteration time on each GPU, seconds.
+    pub iteration_times: Vec<f64>,
+    /// Iteration time normalized to the cluster median (the PM penalty of
+    /// Section IV-C; 1.0 = median GPU).
+    pub normalized: Vec<f64>,
+    /// Median iteration time, seconds.
+    pub median_time: f64,
+}
+
+impl ProfiledApp {
+    /// Geomean of normalized performance — the paper's "22% geomean
+    /// variability" metric is `geomean(normalized) - 1`.
+    pub fn geomean_variability(&self) -> f64 {
+        let g = pal_stats::geomean(&self.normalized).expect("positive times");
+        g - 1.0
+    }
+
+    /// Worst normalized slowdown across the cluster (paper: "up to 3.5×").
+    pub fn max_slowdown(&self) -> f64 {
+        self.normalized.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Build the modeled GPUs of a cluster: `n` devices of `spec`, PM states
+/// sampled from `flavor` with `seed`.
+pub fn build_cluster_gpus(spec: &GpuSpec, flavor: ClusterFlavor, n: usize, seed: u64) -> Vec<ModeledGpu> {
+    flavor
+        .sample_states(n, seed)
+        .into_iter()
+        .map(|pm| ModeledGpu {
+            spec: spec.clone(),
+            pm,
+        })
+        .collect()
+}
+
+/// Profile one application on every GPU (the per-GPU measurement loop of
+/// Section IV-C).
+pub fn profile_cluster(app: &AppSpec, gpus: &[ModeledGpu]) -> ProfiledApp {
+    assert!(!gpus.is_empty(), "profiling an empty cluster");
+    let iteration_times: Vec<f64> = gpus.iter().map(|g| g.iteration_time(&app.kernels)).collect();
+    let median_time =
+        pal_stats::median(&iteration_times).expect("non-empty cluster");
+    let normalized = iteration_times.iter().map(|&t| t / median_time).collect();
+    ProfiledApp {
+        app: app.name.clone(),
+        iteration_times,
+        normalized,
+        median_time,
+    }
+}
+
+/// nsight-compute-style classifier features for an app: `(DRAMUtil,
+/// PeakFUUtil)` measured on a median (nominal) GPU, both in `[0, 10]`.
+pub fn utilization_features(app: &AppSpec, spec: &GpuSpec) -> (f64, f64) {
+    let g = ModeledGpu {
+        spec: spec.clone(),
+        pm: crate::pm::PmState::nominal(),
+    };
+    let dram = g.dram_utilization(&app.kernels);
+    let peak_fu = g
+        .fu_utilization(&app.kernels)
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
+    (dram, peak_fu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::Workload;
+
+    fn longhorn(n: usize) -> Vec<ModeledGpu> {
+        build_cluster_gpus(&GpuSpec::v100(), ClusterFlavor::Longhorn, n, 42)
+    }
+
+    #[test]
+    fn normalized_median_is_one() {
+        let gpus = longhorn(129); // odd count -> exact median element
+        let p = profile_cluster(&Workload::ResNet50.spec(), &gpus);
+        let mut sorted = p.normalized.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((sorted[64] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resnet_variability_exceeds_pagerank() {
+        let gpus = longhorn(256);
+        let resnet = profile_cluster(&Workload::ResNet50.spec(), &gpus);
+        let pagerank = profile_cluster(&Workload::PageRank.spec(), &gpus);
+        assert!(
+            resnet.geomean_variability() > 5.0 * pagerank.geomean_variability().max(1e-6),
+            "resnet {} vs pagerank {}",
+            resnet.geomean_variability(),
+            pagerank.geomean_variability()
+        );
+        assert!(pagerank.geomean_variability() < 0.03);
+    }
+
+    #[test]
+    fn longhorn_resnet_has_heavy_tail() {
+        let gpus = longhorn(512);
+        let p = profile_cluster(&Workload::ResNet50.spec(), &gpus);
+        assert!(
+            p.max_slowdown() > 2.0,
+            "expected >2x straggler, got {}",
+            p.max_slowdown()
+        );
+    }
+
+    #[test]
+    fn profile_lengths_match_cluster() {
+        let gpus = longhorn(64);
+        let p = profile_cluster(&Workload::Bert.spec(), &gpus);
+        assert_eq!(p.iteration_times.len(), 64);
+        assert_eq!(p.normalized.len(), 64);
+    }
+
+    #[test]
+    fn features_match_figure3_layout() {
+        let spec = GpuSpec::v100();
+        let (dram_pr, fu_pr) = utilization_features(&Workload::PageRank.spec(), &spec);
+        let (dram_rn, fu_rn) = utilization_features(&Workload::ResNet50.spec(), &spec);
+        // PageRank: top-left (high DRAM, low FU); ResNet: bottom-right.
+        assert!(dram_pr > dram_rn);
+        assert!(fu_rn > fu_pr);
+    }
+
+    #[test]
+    fn deterministic_profiles() {
+        let a = profile_cluster(&Workload::ResNet50.spec(), &longhorn(64));
+        let b = profile_cluster(&Workload::ResNet50.spec(), &longhorn(64));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn empty_cluster_panics() {
+        profile_cluster(&Workload::ResNet50.spec(), &[]);
+    }
+}

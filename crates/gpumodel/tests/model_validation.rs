@@ -1,0 +1,125 @@
+//! Cross-module validation of the GPU model: the profiles it produces must
+//! have the structure the paper's measurements show, on both GPU specs and
+//! for both the distribution-fit and DVFS-derived populations.
+
+use pal_gpumodel::{
+    profiler, ClusterFlavor, DvfsModel, GpuSpec, ModeledGpu, PmState, Workload,
+};
+
+#[test]
+fn variability_ordering_holds_on_both_gpu_specs() {
+    // Class A > class B > class C variability, on V100 and Quadro alike.
+    for spec in [GpuSpec::v100(), GpuSpec::quadro_rtx5000()] {
+        let gpus = profiler::build_cluster_gpus(&spec, ClusterFlavor::Longhorn, 256, 9);
+        let var_of = |w: Workload| {
+            profiler::profile_cluster(&w.spec(), &gpus).geomean_variability()
+        };
+        let a = var_of(Workload::ResNet50);
+        let b = var_of(Workload::Bert);
+        let c = var_of(Workload::PageRank);
+        assert!(a > b, "{}: class A {a} <= class B {b}", spec.name);
+        assert!(b > c, "{}: class B {b} <= class C {c}", spec.name);
+    }
+}
+
+#[test]
+fn flavor_spreads_ordered_longhorn_widest() {
+    let spread = |flavor: ClusterFlavor| {
+        let gpus = profiler::build_cluster_gpus(&GpuSpec::v100(), flavor, 512, 11);
+        profiler::profile_cluster(&Workload::ResNet50.spec(), &gpus).geomean_variability()
+    };
+    let longhorn = spread(ClusterFlavor::Longhorn);
+    let frontera = spread(ClusterFlavor::Frontera);
+    let testbed = spread(ClusterFlavor::FronteraTestbed);
+    assert!(
+        longhorn > frontera && frontera > testbed,
+        "expected Longhorn > Frontera > Testbed, got {longhorn} / {frontera} / {testbed}"
+    );
+}
+
+#[test]
+fn dvfs_derived_population_resembles_flavor_sampled() {
+    // The physics-based derivation and the distribution fit should both
+    // yield: majority near nominal, meaningful slow band, small extreme
+    // tail.
+    let model = DvfsModel::v100();
+    let freqs = pal_gpumodel::dvfs::derive_frequencies(&model, 2000, 0.4, 0.04, 34.0, 12.0, 5);
+    let frac = |lo: f64, hi: f64| {
+        freqs.iter().filter(|&&f| f >= lo && f < hi).count() as f64 / freqs.len() as f64
+    };
+    assert!(frac(0.95, 1.10) > 0.5, "majority near nominal");
+    assert!(frac(0.55, 0.95) > 0.05, "visible slow band");
+    assert!(frac(0.0, 0.55) < 0.2, "extreme tail stays a tail");
+}
+
+#[test]
+fn dvfs_states_plug_into_profiling_pipeline() {
+    // Build ModeledGpus straight from the DVFS model and profile them —
+    // the full alternative pipeline.
+    let model = DvfsModel::v100();
+    let freqs = pal_gpumodel::dvfs::derive_frequencies(&model, 128, 0.5, 0.05, 36.0, 14.0, 3);
+    let spec = GpuSpec::v100();
+    let gpus: Vec<ModeledGpu> = freqs
+        .iter()
+        .map(|&f| ModeledGpu {
+            spec: spec.clone(),
+            pm: PmState {
+                freq_multiplier: f,
+                mem_multiplier: 1.0,
+            },
+        })
+        .collect();
+    let resnet = profiler::profile_cluster(&Workload::ResNet50.spec(), &gpus);
+    let pagerank = profiler::profile_cluster(&Workload::PageRank.spec(), &gpus);
+    assert!(
+        resnet.geomean_variability() > 5.0 * pagerank.geomean_variability().max(1e-4),
+        "resnet {} vs pagerank {}",
+        resnet.geomean_variability(),
+        pagerank.geomean_variability()
+    );
+    assert!(resnet.max_slowdown() > 1.1, "no straggler in DVFS population");
+    assert_eq!(resnet.normalized.len(), 128);
+}
+
+#[test]
+fn iteration_times_scale_inversely_with_frequency_for_compute_apps() {
+    let spec = GpuSpec::v100();
+    let app = Workload::Vgg19.spec();
+    let at = |f: f64| {
+        ModeledGpu {
+            spec: spec.clone(),
+            pm: PmState {
+                freq_multiplier: f,
+                mem_multiplier: 1.0,
+            },
+        }
+        .iteration_time(&app.kernels)
+    };
+    let t1 = at(1.0);
+    let t_half = at(0.5);
+    // VGG19 is strongly compute-bound: halving frequency ~doubles time.
+    assert!((t_half / t1 - 2.0).abs() < 0.1, "ratio {}", t_half / t1);
+}
+
+#[test]
+fn cabinet_structure_visible_in_profiles() {
+    // Cabinet offsets should make per-cabinet medians differ measurably on
+    // a compute-bound app, which is what Figures 6-8 plot.
+    let flavor = ClusterFlavor::Longhorn;
+    let gpus = profiler::build_cluster_gpus(&GpuSpec::v100(), flavor, 400, 17);
+    let p = profiler::profile_cluster(&Workload::ResNet50.spec(), &gpus);
+    let mut medians = Vec::new();
+    for cab in 0..flavor.cabinet_count() {
+        let vals: Vec<f64> = p
+            .normalized
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| flavor.cabinet_of(i) == cab)
+            .map(|(_, &v)| v)
+            .collect();
+        medians.push(pal_stats::median(&vals).expect("non-empty cabinet"));
+    }
+    let spread = medians.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - medians.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread > 0.005, "cabinet medians indistinguishable: {medians:?}");
+}

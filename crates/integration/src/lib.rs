@@ -1,0 +1,6 @@
+//! Placeholder library target for the integration-test package.
+//!
+//! All content of this package lives in the `[[test]]` targets declared in
+//! its `Cargo.toml`, whose sources are the repository-level `/tests`
+//! directory. Cargo requires a library or binary target for a package to
+//! exist, hence this empty crate.

@@ -1,0 +1,29 @@
+//! # pal-kmeans
+//!
+//! K-Means clustering machinery for the PAL scheduler reproduction.
+//!
+//! The paper uses K-Means in two places:
+//!
+//! 1. **Application classification** (Section III-A): 2-D clustering of
+//!    applications in the `DRAMUtil × PeakFUUtil` space to form ordered
+//!    classes A, B, C, … (Figure 3).
+//! 2. **PM-score binning** (Section III-B): 1-D clustering of per-GPU
+//!    normalized performance into a small number of bins so the scheduler
+//!    tracks a handful of PM-scores instead of one per GPU (Figure 5). The
+//!    optimal bin count K is chosen with silhouette scores over K = 2..=11,
+//!    with >3σ outliers separated first and given their own exact scores.
+//!
+//! This crate provides Lloyd's algorithm with k-means++ seeding
+//! ([`kmeans::KMeans`]), silhouette analysis ([`silhouette`]), and the 1-D
+//! binning pipeline ([`binning::ScoreBinning`]). All randomness flows
+//! through caller-provided seeds for exact reproducibility.
+
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod kmeans;
+pub mod silhouette;
+
+pub use binning::{BinnedScores, ScoreBinning};
+pub use kmeans::{KMeans, KMeansResult};
+pub use silhouette::{mean_silhouette, min_cluster_silhouette, silhouette_samples};

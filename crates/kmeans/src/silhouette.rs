@@ -1,0 +1,137 @@
+//! Silhouette analysis (Rousseeuw 1987), the paper's criterion for choosing
+//! the number of PM-score bins K: "We select the K value that gives
+//! silhouette scores as close to +1 as possible for all bins so that we get
+//! distinct and relatively well-separated bins" (Section III-B).
+
+use crate::kmeans::sq_dist;
+
+/// Per-sample silhouette coefficients `s(i) = (b(i) - a(i)) / max(a, b)`.
+///
+/// `a(i)` is the mean distance to other points in the same cluster and
+/// `b(i)` the smallest mean distance to points of any other cluster.
+/// Singleton clusters get `s(i) = 0` by convention (scikit-learn's choice).
+///
+/// Panics if lengths mismatch or fewer than 2 clusters are present.
+pub fn silhouette_samples(points: &[Vec<f64>], assignments: &[usize]) -> Vec<f64> {
+    assert_eq!(points.len(), assignments.len(), "length mismatch");
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    assert!(k >= 2, "silhouette needs at least 2 clusters");
+    let n = points.len();
+    let mut cluster_sizes = vec![0usize; k];
+    for &a in assignments {
+        cluster_sizes[a] += 1;
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let ci = assignments[i];
+        if cluster_sizes[ci] <= 1 {
+            out.push(0.0);
+            continue;
+        }
+        // Mean distance from i to every cluster.
+        let mut dist_sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            dist_sums[assignments[j]] += sq_dist(&points[i], &points[j]).sqrt();
+        }
+        let a = dist_sums[ci] / (cluster_sizes[ci] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != ci && cluster_sizes[c] > 0)
+            .map(|c| dist_sums[c] / cluster_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        out.push(if denom == 0.0 { 0.0 } else { (b - a) / denom });
+    }
+    out
+}
+
+/// Mean silhouette over all samples.
+pub fn mean_silhouette(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    let s = silhouette_samples(points, assignments);
+    s.iter().sum::<f64>() / s.len() as f64
+}
+
+/// The smallest per-cluster mean silhouette.
+///
+/// The paper wants scores "as close to +1 as possible **for all bins**", so
+/// we score a K by its worst bin, not its average.
+pub fn min_cluster_silhouette(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    let s = silhouette_samples(points, assignments);
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sums = vec![0.0f64; k];
+    let mut counts = vec![0usize; k];
+    for (&a, &si) in assignments.iter().zip(&s) {
+        sums[a] += si;
+        counts[a] += 1;
+    }
+    (0..k)
+        .filter(|&c| counts[c] > 0)
+        .map(|c| sums[c] / counts[c] as f64)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: f64, n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![center + i as f64 * 0.01]).collect()
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let mut pts = blob(0.0, 10);
+        pts.extend(blob(100.0, 10));
+        let assignments: Vec<usize> = (0..20).map(|i| if i < 10 { 0 } else { 1 }).collect();
+        let m = mean_silhouette(&pts, &assignments);
+        assert!(m > 0.99, "expected near-1 silhouette, got {m}");
+    }
+
+    #[test]
+    fn wrong_assignment_scores_negative() {
+        // Two tight blobs but swap one point's label: it should be negative.
+        let mut pts = blob(0.0, 5);
+        pts.extend(blob(100.0, 5));
+        let mut assignments: Vec<usize> = (0..10).map(|i| if i < 5 { 0 } else { 1 }).collect();
+        assignments[0] = 1; // point at 0.0 labeled with the far cluster
+        let s = silhouette_samples(&pts, &assignments);
+        assert!(s[0] < 0.0, "mislabeled point should be negative, got {}", s[0]);
+    }
+
+    #[test]
+    fn singleton_cluster_is_zero() {
+        let pts = vec![vec![0.0], vec![10.0], vec![10.1]];
+        let assignments = vec![0, 1, 1];
+        let s = silhouette_samples(&pts, &assignments);
+        assert_eq!(s[0], 0.0);
+    }
+
+    #[test]
+    fn min_cluster_below_mean_for_unbalanced_quality() {
+        // Cluster 0 tight, cluster 1 loose and near cluster 0.
+        let mut pts = blob(0.0, 8);
+        pts.extend(vec![vec![1.0], vec![5.0], vec![9.0], vec![2.0]]);
+        let assignments: Vec<usize> = (0..8).map(|_| 0).chain((0..4).map(|_| 1)).collect();
+        let mean = mean_silhouette(&pts, &assignments);
+        let min = min_cluster_silhouette(&pts, &assignments);
+        assert!(min <= mean + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 clusters")]
+    fn single_cluster_panics() {
+        silhouette_samples(&[vec![1.0], vec![2.0]], &[0, 0]);
+    }
+
+    #[test]
+    fn values_in_range() {
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i * 7 % 13) as f64, (i % 5) as f64]).collect();
+        let assignments: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        for s in silhouette_samples(&pts, &assignments) {
+            assert!((-1.0..=1.0).contains(&s), "silhouette {s} out of range");
+        }
+    }
+}

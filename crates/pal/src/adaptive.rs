@@ -1,0 +1,248 @@
+//! Online PM-score updates (the future-work extension Section V-A calls
+//! for).
+//!
+//! The testbed experiment showed that *stale* offline profiles cost real
+//! performance: node 0's class-A PM scores were far better in the profile
+//! than on the machine, producing an 11–14 % cluster-to-simulation JCT gap.
+//! The paper concludes: "This highlights the need for periodic re-profiling
+//! of the cluster, or dynamic online updates to GPU PM-Scores."
+//!
+//! [`AdaptivePal`] implements the latter. It starts from the offline
+//! profile, folds every round's measured per-GPU penalties into an
+//! exponentially weighted moving average, and periodically re-bins the
+//! estimates (K-Means + silhouette, as at design time) so the L×V matrix
+//! tracks reality. The `abl_online_updates` benchmark shows it recovering
+//! most of the JCT lost to a stale profile.
+
+use crate::pal_policy::PalPlacement;
+use crate::pm_scores::PmScoreTable;
+use pal_cluster::{ClusterState, GpuId, JobClass, VariabilityProfile};
+use pal_kmeans::ScoreBinning;
+use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation};
+
+/// Configuration for the online estimator.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// EWMA weight of a new observation (0 = never update, 1 = replace).
+    pub alpha: f64,
+    /// Re-bin (K-Means + silhouette) after this many observation batches.
+    pub rebin_every: usize,
+    /// Binning configuration used at each re-bin.
+    pub binning: ScoreBinning,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            alpha: 0.25,
+            rebin_every: 16,
+            binning: ScoreBinning::default(),
+        }
+    }
+}
+
+/// PAL with online PM-score updates.
+#[derive(Debug, Clone)]
+pub struct AdaptivePal {
+    config: AdaptiveConfig,
+    /// Current per-class, per-GPU raw score estimates (EWMA state).
+    estimates: Vec<Vec<f64>>,
+    /// Rounds observed since the last re-bin.
+    rounds_since_rebin: usize,
+    /// Whether any estimate changed since the last re-bin.
+    dirty: bool,
+    /// The PAL policy built on the current binned estimates.
+    inner: PalPlacement,
+}
+
+impl AdaptivePal {
+    /// Start from an offline profile (possibly stale).
+    pub fn new(initial: &VariabilityProfile) -> Self {
+        AdaptivePal::with_config(initial, AdaptiveConfig::default())
+    }
+
+    /// Start with a custom estimator configuration.
+    pub fn with_config(initial: &VariabilityProfile, config: AdaptiveConfig) -> Self {
+        let estimates: Vec<Vec<f64>> = (0..initial.num_classes())
+            .map(|c| initial.class_scores(JobClass(c)).to_vec())
+            .collect();
+        let inner = PalPlacement::with_binning(initial, &config.binning);
+        AdaptivePal {
+            config,
+            estimates,
+            rounds_since_rebin: 0,
+            dirty: false,
+            inner,
+        }
+    }
+
+    /// Current raw estimate for one (class, GPU) pair.
+    pub fn estimate(&self, class: JobClass, gpu: GpuId) -> f64 {
+        self.estimates[class.0][gpu.index()]
+    }
+
+    /// The PM-score table currently in use (rebuilt on re-bin).
+    pub fn table(&self) -> &PmScoreTable {
+        self.inner.table()
+    }
+
+    /// Force an immediate re-bin of the current estimates.
+    pub fn rebin(&mut self) {
+        let profile = VariabilityProfile::from_raw(self.estimates.clone());
+        self.inner = PalPlacement::with_binning(&profile, &self.config.binning);
+        self.rounds_since_rebin = 0;
+        self.dirty = false;
+    }
+}
+
+impl PlacementPolicy for AdaptivePal {
+    fn name(&self) -> &str {
+        "Adaptive-PAL"
+    }
+
+    fn observe(&mut self, obs: &RoundObservation) {
+        let a = self.config.alpha;
+        for (&g, &v) in obs.gpus.iter().zip(obs.per_gpu_slowdown) {
+            let e = &mut self.estimates[obs.class.0][g.index()];
+            let updated = (1.0 - a) * *e + a * v;
+            if (updated - *e).abs() > 1e-12 {
+                *e = updated;
+                self.dirty = true;
+            }
+        }
+        self.rounds_since_rebin += 1;
+        if self.dirty && self.rounds_since_rebin >= self.config.rebin_every {
+            self.rebin();
+        }
+    }
+
+    fn placement_order(&self, requests: &[PlacementRequest], ctx: &PlacementCtx) -> Vec<usize> {
+        self.inner.placement_order(requests, ctx)
+    }
+
+    fn place(
+        &mut self,
+        request: &PlacementRequest,
+        ctx: &PlacementCtx,
+        state: &ClusterState,
+    ) -> Vec<GpuId> {
+        self.inner.place(request, ctx, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pal_cluster::{ClusterTopology, LocalityModel};
+    use pal_trace::JobId;
+
+    fn flat_profile(n: usize) -> VariabilityProfile {
+        VariabilityProfile::from_raw(vec![vec![1.0; n]; 3])
+    }
+
+    fn observe_gpu(policy: &mut AdaptivePal, gpu: GpuId, v: f64, times: usize) {
+        let gpus = [gpu];
+        let slow = [v];
+        for _ in 0..times {
+            policy.observe(&RoundObservation {
+                job: JobId(0),
+                class: JobClass::A,
+                gpus: &gpus,
+                per_gpu_slowdown: &slow,
+                locality_penalty: 1.0,
+            });
+        }
+    }
+
+    #[test]
+    fn estimates_converge_to_observations() {
+        let mut p = AdaptivePal::new(&flat_profile(8));
+        observe_gpu(&mut p, GpuId(3), 2.0, 50);
+        let e = p.estimate(JobClass::A, GpuId(3));
+        assert!((e - 2.0).abs() < 0.01, "estimate {e} should approach 2.0");
+        // Unobserved GPUs keep their prior.
+        assert_eq!(p.estimate(JobClass::A, GpuId(0)), 1.0);
+        assert_eq!(p.estimate(JobClass::B, GpuId(3)), 1.0);
+    }
+
+    #[test]
+    fn rebin_folds_observations_into_table() {
+        let mut p = AdaptivePal::new(&flat_profile(8));
+        // Before observations: GPU 3 is scored like everyone else.
+        assert!((p.table().score(JobClass::A, GpuId(3)) - 1.0).abs() < 1e-9);
+        observe_gpu(&mut p, GpuId(3), 3.0, 40);
+        // rebin_every = 16 < 40 observations, so the table has been rebuilt.
+        assert!(
+            p.table().score(JobClass::A, GpuId(3)) > 1.5,
+            "rebinned table should reflect the slow GPU (got {})",
+            p.table().score(JobClass::A, GpuId(3))
+        );
+    }
+
+    #[test]
+    fn adaptive_pal_steers_away_from_discovered_straggler() {
+        let profile = flat_profile(8);
+        let mut p = AdaptivePal::new(&profile);
+        observe_gpu(&mut p, GpuId(0), 4.0, 40);
+        let state = ClusterState::new(ClusterTopology::new(2, 4));
+        let locality = LocalityModel::uniform(1.5);
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+        };
+        let req = PlacementRequest {
+            job: JobId(1),
+            model: "resnet50",
+            class: JobClass::A,
+            gpu_demand: 4,
+        };
+        let alloc = p.place(&req, &ctx, &state);
+        assert!(
+            !alloc.contains(&GpuId(0)),
+            "adaptive PAL should avoid the discovered straggler: {alloc:?}"
+        );
+    }
+
+    #[test]
+    fn no_observations_behaves_like_pal() {
+        let scores = vec![0.9, 0.9, 2.5, 2.5, 1.05, 1.05, 1.05, 1.05];
+        let profile = VariabilityProfile::from_raw(vec![scores.clone(), scores.clone(), scores]);
+        let mut adaptive = AdaptivePal::new(&profile);
+        let mut plain = PalPlacement::new(&profile);
+        let state = ClusterState::new(ClusterTopology::new(2, 4));
+        let locality = LocalityModel::uniform(1.5);
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+        };
+        let req = PlacementRequest {
+            job: JobId(0),
+            model: "resnet50",
+            class: JobClass::A,
+            gpu_demand: 2,
+        };
+        assert_eq!(
+            adaptive.place(&req, &ctx, &state),
+            plain.place(&req, &ctx, &state)
+        );
+    }
+
+    #[test]
+    fn alpha_zero_never_updates() {
+        let cfg = AdaptiveConfig {
+            alpha: 0.0,
+            ..Default::default()
+        };
+        let mut p = AdaptivePal::with_config(&flat_profile(4), cfg);
+        observe_gpu(&mut p, GpuId(1), 5.0, 30);
+        assert_eq!(p.estimate(JobClass::A, GpuId(1)), 1.0);
+    }
+
+    #[test]
+    fn manual_rebin_resets_counter() {
+        let mut p = AdaptivePal::new(&flat_profile(4));
+        observe_gpu(&mut p, GpuId(0), 2.0, 3);
+        p.rebin();
+        assert!(p.table().score(JobClass::A, GpuId(0)) > 1.0);
+    }
+}

@@ -1,0 +1,388 @@
+//! The PAL placement policy (Section III-C, Algorithm 2).
+//!
+//! PAL co-optimizes locality and variability: for a job that fits within a
+//! node (`1 < N_j <= GPUS_PER_NODE`) it traverses the class's L×V matrix in
+//! ascending LV-product order and takes the first feasible allocation —
+//! packed allocations from good-enough bins first, spilling across nodes
+//! only when packing would require a catastrophically slow bin. Jobs larger
+//! than a node must pay the inter-node penalty anyway and are placed
+//! PM-First (Algorithm 2, lines 23–25); single-GPU jobs have no locality
+//! dimension and are likewise PM-First.
+//!
+//! Because traversal is ordered by LV-product, the first feasible entry
+//! yields the globally minimal combined slowdown for the job (over the
+//! binned scores) — the property `tests` verify against exhaustive search.
+
+use crate::lv::{LocalityLevel, LvMatrix};
+use crate::pm_scores::PmScoreTable;
+use crate::pmfirst::{class_priority_order, pmfirst_gpus};
+use pal_cluster::{ClusterState, GpuId, JobClass, VariabilityProfile};
+use pal_kmeans::ScoreBinning;
+use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest};
+
+/// Score-filter tolerance for "PM-score ≤ V_i" comparisons.
+const EPS: f64 = 1e-9;
+
+/// PAL placement.
+#[derive(Debug, Clone)]
+pub struct PalPlacement {
+    table: PmScoreTable,
+}
+
+impl PalPlacement {
+    /// Build from a variability profile using the paper's default binning.
+    pub fn new(profile: &VariabilityProfile) -> Self {
+        PalPlacement {
+            table: PmScoreTable::build_default(profile),
+        }
+    }
+
+    /// Build with a custom binning configuration.
+    pub fn with_binning(profile: &VariabilityProfile, binning: &ScoreBinning) -> Self {
+        PalPlacement {
+            table: PmScoreTable::build(profile, binning),
+        }
+    }
+
+    /// The precomputed PM-score table.
+    pub fn table(&self) -> &PmScoreTable {
+        &self.table
+    }
+
+    /// The `(L_within, V_i)` arm: among nodes whose filtered (score ≤ v)
+    /// free GPUs can hold the whole job, pick the allocation with the
+    /// lowest maximum PM-score (`GenerateCombos` + `GetMinV`; taking the
+    /// best `n` scores per node is exactly the min-max combo, so no
+    /// explicit combination enumeration is needed). Ties break on total
+    /// score, then node id.
+    fn packed_candidate(
+        &self,
+        class: JobClass,
+        demand: usize,
+        v_cap: f64,
+        state: &ClusterState,
+    ) -> Option<Vec<GpuId>> {
+        let mut best: Option<(f64, f64, Vec<GpuId>)> = None;
+        for node_gpus in state.free_gpus_by_node() {
+            let mut filt: Vec<GpuId> = node_gpus
+                .into_iter()
+                .filter(|&g| self.table.score(class, g) <= v_cap + EPS)
+                .collect();
+            if filt.len() < demand {
+                continue;
+            }
+            filt.sort_by(|&a, &b| {
+                self.table
+                    .score(class, a)
+                    .partial_cmp(&self.table.score(class, b))
+                    .expect("NaN PM-score")
+                    .then(a.cmp(&b))
+            });
+            filt.truncate(demand);
+            let max_s = filt
+                .iter()
+                .map(|&g| self.table.score(class, g))
+                .fold(0.0f64, f64::max);
+            let sum_s: f64 = filt.iter().map(|&g| self.table.score(class, g)).sum();
+            let better = match &best {
+                None => true,
+                Some((bm, bs, _)) => {
+                    max_s < bm - EPS || ((max_s - bm).abs() <= EPS && sum_s < bs - EPS)
+                }
+            };
+            if better {
+                best = Some((max_s, sum_s, filt));
+            }
+        }
+        best.map(|(_, _, alloc)| alloc)
+    }
+
+    /// The `(L_across, V_i)` arm: PM-First over the filtered free list.
+    fn spread_candidate(
+        &self,
+        class: JobClass,
+        demand: usize,
+        v_cap: f64,
+        state: &ClusterState,
+    ) -> Option<Vec<GpuId>> {
+        let mut filt: Vec<GpuId> = state
+            .free_gpus()
+            .into_iter()
+            .filter(|&g| self.table.score(class, g) <= v_cap + EPS)
+            .collect();
+        if filt.len() < demand {
+            return None;
+        }
+        filt.sort_by(|&a, &b| {
+            self.table
+                .score(class, a)
+                .partial_cmp(&self.table.score(class, b))
+                .expect("NaN PM-score")
+                .then(a.cmp(&b))
+        });
+        filt.truncate(demand);
+        Some(filt)
+    }
+}
+
+impl PlacementPolicy for PalPlacement {
+    fn name(&self) -> &str {
+        "PAL"
+    }
+
+    fn placement_order(&self, requests: &[PlacementRequest], _ctx: &PlacementCtx) -> Vec<usize> {
+        class_priority_order(requests)
+    }
+
+    fn place(
+        &mut self,
+        request: &PlacementRequest,
+        ctx: &PlacementCtx,
+        state: &ClusterState,
+    ) -> Vec<GpuId> {
+        let demand = request.gpu_demand;
+        let per_node = state.topology().gpus_per_node;
+
+        if demand > 1 && demand <= per_node {
+            let matrix = LvMatrix::new(
+                self.table.levels(request.class),
+                ctx.locality.l_within,
+                ctx.locality.l_across_for(request.model),
+            );
+            for entry in matrix.traverse() {
+                let candidate = match entry.locality {
+                    LocalityLevel::Within => {
+                        self.packed_candidate(request.class, demand, entry.v_value, state)
+                    }
+                    LocalityLevel::Across => {
+                        self.spread_candidate(request.class, demand, entry.v_value, state)
+                    }
+                };
+                if let Some(alloc) = candidate {
+                    return alloc;
+                }
+            }
+        }
+        // N_j == 1, N_j > GPUS_PER_NODE, or (defensively) an exhausted
+        // traversal: PM-First selection.
+        pmfirst_gpus(&self.table, request.class, demand, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pal_cluster::{ClusterTopology, LocalityModel};
+    use pal_trace::JobId;
+
+    fn req(job: u32, class: JobClass, demand: usize) -> PlacementRequest {
+        PlacementRequest {
+            job: JobId(job),
+            model: "resnet50",
+            class,
+            gpu_demand: demand,
+        }
+    }
+
+    /// Raw scores chosen so binning keeps them distinct-ish: node 0 has two
+    /// great and two terrible GPUs; node 1 is uniformly mediocre.
+    fn split_profile() -> VariabilityProfile {
+        let class_a = vec![0.90, 0.90, 2.60, 2.60, 1.05, 1.05, 1.05, 1.05];
+        VariabilityProfile::from_raw(vec![class_a.clone(), class_a.clone(), class_a])
+    }
+
+    fn ctx_with<'a>(
+        profile: &'a VariabilityProfile,
+        locality: &'a LocalityModel,
+    ) -> PlacementCtx<'a> {
+        PlacementCtx { profile, locality }
+    }
+
+    #[test]
+    fn prefers_packed_mediocre_over_spread_good() {
+        // 2 GPUs wanted. Packed options: (0.90, 0.90) in node 0 — great and
+        // packed. PAL must find it.
+        let profile = split_profile();
+        let state = ClusterState::new(ClusterTopology::new(2, 4));
+        let locality = LocalityModel::uniform(1.5);
+        let mut pal = PalPlacement::new(&profile);
+        let alloc = pal.place(&req(0, JobClass::A, 2), &ctx_with(&profile, &locality), &state);
+        assert_eq!(alloc, vec![GpuId(0), GpuId(1)]);
+    }
+
+    #[test]
+    fn avoids_terrible_bin_by_spreading() {
+        // Want 3 GPUs. Packed-in-node-0 needs a 2.60 GPU (product 2.6);
+        // packed-in-node-1 gives max 1.05 (product 1.05) — that wins. Now
+        // busy out one node-1 GPU so node 1 can only give 3 with... it has
+        // 4, keep 3 free: still fine. Then busy two: node 1 has 2 free, no
+        // packed 3-set without the 2.60 bin -> PAL must spread (1.5 × 1.05
+        // = 1.575) rather than pack with 2.60.
+        let profile = split_profile();
+        let mut state = ClusterState::new(ClusterTopology::new(2, 4));
+        state.allocate(&[GpuId(4), GpuId(5)]);
+        let locality = LocalityModel::uniform(1.5);
+        let mut pal = PalPlacement::new(&profile);
+        let alloc = pal.place(&req(0, JobClass::A, 3), &ctx_with(&profile, &locality), &state);
+        assert!(state.topology().spans_nodes(&alloc));
+        let worst = alloc
+            .iter()
+            .map(|&g| pal.table().score(JobClass::A, g))
+            .fold(0.0f64, f64::max);
+        assert!(worst < 2.0, "PAL picked a terrible GPU (max score {worst})");
+    }
+
+    #[test]
+    fn packs_with_bad_bin_when_locality_is_expensive_enough() {
+        // Same situation but L_across = 3.0: spread product = 3 × 1.05 =
+        // 3.15 > packed-with-2.60 product 2.60 -> PAL packs on node 0.
+        let profile = split_profile();
+        let mut state = ClusterState::new(ClusterTopology::new(2, 4));
+        state.allocate(&[GpuId(4), GpuId(5)]);
+        let locality = LocalityModel::uniform(3.0);
+        let mut pal = PalPlacement::new(&profile);
+        let alloc = pal.place(&req(0, JobClass::A, 3), &ctx_with(&profile, &locality), &state);
+        assert!(!state.topology().spans_nodes(&alloc));
+        assert!(alloc.contains(&GpuId(2)) || alloc.contains(&GpuId(3)));
+    }
+
+    #[test]
+    fn single_gpu_job_is_pmfirst() {
+        let profile = split_profile();
+        let state = ClusterState::new(ClusterTopology::new(2, 4));
+        let locality = LocalityModel::uniform(1.5);
+        let mut pal = PalPlacement::new(&profile);
+        let alloc = pal.place(&req(0, JobClass::A, 1), &ctx_with(&profile, &locality), &state);
+        assert_eq!(alloc, vec![GpuId(0)]); // globally best score
+    }
+
+    #[test]
+    fn bigger_than_node_job_is_pmfirst() {
+        let profile = split_profile();
+        let state = ClusterState::new(ClusterTopology::new(2, 4));
+        let locality = LocalityModel::uniform(1.5);
+        let mut pal = PalPlacement::new(&profile);
+        let mut pmf = crate::pmfirst::PmFirstPlacement::new(&profile);
+        let ctx = ctx_with(&profile, &locality);
+        let a = pal.place(&req(0, JobClass::A, 6), &ctx, &state);
+        let b = pmf.place(&req(0, JobClass::A, 6), &ctx, &state);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn class_c_ignores_variability_and_packs() {
+        // Give class C flat scores; PAL should behave locality-first.
+        let class_a = vec![0.90, 0.90, 2.60, 2.60, 1.05, 1.05, 1.05, 1.05];
+        let class_c = vec![1.0; 8];
+        let profile =
+            VariabilityProfile::from_raw(vec![class_a.clone(), class_a, class_c]);
+        let state = ClusterState::new(ClusterTopology::new(2, 4));
+        let locality = LocalityModel::uniform(1.5);
+        let mut pal = PalPlacement::new(&profile);
+        let alloc = pal.place(&req(0, JobClass::C, 4), &ctx_with(&profile, &locality), &state);
+        assert!(!state.topology().spans_nodes(&alloc));
+    }
+
+    #[test]
+    fn placement_order_is_class_priority() {
+        let profile = split_profile();
+        let locality = LocalityModel::uniform(1.5);
+        let pal = PalPlacement::new(&profile);
+        let reqs = vec![
+            req(0, JobClass::C, 1),
+            req(1, JobClass::A, 1),
+            req(2, JobClass::B, 1),
+        ];
+        assert_eq!(
+            pal.placement_order(&reqs, &ctx_with(&profile, &locality)),
+            vec![1, 2, 0]
+        );
+    }
+
+    /// PAL's traversal achieves the exhaustive minimum LV-product over all
+    /// feasible allocations (see module docs for why first-feasible is
+    /// optimal).
+    #[test]
+    fn achieves_exhaustive_minimum_lv_product() {
+        let scenarios: Vec<(Vec<f64>, Vec<GpuId>, usize, f64)> = vec![
+            // (class-A raw scores per GPU, busy GPUs, demand, l_across)
+            (
+                vec![0.90, 0.90, 2.60, 2.60, 1.05, 1.05, 1.05, 1.05],
+                vec![GpuId(4), GpuId(5)],
+                3,
+                1.5,
+            ),
+            (
+                vec![0.90, 0.90, 2.60, 2.60, 1.05, 1.05, 1.05, 1.05],
+                vec![GpuId(4), GpuId(5)],
+                3,
+                3.0,
+            ),
+            (
+                vec![1.0, 1.3, 1.3, 1.0, 0.8, 2.4, 0.8, 2.4],
+                vec![],
+                2,
+                1.7,
+            ),
+            (
+                vec![1.0, 1.3, 1.3, 1.0, 0.8, 2.4, 0.8, 2.4],
+                vec![GpuId(0)],
+                4,
+                1.2,
+            ),
+        ];
+        for (scores, busy, demand, l_across) in scenarios {
+            let profile =
+                VariabilityProfile::from_raw(vec![scores.clone(), scores.clone(), scores]);
+            let topo = ClusterTopology::new(2, 4);
+            let mut state = ClusterState::new(topo);
+            state.allocate(&busy);
+            let locality = LocalityModel::uniform(l_across);
+            let mut pal = PalPlacement::new(&profile);
+            let ctx = ctx_with(&profile, &locality);
+            let alloc = pal.place(&req(0, JobClass::A, demand), &ctx, &state);
+
+            let product_of = |gpus: &[GpuId]| {
+                let l = locality.penalty(&topo, "resnet50", gpus);
+                let v = gpus
+                    .iter()
+                    .map(|&g| pal.table().score(JobClass::A, g))
+                    .fold(0.0f64, f64::max);
+                l * v
+            };
+            let achieved = product_of(&alloc);
+
+            // Exhaustive minimum over all C(free, demand) subsets.
+            let free = state.free_gpus();
+            let mut best = f64::INFINITY;
+            let mut combo = vec![0usize; demand];
+            fn recurse(
+                free: &[GpuId],
+                combo: &mut Vec<usize>,
+                depth: usize,
+                start: usize,
+                best: &mut f64,
+                product_of: &dyn Fn(&[GpuId]) -> f64,
+            ) {
+                if depth == combo.len() {
+                    let gpus: Vec<GpuId> = combo.iter().map(|&i| free[i]).collect();
+                    let p = product_of(&gpus);
+                    if p < *best {
+                        *best = p;
+                    }
+                    return;
+                }
+                for i in start..free.len() {
+                    combo[depth] = i;
+                    recurse(free, combo, depth + 1, i + 1, best, product_of);
+                }
+            }
+            recurse(&free, &mut combo, 0, 0, &mut best, &product_of);
+            assert!(
+                (achieved - best).abs() < 1e-9,
+                "PAL product {achieved} != exhaustive min {best} \
+                 (demand {demand}, l_across {l_across})"
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-class PM-score tables (Section III-B).
+//!
+//! A PM-score "indicates how slow or fast the GPU is relative to the median
+//! GPU in the cluster", computed per class. To scale to large clusters the
+//! raw per-GPU scores are binned with K-Means (K chosen by silhouette
+//! score, >3σ outliers kept exact) and every GPU carries its bin centroid
+//! as its score (Figure 5).
+
+use pal_cluster::{GpuId, JobClass, VariabilityProfile};
+use pal_kmeans::{BinnedScores, ScoreBinning};
+use serde::{Deserialize, Serialize};
+
+/// Binned PM-scores for every class of a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PmScoreTable {
+    per_class: Vec<BinnedScores>,
+}
+
+impl PmScoreTable {
+    /// Build the table from a variability profile (the "design time"
+    /// construction of Section IV-C — profiles are static).
+    pub fn build(profile: &VariabilityProfile, binning: &ScoreBinning) -> Self {
+        let per_class = (0..profile.num_classes())
+            .map(|c| binning.bin(profile.class_scores(JobClass(c))))
+            .collect();
+        PmScoreTable { per_class }
+    }
+
+    /// Build with the paper's default binning configuration (K ∈ 2..=11,
+    /// 3σ outliers).
+    pub fn build_default(profile: &VariabilityProfile) -> Self {
+        PmScoreTable::build(profile, &ScoreBinning::default())
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.per_class.len()
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.per_class[0].scores.len()
+    }
+
+    /// The (binned) PM-score of `gpu` for `class` — `ComputePMScore` of
+    /// Algorithm 1.
+    pub fn score(&self, class: JobClass, gpu: GpuId) -> f64 {
+        self.per_class[class.0].scores[gpu.index()]
+    }
+
+    /// Sorted distinct PM-score levels of a class (bin centroids plus
+    /// outlier values) — the V-columns of the class's L×V matrix.
+    pub fn levels(&self, class: JobClass) -> &[f64] {
+        &self.per_class[class.0].levels
+    }
+
+    /// The chosen K (inlier bin count) for a class.
+    pub fn bins_of(&self, class: JobClass) -> usize {
+        self.per_class[class.0].k
+    }
+
+    /// Full binning result for a class (silhouette, outliers, …).
+    pub fn binned(&self, class: JobClass) -> &BinnedScores {
+        &self.per_class[class.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pal_gpumodel::{ClusterFlavor, GpuSpec, Workload};
+
+    fn table(n: usize) -> PmScoreTable {
+        let gpus = pal_gpumodel::profiler::build_cluster_gpus(
+            &GpuSpec::v100(),
+            ClusterFlavor::Longhorn,
+            n,
+            42,
+        );
+        let apps: Vec<_> = Workload::TABLE_III.iter().map(|w| w.spec()).collect();
+        let profile = VariabilityProfile::from_modeled_gpus(&apps, &gpus);
+        PmScoreTable::build_default(&profile)
+    }
+
+    #[test]
+    fn table_covers_all_classes_and_gpus() {
+        let t = table(128);
+        assert_eq!(t.num_classes(), 3);
+        assert_eq!(t.num_gpus(), 128);
+    }
+
+    #[test]
+    fn scores_are_levels() {
+        let t = table(64);
+        for c in 0..3 {
+            let class = JobClass(c);
+            for g in 0..64 {
+                let s = t.score(class, GpuId(g));
+                assert!(
+                    t.levels(class).iter().any(|&l| (l - s).abs() < 1e-12),
+                    "score {s} not a level of class {class}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn levels_sorted_ascending() {
+        let t = table(128);
+        for c in 0..3 {
+            let levels = t.levels(JobClass(c));
+            for w in levels.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn class_a_has_wider_levels_than_class_c() {
+        let t = table(256);
+        let spread = |c: usize| {
+            let l = t.levels(JobClass(c));
+            l[l.len() - 1] - l[0]
+        };
+        assert!(
+            spread(0) > spread(2),
+            "class A spread {} <= class C spread {}",
+            spread(0),
+            spread(2)
+        );
+    }
+
+    #[test]
+    fn level_count_far_below_gpu_count() {
+        // The whole point of binning: a handful of levels for hundreds of
+        // GPUs.
+        let t = table(256);
+        for c in 0..3 {
+            assert!(
+                t.levels(JobClass(c)).len() <= 24,
+                "class {c} has {} levels",
+                t.levels(JobClass(c)).len()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(table(64), table(64));
+    }
+}

@@ -1,0 +1,203 @@
+//! The PM-First placement policy (Section III-B, Algorithm 1, Figure 4).
+//!
+//! PM-First "gives PM-induced variability first-order precedence": within
+//! the schedulable prefix, class A jobs pick GPUs first (placement
+//! priority), and each job greedily takes the free GPUs with the best
+//! (lowest) binned PM-scores for its class.
+
+use crate::pm_scores::PmScoreTable;
+use pal_cluster::{ClusterState, GpuId, JobClass, VariabilityProfile};
+use pal_kmeans::ScoreBinning;
+use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest};
+
+/// PM-First placement.
+#[derive(Debug, Clone)]
+pub struct PmFirstPlacement {
+    table: PmScoreTable,
+}
+
+impl PmFirstPlacement {
+    /// Build from a variability profile using the paper's default binning.
+    pub fn new(profile: &VariabilityProfile) -> Self {
+        PmFirstPlacement {
+            table: PmScoreTable::build_default(profile),
+        }
+    }
+
+    /// Build with a custom binning configuration (K-sweep ablations).
+    pub fn with_binning(profile: &VariabilityProfile, binning: &ScoreBinning) -> Self {
+        PmFirstPlacement {
+            table: PmScoreTable::build(profile, binning),
+        }
+    }
+
+    /// The precomputed PM-score table.
+    pub fn table(&self) -> &PmScoreTable {
+        &self.table
+    }
+}
+
+/// Stable class-priority reorder of the schedulable prefix: class A first,
+/// preserving scheduling order within a class (Figure 4's "sort by class,
+/// up to cluster size").
+pub(crate) fn class_priority_order(requests: &[PlacementRequest]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..requests.len()).collect();
+    idx.sort_by_key(|&i| (requests[i].class, i));
+    idx
+}
+
+/// Greedy best-scores-first selection (`GET_PMFIRST_GPUS`): sort the free
+/// list by the class's binned PM-score (best first) and take the first
+/// `demand`. Ties break on GPU id for determinism.
+pub(crate) fn pmfirst_gpus(
+    table: &PmScoreTable,
+    class: JobClass,
+    demand: usize,
+    state: &ClusterState,
+) -> Vec<GpuId> {
+    let mut free = state.free_gpus();
+    free.sort_by(|&a, &b| {
+        table
+            .score(class, a)
+            .partial_cmp(&table.score(class, b))
+            .expect("NaN PM-score")
+            .then(a.cmp(&b))
+    });
+    free.truncate(demand);
+    free
+}
+
+impl PlacementPolicy for PmFirstPlacement {
+    fn name(&self) -> &str {
+        "PM-First"
+    }
+
+    fn placement_order(&self, requests: &[PlacementRequest], _ctx: &PlacementCtx) -> Vec<usize> {
+        class_priority_order(requests)
+    }
+
+    fn place(
+        &mut self,
+        request: &PlacementRequest,
+        _ctx: &PlacementCtx,
+        state: &ClusterState,
+    ) -> Vec<GpuId> {
+        pmfirst_gpus(&self.table, request.class, request.gpu_demand, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pal_cluster::{ClusterTopology, LocalityModel};
+    use pal_trace::JobId;
+
+    /// 2 nodes × 4 GPUs; class-A scores make GPUs 4..8 (node 1) the fast
+    /// ones; class-C scores are flat.
+    fn fixture() -> (VariabilityProfile, ClusterState, LocalityModel) {
+        let class_a = vec![1.4, 1.4, 1.5, 1.5, 0.9, 0.9, 1.0, 1.0];
+        let class_b = vec![1.1, 1.1, 1.2, 1.2, 0.95, 0.95, 1.0, 1.0];
+        let class_c = vec![1.0; 8];
+        let profile = VariabilityProfile::from_raw(vec![class_a, class_b, class_c]);
+        let state = ClusterState::new(ClusterTopology::new(2, 4));
+        (profile, state, LocalityModel::uniform(1.5))
+    }
+
+    fn req(job: u32, class: JobClass, demand: usize) -> PlacementRequest {
+        PlacementRequest {
+            job: JobId(job),
+            model: "resnet50",
+            class,
+            gpu_demand: demand,
+        }
+    }
+
+    #[test]
+    fn picks_best_scoring_gpus() {
+        let (profile, state, locality) = fixture();
+        let mut p = PmFirstPlacement::new(&profile);
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+        };
+        let alloc = p.place(&req(0, JobClass::A, 2), &ctx, &state);
+        // The two best class-A GPUs are 4 and 5 (score 0.9).
+        assert_eq!(alloc, vec![GpuId(4), GpuId(5)]);
+    }
+
+    #[test]
+    fn ignores_locality_entirely() {
+        // Classic PM-First behaviour: takes the 4 best GPUs even though
+        // they straddle nodes.
+        let class_a = vec![0.9, 1.5, 1.5, 1.5, 0.9, 1.5, 1.5, 0.95];
+        let profile = VariabilityProfile::from_raw(vec![class_a.clone(), class_a.clone(), class_a]);
+        let state = ClusterState::new(ClusterTopology::new(2, 4));
+        let locality = LocalityModel::uniform(3.0);
+        let mut p = PmFirstPlacement::new(&profile);
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+        };
+        let alloc = p.place(&req(0, JobClass::A, 3), &ctx, &state);
+        assert!(state.topology().spans_nodes(&alloc));
+        // Best three by binned score: 0, 4 (0.9) then 7 (0.95).
+        assert_eq!(alloc, vec![GpuId(0), GpuId(4), GpuId(7)]);
+    }
+
+    #[test]
+    fn respects_busy_gpus() {
+        let (profile, mut state, locality) = fixture();
+        state.allocate(&[GpuId(4), GpuId(5)]);
+        let mut p = PmFirstPlacement::new(&profile);
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+        };
+        let alloc = p.place(&req(0, JobClass::A, 2), &ctx, &state);
+        // Next best after 4,5: 6 and 7 (score 1.0).
+        assert_eq!(alloc, vec![GpuId(6), GpuId(7)]);
+    }
+
+    #[test]
+    fn placement_order_sorts_by_class_stably() {
+        let (profile, _, locality) = fixture();
+        let p = PmFirstPlacement::new(&profile);
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+        };
+        let reqs = vec![
+            req(0, JobClass::B, 1),
+            req(1, JobClass::A, 1),
+            req(2, JobClass::C, 1),
+            req(3, JobClass::A, 1),
+            req(4, JobClass::B, 1),
+        ];
+        // A jobs first in original order, then B, then C (Figure 4).
+        assert_eq!(p.placement_order(&reqs, &ctx), vec![1, 3, 0, 4, 2]);
+    }
+
+    #[test]
+    fn class_c_sees_flat_scores_so_order_is_by_id() {
+        let (profile, state, locality) = fixture();
+        let mut p = PmFirstPlacement::new(&profile);
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+        };
+        let alloc = p.place(&req(0, JobClass::C, 3), &ctx, &state);
+        assert_eq!(alloc, vec![GpuId(0), GpuId(1), GpuId(2)]);
+    }
+
+    #[test]
+    fn demand_equal_to_free_takes_everything() {
+        let (profile, state, locality) = fixture();
+        let mut p = PmFirstPlacement::new(&profile);
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+        };
+        let alloc = p.place(&req(0, JobClass::A, 8), &ctx, &state);
+        assert_eq!(alloc.len(), 8);
+    }
+}

@@ -1,0 +1,156 @@
+//! Admission control — the first stage of Blox's pipeline (Figure 1):
+//! "All incoming jobs are put into a queue and admitted based on an
+//! admission control policy. Schedulers typically admit jobs that do not
+//! adversely impact the performance of currently running jobs and do not
+//! violate resource constraints."
+//!
+//! The paper's evaluation admits everything ([`AdmitAll`]); the other
+//! policies here model the resource-constraint checks the Blox
+//! architecture describes.
+
+use pal_trace::JobSpec;
+
+/// Cluster-side context available to an admission decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionCtx {
+    /// Total GPUs in the cluster.
+    pub total_gpus: usize,
+    /// Jobs currently active (queued or running).
+    pub active_jobs: usize,
+    /// Sum of GPU demands of currently active jobs.
+    pub active_demand: usize,
+}
+
+/// An admission-control policy.
+pub trait AdmissionPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether to admit `job` given the current cluster context. Rejected
+    /// jobs never enter the queue and are reported in
+    /// [`crate::SimResult::rejected`].
+    fn admit(&self, job: &JobSpec, ctx: &AdmissionCtx) -> bool;
+}
+
+/// Admit everything (the paper's configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn name(&self) -> &'static str {
+        "AdmitAll"
+    }
+
+    fn admit(&self, _job: &JobSpec, _ctx: &AdmissionCtx) -> bool {
+        true
+    }
+}
+
+/// Reject jobs whose GPU demand can never be satisfied by this cluster —
+/// the minimal "do not violate resource constraints" check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RejectOversized;
+
+impl AdmissionPolicy for RejectOversized {
+    fn name(&self) -> &'static str {
+        "RejectOversized"
+    }
+
+    fn admit(&self, job: &JobSpec, ctx: &AdmissionCtx) -> bool {
+        job.gpu_demand <= ctx.total_gpus
+    }
+}
+
+/// Cap the number of concurrently active jobs (a simple backpressure
+/// policy: past the cap, arrivals are turned away rather than queued
+/// indefinitely).
+#[derive(Debug, Clone, Copy)]
+pub struct MaxActiveJobs {
+    /// Maximum concurrently active (queued + running) jobs.
+    pub limit: usize,
+}
+
+impl AdmissionPolicy for MaxActiveJobs {
+    fn name(&self) -> &'static str {
+        "MaxActiveJobs"
+    }
+
+    fn admit(&self, _job: &JobSpec, ctx: &AdmissionCtx) -> bool {
+        ctx.active_jobs < self.limit
+    }
+}
+
+/// Cap total queued GPU demand as a multiple of cluster capacity
+/// (admitting more than a few cluster-fulls of backlog only inflates wait
+/// times).
+#[derive(Debug, Clone, Copy)]
+pub struct DemandBackpressure {
+    /// Maximum active demand, as a multiple of total GPUs.
+    pub capacity_multiple: f64,
+}
+
+impl AdmissionPolicy for DemandBackpressure {
+    fn name(&self) -> &'static str {
+        "DemandBackpressure"
+    }
+
+    fn admit(&self, job: &JobSpec, ctx: &AdmissionCtx) -> bool {
+        (ctx.active_demand + job.gpu_demand) as f64
+            <= self.capacity_multiple * ctx.total_gpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pal_cluster::JobClass;
+    use pal_gpumodel::Workload;
+    use pal_trace::JobId;
+
+    fn job(demand: usize) -> JobSpec {
+        JobSpec {
+            id: JobId(0),
+            model: Workload::Bert,
+            class: JobClass::B,
+            arrival: 0.0,
+            gpu_demand: demand,
+            iterations: 10,
+            base_iter_time: 1.0,
+        }
+    }
+
+    fn ctx(active_jobs: usize, active_demand: usize) -> AdmissionCtx {
+        AdmissionCtx {
+            total_gpus: 64,
+            active_jobs,
+            active_demand,
+        }
+    }
+
+    #[test]
+    fn admit_all_admits_everything() {
+        assert!(AdmitAll.admit(&job(10_000), &ctx(1_000_000, 1_000_000)));
+    }
+
+    #[test]
+    fn reject_oversized_boundary() {
+        assert!(RejectOversized.admit(&job(64), &ctx(0, 0)));
+        assert!(!RejectOversized.admit(&job(65), &ctx(0, 0)));
+    }
+
+    #[test]
+    fn max_active_jobs_boundary() {
+        let p = MaxActiveJobs { limit: 100 };
+        assert!(p.admit(&job(1), &ctx(99, 0)));
+        assert!(!p.admit(&job(1), &ctx(100, 0)));
+    }
+
+    #[test]
+    fn demand_backpressure_boundary() {
+        let p = DemandBackpressure {
+            capacity_multiple: 2.0,
+        };
+        assert!(p.admit(&job(8), &ctx(0, 120))); // 128 <= 128
+        assert!(!p.admit(&job(9), &ctx(0, 120))); // 129 > 128
+    }
+}

@@ -1,0 +1,134 @@
+//! Runtime state of jobs inside the simulator.
+
+use pal_cluster::GpuId;
+use pal_trace::{JobId, JobSpec};
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle phase of a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Arrived, waiting for its first (or next) allocation.
+    Waiting,
+    /// Running on a concrete set of GPUs.
+    Running {
+        /// The GPUs currently allocated.
+        gpus: Vec<GpuId>,
+    },
+    /// Completed at the recorded time.
+    Finished {
+        /// Completion time, seconds.
+        at: f64,
+    },
+}
+
+/// A job plus its runtime bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActiveJob {
+    /// The immutable submission record.
+    pub spec: JobSpec,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Remaining ideal work, in median-GPU seconds (starts at
+    /// `spec.ideal_runtime()`, decreases at `dt / slowdown`).
+    pub remaining_work: f64,
+    /// Attained GPU service (GPU-seconds of execution), the LAS priority
+    /// input.
+    pub attained_service: f64,
+    /// First time the job ever ran, if it has.
+    pub first_start: Option<f64>,
+    /// Number of times the job's allocation changed while it was alive
+    /// (migrations under non-sticky placement, plus resume-after-preempt).
+    pub migrations: u32,
+    /// Number of rounds the job was preempted after having run.
+    pub preemptions: u32,
+}
+
+impl ActiveJob {
+    /// Fresh runtime state for a spec.
+    pub fn new(spec: JobSpec) -> Self {
+        let remaining_work = spec.ideal_runtime();
+        ActiveJob {
+            spec,
+            phase: JobPhase::Waiting,
+            remaining_work,
+            attained_service: 0.0,
+            first_start: None,
+            migrations: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Job id shorthand.
+    pub fn id(&self) -> JobId {
+        self.spec.id
+    }
+
+    /// Whether the job still needs service.
+    pub fn is_active(&self) -> bool {
+        !matches!(self.phase, JobPhase::Finished { .. })
+    }
+
+    /// Whether the job currently holds GPUs.
+    pub fn is_running(&self) -> bool {
+        matches!(self.phase, JobPhase::Running { .. })
+    }
+
+    /// The job's current allocation, if running.
+    pub fn allocation(&self) -> Option<&[GpuId]> {
+        match &self.phase {
+            JobPhase::Running { gpus } => Some(gpus),
+            _ => None,
+        }
+    }
+
+    /// Remaining ideal runtime (seconds on a median GPU, packed).
+    pub fn remaining_ideal_time(&self) -> f64 {
+        self.remaining_work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pal_cluster::JobClass;
+    use pal_gpumodel::Workload;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: JobId(0),
+            model: Workload::Bert,
+            class: JobClass::B,
+            arrival: 10.0,
+            gpu_demand: 2,
+            iterations: 50,
+            base_iter_time: 2.0,
+        }
+    }
+
+    #[test]
+    fn new_job_is_waiting_with_full_work() {
+        let j = ActiveJob::new(spec());
+        assert!(j.is_active());
+        assert!(!j.is_running());
+        assert_eq!(j.remaining_work, 100.0);
+        assert_eq!(j.allocation(), None);
+    }
+
+    #[test]
+    fn running_phase_exposes_allocation() {
+        let mut j = ActiveJob::new(spec());
+        j.phase = JobPhase::Running {
+            gpus: vec![GpuId(0), GpuId(1)],
+        };
+        assert!(j.is_running());
+        assert_eq!(j.allocation().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn finished_is_inactive() {
+        let mut j = ActiveJob::new(spec());
+        j.phase = JobPhase::Finished { at: 500.0 };
+        assert!(!j.is_active());
+        assert!(!j.is_running());
+    }
+}

@@ -1,0 +1,44 @@
+//! # pal-sim
+//!
+//! A Blox-style round-based, trace-driven GPU cluster scheduling simulator
+//! (the paper integrates its policies into Blox \[26\]; this crate is the
+//! in-process Rust equivalent — see DESIGN.md for the substitution).
+//!
+//! ## Model
+//!
+//! Time advances in fixed scheduling rounds (Blox's 300 s epochs). Each
+//! round the simulator:
+//!
+//! 1. admits newly arrived jobs into the active queue,
+//! 2. asks the [`sched::SchedulingPolicy`] to order the queue,
+//! 3. marks the *schedulable prefix* — the maximal prefix whose cumulative
+//!    GPU demand fits the cluster (Figure 4's "mark queue at cluster
+//!    size"); prefix jobs are guaranteed to run this round, the rest wait
+//!    (running jobs outside the prefix are preempted),
+//! 4. asks the [`placement::PlacementPolicy`] for GPU allocations —
+//!    keeping sticky jobs' existing GPUs or re-placing everything,
+//!    depending on the sticky mode (Section IV-A1),
+//! 5. executes to the next round boundary: each running job progresses at
+//!    `1 / (L × max_g V_g)` of its nominal iteration rate (Equation 1),
+//!    with mid-round completions credited at their exact times.
+//!
+//! Metrics ([`metrics`]): per-job JCT and wait time, makespan, cluster
+//! utilization, GPUs-in-use time series, and per-round placement compute
+//! time (Figure 18).
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod config;
+pub mod engine;
+pub mod job_state;
+pub mod metrics;
+pub mod placement;
+pub mod sched;
+
+pub use admission::{AdmissionCtx, AdmissionPolicy, AdmitAll};
+pub use config::SimConfig;
+pub use engine::Simulator;
+pub use metrics::{JobRecord, SimResult};
+pub use placement::{PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation};
+pub use sched::SchedulingPolicy;

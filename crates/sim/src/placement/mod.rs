@@ -1,0 +1,140 @@
+//! Placement policies: which GPUs a scheduled job gets (Section IV-A1).
+//!
+//! The simulator hands the placement policy the schedulable prefix in
+//! scheduling order; the policy may reorder it (PAL's placement priority,
+//! Figure 4) and must then choose exactly `gpu_demand` free GPUs for each
+//! job. The Packed and Random baselines live here; PM-First and PAL live in
+//! the `pal` crate and implement the same trait.
+
+mod packed;
+mod random;
+
+pub use packed::PackedPlacement;
+pub use random::RandomPlacement;
+
+use pal_cluster::{ClusterState, GpuId, JobClass, LocalityModel, VariabilityProfile};
+use pal_trace::JobId;
+
+/// Everything a placement policy may consult: the variability profile and
+/// the locality model (baselines ignore both — that is exactly the paper's
+/// point).
+pub struct PlacementCtx<'a> {
+    /// Per-class per-GPU PM penalties.
+    pub profile: &'a VariabilityProfile,
+    /// Locality penalty model.
+    pub locality: &'a LocalityModel,
+}
+
+/// One job awaiting GPUs this round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementRequest {
+    /// Job identity.
+    pub job: JobId,
+    /// Model name (for per-model locality lookups).
+    pub model: &'static str,
+    /// Variability class.
+    pub class: JobClass,
+    /// GPUs required.
+    pub gpu_demand: usize,
+}
+
+/// Per-round telemetry about one running job, delivered to the placement
+/// policy after the round executes (what a real deployment measures from
+/// iteration timestamps). Section V-A motivates this: stale offline
+/// profiles caused an 11–14 % cluster-to-simulation gap, and the paper
+/// calls for "dynamic online updates to GPU PM-Scores" — the adaptive
+/// policies in the `pal` crate consume these observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundObservation<'a> {
+    /// The observed job.
+    pub job: JobId,
+    /// Its variability class.
+    pub class: JobClass,
+    /// The GPUs it ran on this round.
+    pub gpus: &'a [GpuId],
+    /// Measured per-GPU slowdown relative to the median GPU (the
+    /// ground-truth PM penalty each device actually delivered), aligned
+    /// with `gpus`.
+    pub per_gpu_slowdown: &'a [f64],
+    /// The locality penalty the allocation paid this round.
+    pub locality_penalty: f64,
+}
+
+/// A GPU placement policy.
+pub trait PlacementPolicy {
+    /// Policy name for reports (e.g. `Tiresias`, `PAL`).
+    fn name(&self) -> &str;
+
+    /// Telemetry feedback after each executed round. The default ignores
+    /// it; adaptive policies fold it into their PM-score estimates.
+    fn observe(&mut self, _obs: &RoundObservation) {}
+
+    /// Reorder the schedulable prefix for allocation purposes, returning
+    /// indices into `requests`. The default keeps scheduling order; PAL and
+    /// PM-First sort by class (placement priority) *within* the prefix,
+    /// which is legal because every prefix job is guaranteed to be
+    /// scheduled this round (Figure 4).
+    fn placement_order(&self, requests: &[PlacementRequest], _ctx: &PlacementCtx) -> Vec<usize> {
+        (0..requests.len()).collect()
+    }
+
+    /// Choose exactly `request.gpu_demand` GPUs from the free pool of
+    /// `state`. The simulator guarantees `state.free_count() >=
+    /// request.gpu_demand`; returning any other number of GPUs, or busy
+    /// GPUs, is a policy bug and panics in the engine.
+    fn place(
+        &mut self,
+        request: &PlacementRequest,
+        ctx: &PlacementCtx,
+        state: &ClusterState,
+    ) -> Vec<GpuId>;
+}
+
+/// Validate a policy's answer: right count, all free, no duplicates.
+/// Called by the engine after every `place`.
+pub(crate) fn validate_allocation(
+    policy: &str,
+    request: &PlacementRequest,
+    state: &ClusterState,
+    gpus: &[GpuId],
+) {
+    assert_eq!(
+        gpus.len(),
+        request.gpu_demand,
+        "{policy} returned {} GPUs for {} (demand {})",
+        gpus.len(),
+        request.job,
+        request.gpu_demand
+    );
+    let mut seen = std::collections::HashSet::new();
+    for &g in gpus {
+        assert!(state.is_free(g), "{policy} allocated busy {g}");
+        assert!(seen.insert(g), "{policy} duplicated {g}");
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use pal_cluster::{ClusterTopology, VariabilityProfile};
+
+    /// A uniform profile (every GPU scores 1.0 for 3 classes) over `n` GPUs.
+    pub fn flat_profile(n: usize) -> VariabilityProfile {
+        VariabilityProfile::from_raw(vec![vec![1.0; n]; 3])
+    }
+
+    /// Convenience request.
+    pub fn request(job: u32, demand: usize) -> PlacementRequest {
+        PlacementRequest {
+            job: JobId(job),
+            model: "resnet50",
+            class: JobClass::A,
+            gpu_demand: demand,
+        }
+    }
+
+    /// A 4-GPUs-per-node state.
+    pub fn state(nodes: usize) -> ClusterState {
+        ClusterState::new(ClusterTopology::new(nodes, 4))
+    }
+}

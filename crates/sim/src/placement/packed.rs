@@ -1,0 +1,223 @@
+//! Packed (soft-consolidated) placement: "tries to minimize the number of
+//! nodes a job is packed on to reduce communication" (Section IV-A1). With
+//! sticky mode this is the paper's *Tiresias* baseline; non-sticky it is
+//! *Gandiva*.
+
+use super::{PlacementCtx, PlacementPolicy, PlacementRequest};
+use pal_cluster::{ClusterState, GpuId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Best-fit packed placement.
+///
+/// For jobs that fit within one node, picks the node with the *fewest* free
+/// GPUs that still satisfies the demand (best fit, preserving big holes for
+/// big jobs). For larger jobs, greedily takes the fullest-free nodes to
+/// minimize the number of nodes spanned.
+///
+/// Packing quality never depends on *which* GPUs are taken within a node,
+/// so a packed policy is indifferent among many allocations — and real
+/// systems (Gandiva) resolve that indifference arbitrarily. In
+/// [`PackedPlacement::randomized`] mode, ties are broken uniformly at
+/// random: under non-sticky placement this re-rolls each job's GPU
+/// variability luck every round, which is exactly why the paper finds
+/// sticky Tiresias outperforming non-sticky Gandiva (Section V-B).
+/// [`PackedPlacement::deterministic`] breaks ties by GPU id instead
+/// (useful for tests).
+#[derive(Debug, Clone)]
+pub struct PackedPlacement {
+    rng: Option<StdRng>,
+}
+
+impl PackedPlacement {
+    /// Packing with GPU-id tie-breaking (stable, test-friendly).
+    pub fn deterministic() -> Self {
+        PackedPlacement { rng: None }
+    }
+
+    /// Packing with uniform-random tie-breaking among equally packed
+    /// choices (variability-agnostic, like real packed schedulers).
+    pub fn randomized(seed: u64) -> Self {
+        PackedPlacement {
+            rng: Some(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Pick `demand` GPUs from a node's free list, honoring the tie-break
+    /// mode.
+    fn take(&mut self, mut gpus: Vec<GpuId>, demand: usize) -> Vec<GpuId> {
+        if let Some(rng) = &mut self.rng {
+            gpus.shuffle(rng);
+        }
+        gpus.truncate(demand);
+        gpus
+    }
+}
+
+impl PlacementPolicy for PackedPlacement {
+    fn name(&self) -> &str {
+        "Packed"
+    }
+
+    fn place(
+        &mut self,
+        request: &PlacementRequest,
+        _ctx: &PlacementCtx,
+        state: &ClusterState,
+    ) -> Vec<GpuId> {
+        let demand = request.gpu_demand;
+        let by_node = state.free_gpus_by_node();
+
+        if demand <= state.topology().gpus_per_node {
+            // Best fit: the smallest sufficient hole; ties among nodes with
+            // equal free counts resolved per the tie-break mode.
+            let best_size = by_node
+                .iter()
+                .filter(|g| g.len() >= demand)
+                .map(|g| g.len())
+                .min();
+            if let Some(size) = best_size {
+                let mut candidates: Vec<usize> = (0..by_node.len())
+                    .filter(|&n| by_node[n].len() == size)
+                    .collect();
+                let node = match &mut self.rng {
+                    Some(rng) => *candidates.choose(rng).expect("non-empty candidates"),
+                    None => candidates.remove(0),
+                };
+                return self.take(by_node[node].clone(), demand);
+            }
+        }
+        // Spanning allocation: fill from the nodes with the most free GPUs
+        // first, touching as few nodes as possible. Equal-sized nodes are
+        // tie-broken per mode.
+        let mut nodes: Vec<usize> = (0..by_node.len()).filter(|&n| !by_node[n].is_empty()).collect();
+        if let Some(rng) = &mut self.rng {
+            nodes.shuffle(rng);
+        }
+        nodes.sort_by_key(|&n| std::cmp::Reverse(by_node[n].len()));
+        let mut alloc = Vec::with_capacity(demand);
+        for &n in &nodes {
+            let take = (demand - alloc.len()).min(by_node[n].len());
+            if take == 0 {
+                break;
+            }
+            alloc.extend(self.take(by_node[n].clone(), take));
+        }
+        assert_eq!(
+            alloc.len(),
+            demand,
+            "Packed placement given insufficient free GPUs for {}",
+            request.job
+        );
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{flat_profile, request, state};
+    use super::*;
+    use pal_cluster::LocalityModel;
+
+    fn ctx<'a>(
+        profile: &'a pal_cluster::VariabilityProfile,
+        locality: &'a LocalityModel,
+    ) -> PlacementCtx<'a> {
+        PlacementCtx { profile, locality }
+    }
+
+    #[test]
+    fn small_job_stays_in_one_node() {
+        let s = state(4);
+        let p = flat_profile(16);
+        let l = LocalityModel::uniform(1.5);
+        let alloc = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l), &s);
+        assert_eq!(alloc.len(), 3);
+        assert!(!s.topology().spans_nodes(&alloc));
+    }
+
+    #[test]
+    fn best_fit_prefers_smaller_hole() {
+        let mut s = state(2);
+        // Node 0 has 2 free (2 busy), node 1 has 4 free.
+        s.allocate(&[GpuId(0), GpuId(1)]);
+        let p = flat_profile(8);
+        let l = LocalityModel::uniform(1.5);
+        let alloc = PackedPlacement::deterministic().place(&request(0, 2), &ctx(&p, &l), &s);
+        // Should take node 0's remaining pair, leaving node 1 whole.
+        assert_eq!(alloc, vec![GpuId(2), GpuId(3)]);
+    }
+
+    #[test]
+    fn large_job_spans_minimal_nodes() {
+        let s = state(4); // 16 GPUs
+        let p = flat_profile(16);
+        let l = LocalityModel::uniform(1.5);
+        let alloc = PackedPlacement::deterministic().place(&request(0, 8), &ctx(&p, &l), &s);
+        assert_eq!(alloc.len(), 8);
+        assert_eq!(s.topology().nodes_spanned(&alloc), 2);
+    }
+
+    #[test]
+    fn fragmented_small_job_spans_when_forced() {
+        let mut s = state(2);
+        // 1 free on node 0, 2 free on node 1; job wants 3.
+        s.allocate(&[GpuId(0), GpuId(1), GpuId(2), GpuId(4), GpuId(5)]);
+        let p = flat_profile(8);
+        let l = LocalityModel::uniform(1.5);
+        let alloc = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l), &s);
+        assert_eq!(alloc.len(), 3);
+        assert!(s.topology().spans_nodes(&alloc));
+    }
+
+    #[test]
+    fn randomized_mode_keeps_packing_quality() {
+        let s = state(4);
+        let p = flat_profile(16);
+        let l = LocalityModel::uniform(1.5);
+        let mut pol = PackedPlacement::randomized(17);
+        for _ in 0..16 {
+            let alloc = pol.place(&request(0, 4), &ctx(&p, &l), &s);
+            assert_eq!(alloc.len(), 4);
+            assert!(!s.topology().spans_nodes(&alloc), "randomized packing spanned nodes");
+        }
+    }
+
+    #[test]
+    fn randomized_mode_varies_gpu_choice() {
+        let s = state(4);
+        let p = flat_profile(16);
+        let l = LocalityModel::uniform(1.5);
+        let mut pol = PackedPlacement::randomized(17);
+        let draws: std::collections::HashSet<Vec<GpuId>> = (0..24)
+            .map(|_| {
+                let mut a = pol.place(&request(0, 2), &ctx(&p, &l), &s);
+                a.sort_unstable();
+                a
+            })
+            .collect();
+        assert!(draws.len() > 1, "randomized packing never varied");
+    }
+
+    #[test]
+    fn deterministic_mode_is_stable() {
+        let s = state(4);
+        let p = flat_profile(16);
+        let l = LocalityModel::uniform(1.5);
+        let a = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l), &s);
+        let b = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l), &s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_placement_order_is_identity() {
+        let p = flat_profile(8);
+        let l = LocalityModel::uniform(1.5);
+        let reqs = vec![request(0, 1), request(1, 2)];
+        assert_eq!(
+            PackedPlacement::deterministic().placement_order(&reqs, &ctx(&p, &l)),
+            vec![0, 1]
+        );
+    }
+}

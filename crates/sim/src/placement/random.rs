@@ -1,0 +1,109 @@
+//! Random (scattered) placement: "samples a random subset from the free
+//! list of GPUs in order to prevent thermal hotspots … and prioritize
+//! performance of CPU-to-GPU communication", at the cost of GPU-to-GPU
+//! locality (Section IV-A1).
+
+use super::{PlacementCtx, PlacementPolicy, PlacementRequest};
+use pal_cluster::{ClusterState, GpuId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Uniform random placement (deterministic per seed).
+#[derive(Debug, Clone)]
+pub struct RandomPlacement {
+    rng: StdRng,
+}
+
+impl RandomPlacement {
+    /// Random placement seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        RandomPlacement {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PlacementPolicy for RandomPlacement {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn place(
+        &mut self,
+        request: &PlacementRequest,
+        _ctx: &PlacementCtx,
+        state: &ClusterState,
+    ) -> Vec<GpuId> {
+        let mut free = state.free_gpus();
+        assert!(
+            free.len() >= request.gpu_demand,
+            "Random placement given insufficient free GPUs for {}",
+            request.job
+        );
+        free.shuffle(&mut self.rng);
+        free.truncate(request.gpu_demand);
+        free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{flat_profile, request, state};
+    use super::*;
+    use pal_cluster::LocalityModel;
+
+    #[test]
+    fn returns_exact_demand_of_free_gpus() {
+        let mut s = state(4);
+        s.allocate(&[GpuId(0), GpuId(7)]);
+        let p = flat_profile(16);
+        let l = LocalityModel::uniform(1.5);
+        let ctx = PlacementCtx {
+            profile: &p,
+            locality: &l,
+        };
+        let mut pol = RandomPlacement::new(1);
+        let alloc = pol.place(&request(0, 5), &ctx, &s);
+        assert_eq!(alloc.len(), 5);
+        for g in &alloc {
+            assert!(s.is_free(*g));
+        }
+        let set: std::collections::HashSet<_> = alloc.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = state(4);
+        let p = flat_profile(16);
+        let l = LocalityModel::uniform(1.5);
+        let ctx = PlacementCtx {
+            profile: &p,
+            locality: &l,
+        };
+        let a = RandomPlacement::new(9).place(&request(0, 4), &ctx, &s);
+        let b = RandomPlacement::new(9).place(&request(0, 4), &ctx, &s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scatters_across_nodes_eventually() {
+        // With 4 nodes and repeated 2-GPU draws, some draw must span nodes.
+        let s = state(4);
+        let p = flat_profile(16);
+        let l = LocalityModel::uniform(1.5);
+        let ctx = PlacementCtx {
+            profile: &p,
+            locality: &l,
+        };
+        let mut pol = RandomPlacement::new(3);
+        let spans = (0..32)
+            .filter(|_| {
+                let a = pol.place(&request(0, 2), &ctx, &s);
+                s.topology().spans_nodes(&a)
+            })
+            .count();
+        assert!(spans > 0, "random placement never spanned nodes in 32 draws");
+    }
+}

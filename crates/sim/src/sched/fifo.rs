@@ -1,0 +1,42 @@
+//! First-In-First-Out scheduling: "a well-known greedy approach that
+//! prioritizes jobs in order of arrival" (Section IV-A2).
+
+use super::SchedulingPolicy;
+use crate::job_state::ActiveJob;
+
+/// FIFO scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl SchedulingPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn key(&self, job: &ActiveJob) -> f64 {
+        job.spec.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::job;
+    use super::*;
+
+    #[test]
+    fn orders_by_arrival() {
+        let jobs = vec![job(0, 30.0, 1, 10), job(1, 10.0, 1, 10), job(2, 20.0, 1, 10)];
+        assert_eq!(Fifo.order(&jobs), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_broken_by_id() {
+        let jobs = vec![job(5, 10.0, 1, 10), job(2, 10.0, 1, 10)];
+        assert_eq!(Fifo.order(&jobs), vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_queue() {
+        assert!(Fifo.order(&[]).is_empty());
+    }
+}

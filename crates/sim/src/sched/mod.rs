@@ -1,0 +1,74 @@
+//! Scheduling policies: which jobs run this round (Section IV-A2).
+//!
+//! A scheduling policy orders the active queue; the simulator then marks
+//! the schedulable prefix and hands it to the placement policy. Job
+//! *selection* is orthogonal to PAL's contribution, so these are faithful,
+//! simple implementations of the three schedulers the paper attaches its
+//! placement policies to: FIFO, Tiresias/LAS, and SRTF.
+
+mod fifo;
+mod las;
+mod srsf;
+mod srtf;
+
+pub use fifo::Fifo;
+pub use las::Las;
+pub use srsf::Srsf;
+pub use srtf::Srtf;
+
+use crate::job_state::ActiveJob;
+
+/// A scheduling policy: produce a total priority order over active jobs.
+///
+/// Implementations return a sort key per job; the simulator sorts ascending
+/// (smaller key = higher priority) with arrival time and job id as
+/// universal tie-breakers, so every policy yields a deterministic total
+/// order.
+pub trait SchedulingPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Primary sort key for one job (smaller = runs earlier).
+    fn key(&self, job: &ActiveJob) -> f64;
+
+    /// Order the given jobs by priority, returning indices into `jobs`.
+    fn order(&self, jobs: &[ActiveJob]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..jobs.len()).collect();
+        idx.sort_by(|&a, &b| {
+            let ka = self.key(&jobs[a]);
+            let kb = self.key(&jobs[b]);
+            ka.partial_cmp(&kb)
+                .expect("NaN scheduling key")
+                .then(
+                    jobs[a]
+                        .spec
+                        .arrival
+                        .partial_cmp(&jobs[b].spec.arrival)
+                        .expect("NaN arrival"),
+                )
+                .then(jobs[a].spec.id.cmp(&jobs[b].spec.id))
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use crate::job_state::ActiveJob;
+    use pal_cluster::JobClass;
+    use pal_gpumodel::Workload;
+    use pal_trace::{JobId, JobSpec};
+
+    /// Build a minimal active job for policy tests.
+    pub fn job(id: u32, arrival: f64, demand: usize, iters: u64) -> ActiveJob {
+        ActiveJob::new(JobSpec {
+            id: JobId(id),
+            model: Workload::ResNet50,
+            class: JobClass::A,
+            arrival,
+            gpu_demand: demand,
+            iterations: iters,
+            base_iter_time: 1.0,
+        })
+    }
+}

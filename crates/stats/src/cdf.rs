@@ -1,0 +1,151 @@
+//! Empirical cumulative distribution functions, used to reproduce the JCT
+//! CDF comparison of Figure 9 (physical cluster vs simulation).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+///
+/// `F(x)` is the fraction of samples `<= x`; `quantile(q)` is the smallest
+/// sample value `v` with `F(v) >= q`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Build a CDF from a sample. Returns `None` for an empty sample.
+    pub fn new(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Some(EmpiricalCdf { sorted })
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is over an empty sample (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of samples less than or equal to `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x on the sorted vec.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `q`-quantile for `q` in `[0, 1]`: the smallest sample value `v` such
+    /// that at least a fraction `q` of the sample is `<= v`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// The sorted sample values, for plotting `(value, i/n)` staircases.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evenly spaced `(fraction_of_jobs, value)` points, as plotted in
+    /// Figure 9 ("Fraction of jobs" on the x-axis, JCT on the y-axis).
+    pub fn staircase(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two staircase points");
+        (0..points)
+            .map(|i| {
+                let q = i as f64 / (points - 1) as f64;
+                (q, self.quantile(q))
+            })
+            .collect()
+    }
+
+    /// Largest absolute difference between two CDFs over the union of their
+    /// sample points — the Kolmogorov–Smirnov statistic. Used by the shape
+    /// tests to assert that cluster and simulation JCT distributions "align
+    /// fairly well" (Section V-A).
+    pub fn ks_distance(&self, other: &EmpiricalCdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf(xs: &[f64]) -> EmpiricalCdf {
+        EmpiricalCdf::new(xs).unwrap()
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(EmpiricalCdf::new(&[]).is_none());
+    }
+
+    #[test]
+    fn eval_below_min_is_zero_above_max_is_one() {
+        let c = cdf(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(3.0), 1.0);
+        assert_eq!(c.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn eval_counts_ties() {
+        let c = cdf(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(c.eval(2.0), 0.75);
+        assert_eq!(c.eval(1.0), 0.25);
+    }
+
+    #[test]
+    fn quantile_inverts_eval() {
+        let c = cdf(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(c.quantile(0.25), 10.0);
+        assert_eq!(c.quantile(0.5), 20.0);
+        assert_eq!(c.quantile(1.0), 40.0);
+        assert_eq!(c.quantile(0.0), 10.0);
+    }
+
+    #[test]
+    fn staircase_endpoints() {
+        let c = cdf(&[5.0, 1.0, 9.0]);
+        let s = c.staircase(5);
+        assert_eq!(s.first().unwrap().1, 1.0);
+        assert_eq!(s.last().unwrap().1, 9.0);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero() {
+        let c = cdf(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.ks_distance(&c.clone()), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_disjoint_is_one() {
+        let a = cdf(&[1.0, 2.0]);
+        let b = cdf(&[10.0, 20.0]);
+        assert_eq!(a.ks_distance(&b), 1.0);
+        assert_eq!(b.ks_distance(&a), 1.0);
+    }
+
+    #[test]
+    fn ks_distance_symmetric() {
+        let a = cdf(&[1.0, 3.0, 5.0, 7.0]);
+        let b = cdf(&[2.0, 3.0, 6.0]);
+        assert!((a.ks_distance(&b) - b.ks_distance(&a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! # pal-stats
+//!
+//! Descriptive statistics used throughout the PAL scheduler reproduction:
+//! summaries (mean / geometric mean / standard deviation), percentiles,
+//! empirical CDFs, histograms, boxplot statistics, online (streaming)
+//! accumulators, and step-function time series.
+//!
+//! The paper reports geomean improvements in job completion time (JCT),
+//! 99th-percentile JCT, makespan, and cluster utilization; the CDFs of
+//! Figure 9, the boxplots of Figures 10 and 18, and the GPUs-in-use time
+//! series of Figure 15 are all produced from the primitives in this crate.
+//!
+//! All functions operate on `f64` samples, ignore nothing, and panic only on
+//! clearly-documented misuse (e.g. percentile outside `[0, 100]`). Empty
+//! inputs yield `None` rather than NaN wherever a value would otherwise be
+//! undefined.
+
+#![warn(missing_docs)]
+
+pub mod boxplot;
+pub mod cdf;
+pub mod histogram;
+pub mod online;
+pub mod percentile;
+pub mod summary;
+pub mod timeseries;
+
+pub use boxplot::BoxplotStats;
+pub use cdf::EmpiricalCdf;
+pub use histogram::Histogram;
+pub use online::{OnlineStats, StreamingExtrema};
+pub use percentile::{median, percentile, percentile_of_sorted};
+pub use summary::{geomean, geomean_of_ratios, mean, std_dev, Summary};
+pub use timeseries::StepSeries;

@@ -1,0 +1,100 @@
+//! Percentile computation with linear interpolation (the "linear" /
+//! "type 7" method used by numpy's default `percentile`, which is what the
+//! paper's analysis scripts rely on).
+
+/// Percentile `p` (in `[0, 100]`) of an **already sorted** ascending slice.
+///
+/// Uses linear interpolation between closest ranks. Panics if `sorted` is
+/// empty or `p` is outside `[0, 100]`.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0,100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Percentile `p` of an unsorted sample. Returns `None` for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    Some(percentile_of_sorted(&sorted, p))
+}
+
+/// Median of an unsorted sample. Returns `None` for empty input.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn median_even_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn p0_is_min_p100_is_max() {
+        let xs = [9.0, 2.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), Some(2.0));
+        assert_eq!(percentile(&xs, 100.0), Some(9.0));
+    }
+
+    #[test]
+    fn p25_linear_interpolation() {
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        assert!((percentile(&[1.0, 2.0, 3.0, 4.0], 25.0).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_of_uniform_ramp() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert!((percentile(&xs, 99.0).unwrap() - 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element_any_percentile() {
+        assert_eq!(percentile(&[42.0], 73.0), Some(42.0));
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,100]")]
+    fn out_of_range_panics() {
+        percentile_of_sorted(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let xs = [4.0, 1.0, 7.0, 3.0, 9.0, 2.0];
+        let mut last = f64::NEG_INFINITY;
+        for p in 0..=100 {
+            let v = percentile(&xs, p as f64).unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+}

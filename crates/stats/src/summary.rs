@@ -1,0 +1,201 @@
+//! Whole-sample summaries: mean, geometric mean, standard deviation, and a
+//! convenience [`Summary`] struct bundling all of them.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean of a sample, or `None` if the sample is empty.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Geometric mean of a sample of positive values.
+///
+/// Computed in log space for numerical stability. Returns `None` for empty
+/// input or if any sample is not strictly positive (the geometric mean is
+/// undefined there; the paper applies it to JCTs and speedup ratios, which
+/// are always positive).
+pub fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0 || !x.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Geometric mean of element-wise ratios `num[i] / den[i]`.
+///
+/// This is how the paper summarizes "PAL improves geomean JCT by 42% over
+/// Tiresias": each workload contributes one ratio, and the geomean of the
+/// ratios is reported. Returns `None` on length mismatch, empty input, or a
+/// non-positive denominator/numerator.
+pub fn geomean_of_ratios(num: &[f64], den: &[f64]) -> Option<f64> {
+    if num.len() != den.len() || num.is_empty() {
+        return None;
+    }
+    let ratios: Vec<f64> = num.iter().zip(den).map(|(&n, &d)| n / d).collect();
+    geomean(&ratios)
+}
+
+/// Sample standard deviation (Bessel-corrected, `n - 1` denominator).
+///
+/// Returns `None` for samples with fewer than two elements.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    Some((ss / (xs.len() - 1) as f64).sqrt())
+}
+
+/// A bundle of descriptive statistics over one sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0.0 when `count == 1`).
+    pub std_dev: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// 99th percentile (linear interpolation).
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty sample.
+    pub fn of(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Some(Summary {
+            count: xs.len(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: mean(xs).expect("non-empty"),
+            std_dev: std_dev(xs).unwrap_or(0.0),
+            median: crate::percentile::percentile_of_sorted(&sorted, 50.0),
+            p99: crate::percentile::percentile_of_sorted(&sorted, 99.0),
+        })
+    }
+
+    /// Coefficient of variation (`std_dev / mean`), a scale-free measure of
+    /// spread used to characterize variability profiles (e.g. "Class A has
+    /// 22% geomean variability").
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn mean_of_constant() {
+        assert_eq!(mean(&[3.0, 3.0, 3.0]), Some(3.0));
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert!((mean(&[1.0, 2.0, 3.0, 4.0]).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_powers_of_two() {
+        // geomean(1, 2, 4, 8) = (64)^(1/4) = 2*sqrt(2)
+        let g = geomean(&[1.0, 2.0, 4.0, 8.0]).unwrap();
+        assert!((g - 2.0 * 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_rejects_nonpositive() {
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[1.0, -2.0]), None);
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    fn geomean_le_mean() {
+        // AM-GM inequality.
+        let xs = [0.5, 1.7, 3.2, 9.9, 2.4];
+        assert!(geomean(&xs).unwrap() <= mean(&xs).unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_ratios_matches_manual() {
+        let num = [2.0, 8.0];
+        let den = [1.0, 2.0];
+        // ratios 2 and 4 -> geomean sqrt(8)
+        let g = geomean_of_ratios(&num, &den).unwrap();
+        assert!((g - 8.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_ratios_length_mismatch() {
+        assert_eq!(geomean_of_ratios(&[1.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let sd = std_dev(&xs).unwrap();
+        assert!((sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_needs_two_samples() {
+        assert_eq!(std_dev(&[1.0]), None);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!(s.p99 <= s.max && s.p99 >= s.median);
+    }
+
+    #[test]
+    fn summary_single_element() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn cov_of_constant_sample_is_zero() {
+        let s = Summary::of(&[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+    }
+}

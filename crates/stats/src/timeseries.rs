@@ -1,0 +1,178 @@
+//! Right-continuous step-function time series.
+//!
+//! Used for the GPUs-in-use traces of Figure 15 and for computing cluster
+//! utilization (the time-integral of GPUs in use divided by total GPU-time
+//! available over the makespan).
+
+use serde::{Deserialize, Serialize};
+
+/// A step function `f(t)` defined by `(t_i, v_i)` breakpoints: `f(t) = v_i`
+/// for `t_i <= t < t_{i+1}`. Points must be appended in non-decreasing time
+/// order. Before the first breakpoint the series evaluates to `initial`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepSeries {
+    initial: f64,
+    points: Vec<(f64, f64)>,
+}
+
+impl StepSeries {
+    /// New series with the given value before any breakpoint.
+    pub fn new(initial: f64) -> Self {
+        StepSeries {
+            initial,
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a breakpoint: from time `t` onward the series has value `v`.
+    ///
+    /// Panics if `t` precedes the last breakpoint. Appending at an identical
+    /// time overwrites the previous value at that time (last writer wins),
+    /// which is what a per-epoch sampler wants.
+    pub fn push(&mut self, t: f64, v: f64) {
+        if let Some(&mut (last_t, ref mut last_v)) = self.points.last_mut() {
+            assert!(t >= last_t, "time went backwards: {t} < {last_t}");
+            if t == last_t {
+                *last_v = v;
+                return;
+            }
+        }
+        self.points.push((t, v));
+    }
+
+    /// Value at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        // Index of first breakpoint strictly after t.
+        let idx = self.points.partition_point(|&(pt, _)| pt <= t);
+        if idx == 0 {
+            self.initial
+        } else {
+            self.points[idx - 1].1
+        }
+    }
+
+    /// All breakpoints in time order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Integral of the step function over `[a, b]`.
+    pub fn integral(&self, a: f64, b: f64) -> f64 {
+        assert!(b >= a, "integral bounds reversed");
+        if a == b {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut t = a;
+        let mut v = self.eval(a);
+        for &(pt, pv) in &self.points {
+            if pt <= a {
+                continue;
+            }
+            if pt >= b {
+                break;
+            }
+            acc += v * (pt - t);
+            t = pt;
+            v = pv;
+        }
+        acc += v * (b - t);
+        acc
+    }
+
+    /// Time-average of the series over `[a, b]`.
+    pub fn average(&self, a: f64, b: f64) -> f64 {
+        if b == a {
+            return self.eval(a);
+        }
+        self.integral(a, b) / (b - a)
+    }
+
+    /// Resample to `n` evenly spaced `(t, value)` points over `[a, b]`,
+    /// useful for compact figure output.
+    pub fn resample(&self, a: f64, b: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two resample points");
+        (0..n)
+            .map(|i| {
+                let t = a + (b - a) * i as f64 / (n - 1) as f64;
+                (t, self.eval(t))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_before_first_point_is_initial() {
+        let mut s = StepSeries::new(5.0);
+        s.push(10.0, 7.0);
+        assert_eq!(s.eval(0.0), 5.0);
+        assert_eq!(s.eval(10.0), 7.0);
+        assert_eq!(s.eval(11.0), 7.0);
+    }
+
+    #[test]
+    fn duplicate_time_overwrites() {
+        let mut s = StepSeries::new(0.0);
+        s.push(1.0, 2.0);
+        s.push(1.0, 3.0);
+        assert_eq!(s.eval(1.0), 3.0);
+        assert_eq!(s.points().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn backwards_time_panics() {
+        let mut s = StepSeries::new(0.0);
+        s.push(2.0, 1.0);
+        s.push(1.0, 1.0);
+    }
+
+    #[test]
+    fn integral_of_constant() {
+        let s = StepSeries::new(3.0);
+        assert!((s.integral(0.0, 10.0) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_across_steps() {
+        let mut s = StepSeries::new(0.0);
+        s.push(1.0, 2.0); // [1,3): 2
+        s.push(3.0, 4.0); // [3,...): 4
+        // over [0,5]: 1*0 + 2*2 + 2*4 = 12
+        assert!((s.integral(0.0, 5.0) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_partial_window() {
+        let mut s = StepSeries::new(1.0);
+        s.push(2.0, 5.0);
+        // [1.5, 2.5]: 0.5*1 + 0.5*5 = 3
+        assert!((s.integral(1.5, 2.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_of_step() {
+        let mut s = StepSeries::new(0.0);
+        s.push(5.0, 10.0);
+        // over [0,10]: integral = 50, avg = 5
+        assert!((s.average(0.0, 10.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_width_integral_is_zero() {
+        let s = StepSeries::new(9.0);
+        assert_eq!(s.integral(3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn resample_endpoints() {
+        let mut s = StepSeries::new(1.0);
+        s.push(5.0, 2.0);
+        let r = s.resample(0.0, 10.0, 3);
+        assert_eq!(r, vec![(0.0, 1.0), (5.0, 2.0), (10.0, 2.0)]);
+    }
+}

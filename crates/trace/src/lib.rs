@@ -1,0 +1,34 @@
+//! # pal-trace
+//!
+//! Workload traces for the PAL scheduler reproduction.
+//!
+//! The paper evaluates on two trace families derived from Microsoft's
+//! public Philly production traces (Section IV-B):
+//!
+//! - **Sia-Philly** ([`philly`]): eight traces of 160 jobs each, submitted
+//!   over an 8-hour window at 20 jobs/hour, 40 % single-GPU, multi-GPU jobs
+//!   up to 48 GPUs, run on a 64-GPU cluster.
+//! - **Synergy** ([`synergy`]): Poisson arrivals at a configurable rate
+//!   (the job-load sweeps of Figures 14, 16, 17), >80 % single-GPU jobs,
+//!   run on a 256-GPU cluster.
+//!
+//! We do not have the original trace files, so both generators are
+//! *statistical regenerations* from the published characteristics (job
+//! counts, arrival processes, demand distributions, duration scales); see
+//! DESIGN.md for the substitution rationale. Generators are deterministic
+//! in their seed, and the eight Sia workload variants are eight seeds.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod io;
+pub mod job;
+pub mod models;
+pub mod philly;
+pub mod synergy;
+
+pub use io::{read_trace_csv, write_trace_csv, TraceIoError};
+pub use job::{JobId, JobSpec, Trace};
+pub use models::ModelCatalog;
+pub use philly::SiaPhillyConfig;
+pub use synergy::SynergyConfig;

@@ -1,0 +1,109 @@
+//! Bridge between the GPU-model application zoo and trace generation:
+//! per-model base iteration times (measured on a nominal GPU) and ground
+//! truth class labels.
+
+use pal_cluster::JobClass;
+use pal_gpumodel::{GpuSpec, ModeledGpu, PmState, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Catalog of schedulable models with their nominal iteration times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCatalog {
+    entries: Vec<CatalogEntry>,
+}
+
+/// One catalog row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// The model.
+    pub model: Workload,
+    /// Ground-truth class (from the paper's Table II / Figure 3).
+    pub class: JobClass,
+    /// Iteration time on a nominal (median) GPU, seconds.
+    pub base_iter_time: f64,
+}
+
+impl ModelCatalog {
+    /// The six Table II models timed on a nominal GPU of `spec` — the set
+    /// the paper's traces schedule.
+    pub fn table2(spec: &GpuSpec) -> Self {
+        Self::from_workloads(&Workload::TABLE_II, spec)
+    }
+
+    /// Build a catalog for an arbitrary workload set.
+    pub fn from_workloads(workloads: &[Workload], spec: &GpuSpec) -> Self {
+        let nominal = ModeledGpu {
+            spec: spec.clone(),
+            pm: PmState::nominal(),
+        };
+        let entries = workloads
+            .iter()
+            .map(|&model| {
+                let app = model.spec();
+                CatalogEntry {
+                    model,
+                    class: JobClass(app.expected_class),
+                    base_iter_time: nominal.iteration_time(&app.kernels),
+                }
+            })
+            .collect();
+        ModelCatalog { entries }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+
+    /// Number of models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a model's entry.
+    pub fn get(&self, model: Workload) -> Option<&CatalogEntry> {
+        self.entries.iter().find(|e| e.model == model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_six_models() {
+        let c = ModelCatalog::table2(&GpuSpec::v100());
+        assert_eq!(c.len(), 6);
+        assert!(c.get(Workload::Bert).is_some());
+        assert!(c.get(Workload::PageRank).is_none());
+    }
+
+    #[test]
+    fn iteration_times_positive() {
+        let c = ModelCatalog::table2(&GpuSpec::quadro_rtx5000());
+        for e in c.entries() {
+            assert!(e.base_iter_time > 0.0, "{:?}", e.model);
+        }
+    }
+
+    #[test]
+    fn classes_match_zoo_ground_truth() {
+        let c = ModelCatalog::table2(&GpuSpec::v100());
+        assert_eq!(c.get(Workload::ResNet50).unwrap().class, JobClass::A);
+        assert_eq!(c.get(Workload::Bert).unwrap().class, JobClass::B);
+        assert_eq!(c.get(Workload::PointNet).unwrap().class, JobClass::C);
+    }
+
+    #[test]
+    fn catalog_covers_all_three_classes() {
+        let c = ModelCatalog::table2(&GpuSpec::v100());
+        let classes: std::collections::HashSet<usize> =
+            c.entries().iter().map(|e| e.class.0).collect();
+        assert!(classes.contains(&0) && classes.contains(&1) && classes.contains(&2));
+    }
+}

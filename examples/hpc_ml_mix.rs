@@ -1,0 +1,92 @@
+//! HPC + ML mixed workloads — the paper's closing conjecture: "we expect
+//! HPC and HPC+ML workloads will exhibit similar benefits."
+//!
+//! This example builds a catalog mixing the ML models of Table II with the
+//! HPC applications of the zoo (LAMMPS, PageRank — both memory-bound class
+//! C, which is exactly why they coexist well with class-A ML training
+//! under PAL: they tolerate the GPUs the compute-bound jobs must avoid).
+//!
+//! ```text
+//! cargo run --release --example hpc_ml_mix
+//! ```
+
+use pal::PalPlacement;
+use pal_cluster::{ClusterTopology, JobClass, LocalityModel, VariabilityProfile};
+use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
+use pal_sim::placement::PackedPlacement;
+use pal_sim::sched::Fifo;
+use pal_sim::{SimConfig, Simulator};
+use pal_trace::{ModelCatalog, SiaPhillyConfig};
+
+fn main() {
+    // A catalog spanning ML training and HPC codes.
+    let mix = [
+        Workload::ResNet50,
+        Workload::Vgg19,
+        Workload::Bert,
+        Workload::Gpt2,
+        Workload::Lammps,
+        Workload::PageRank,
+    ];
+    let catalog = ModelCatalog::from_workloads(&mix, &GpuSpec::v100());
+
+    let topology = ClusterTopology::new(16, 4);
+    let gpus = profiler::build_cluster_gpus(
+        &GpuSpec::v100(),
+        ClusterFlavor::Longhorn,
+        topology.total_gpus(),
+        21,
+    );
+    let class_apps: Vec<_> = Workload::TABLE_III.iter().map(|w| w.spec()).collect();
+    let profile = VariabilityProfile::from_modeled_gpus(&class_apps, &gpus);
+    let locality = LocalityModel::uniform(1.5);
+    let trace = SiaPhillyConfig::default().generate_seeded(1, 0x117C31, &catalog);
+
+    let hpc_jobs = trace
+        .jobs
+        .iter()
+        .filter(|j| matches!(j.model, Workload::Lammps | Workload::PageRank))
+        .count();
+    println!(
+        "trace: {} jobs ({} HPC, {} ML)",
+        trace.len(),
+        hpc_jobs,
+        trace.len() - hpc_jobs
+    );
+
+    let tiresias = Simulator::new(SimConfig::sticky()).run(
+        &trace,
+        topology,
+        &profile,
+        &locality,
+        &Fifo,
+        &mut PackedPlacement::randomized(5),
+    );
+    let pal = Simulator::new(SimConfig::non_sticky()).run(
+        &trace,
+        topology,
+        &profile,
+        &locality,
+        &Fifo,
+        &mut PalPlacement::new(&profile),
+    );
+
+    for r in [&tiresias, &pal] {
+        // Split JCTs by class to show where the benefit lands.
+        let by = |pred: &dyn Fn(&pal_sim::JobRecord) -> bool| {
+            let jcts: Vec<f64> = r.records.iter().filter(|x| pred(x)).map(|x| x.jct()).collect();
+            pal_stats::mean(&jcts).unwrap_or(0.0) / 3600.0
+        };
+        println!(
+            "{:>16}: avg JCT {:5.2} h | class A {:5.2} h | class C (HPC) {:5.2} h",
+            r.placement,
+            r.avg_jct() / 3600.0,
+            by(&|x| x.class == JobClass::A),
+            by(&|x| x.class == JobClass::C),
+        );
+    }
+    println!(
+        "PAL improves the mixed HPC+ML trace's average JCT by {:.0}%",
+        (1.0 - pal.avg_jct() / tiresias.avg_jct()) * 100.0
+    );
+}

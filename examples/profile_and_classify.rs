@@ -1,0 +1,69 @@
+//! The offline pipeline of Sections III-A and III-B, end to end:
+//!
+//! 1. profile applications with the synthetic GPU model (nsight-compute
+//!    stand-in) to get `DRAMUtil × PeakFUUtil` features,
+//! 2. cluster them into ordered classes A/B/C,
+//! 3. profile per-GPU variability for each class representative,
+//! 4. bin the PM scores with K-Means + silhouette K selection,
+//! 5. build and print each class's L×V matrix traversal order.
+//!
+//! ```text
+//! cargo run --release --example profile_and_classify
+//! ```
+
+use pal::{AppClassifier, LvMatrix, PmScoreTable};
+use pal_cluster::{JobClass, VariabilityProfile};
+use pal_gpumodel::{profiler, utilization_features, ClusterFlavor, GpuSpec, Workload};
+
+fn main() {
+    let spec = GpuSpec::v100();
+
+    // 1 & 2: classify the application zoo.
+    let workloads: Vec<Workload> = Workload::ALL.to_vec();
+    let classifier = AppClassifier::fit_workloads(&workloads, &spec, 3, 0xC1A55);
+    println!("application classes (K = 3):");
+    for (i, w) in workloads.iter().enumerate() {
+        let (dram, fu) = utilization_features(&w.spec(), &spec);
+        println!(
+            "  {:18} DRAMUtil {:4.1}  PeakFUUtil {:4.1}  -> class {}",
+            w.name(),
+            dram,
+            fu,
+            classifier.class_of_sample(i)
+        );
+    }
+
+    // 3: per-class variability profiles on a 128-GPU modeled cluster.
+    let gpus = profiler::build_cluster_gpus(&spec, ClusterFlavor::Longhorn, 128, 7);
+    let class_apps: Vec<_> = Workload::TABLE_III.iter().map(|w| w.spec()).collect();
+    let profile = VariabilityProfile::from_modeled_gpus(&class_apps, &gpus);
+
+    // 4: PM-score binning.
+    let table = PmScoreTable::build_default(&profile);
+    println!("\nPM-score binning (silhouette-selected K):");
+    for c in 0..3 {
+        let class = JobClass(c);
+        println!(
+            "  class {}: K = {} bins, levels = {:?}",
+            class,
+            table.bins_of(class),
+            table
+                .levels(class)
+                .iter()
+                .map(|l| (l * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // 5: the L×V matrix each class traverses (L_across = 1.5).
+    println!("\nL×V traversal orders (L_within = 1.0, L_across = 1.5):");
+    for c in 0..3 {
+        let class = JobClass(c);
+        let m = LvMatrix::new(table.levels(class), 1.0, 1.5);
+        let order: Vec<String> = m
+            .traverse()
+            .map(|e| format!("({:.1},{:.2})", e.l_value, e.v_value))
+            .collect();
+        println!("  class {}: {}", class, order.join(" -> "));
+    }
+}

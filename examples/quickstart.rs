@@ -1,0 +1,80 @@
+//! Quickstart: schedule a small trace on a variability-affected cluster
+//! with Tiresias-style packed placement and with PAL, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pal::PalPlacement;
+use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
+use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
+use pal_sim::placement::PackedPlacement;
+use pal_sim::sched::Fifo;
+use pal_sim::{SimConfig, Simulator};
+use pal_trace::{ModelCatalog, SiaPhillyConfig};
+
+fn main() {
+    // 1. Model a 16-node x 4-GPU cluster with Longhorn-like PM variability
+    //    and profile the three class representatives on every GPU.
+    let topology = ClusterTopology::new(16, 4);
+    let gpus = profiler::build_cluster_gpus(
+        &GpuSpec::v100(),
+        ClusterFlavor::Longhorn,
+        topology.total_gpus(),
+        42,
+    );
+    let class_apps: Vec<_> = Workload::TABLE_III.iter().map(|w| w.spec()).collect();
+    let profile = VariabilityProfile::from_modeled_gpus(&class_apps, &gpus);
+    println!(
+        "cluster: {} GPUs; class A geomean variability {:.1}%",
+        topology.total_gpus(),
+        profile.geomean_variability(pal_cluster::JobClass::A) * 100.0
+    );
+
+    // 2. Generate a 160-job ML workload trace (Sia-Philly shaped).
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let trace = SiaPhillyConfig::default().generate(1, &catalog);
+    println!(
+        "trace: {} jobs, {:.0}% single-GPU, largest job {} GPUs",
+        trace.len(),
+        trace.single_gpu_fraction() * 100.0,
+        trace.max_gpu_demand()
+    );
+
+    // 3. Simulate with the Tiresias baseline (packed, sticky)...
+    let locality = LocalityModel::uniform(1.5);
+    let tiresias = Simulator::new(SimConfig::sticky()).run(
+        &trace,
+        topology,
+        &profile,
+        &locality,
+        &Fifo,
+        &mut PackedPlacement::randomized(7),
+    );
+
+    // 4. ...and with PAL (variability + locality aware, non-sticky).
+    let pal = Simulator::new(SimConfig::non_sticky()).run(
+        &trace,
+        topology,
+        &profile,
+        &locality,
+        &Fifo,
+        &mut PalPlacement::new(&profile),
+    );
+
+    // 5. Compare.
+    for r in [&tiresias, &pal] {
+        println!(
+            "{:>16}: avg JCT {:6.2} h | p99 {:6.2} h | makespan {:6.2} h | utilization {:.2}",
+            r.placement,
+            r.avg_jct() / 3600.0,
+            r.p99_jct() / 3600.0,
+            r.makespan() / 3600.0,
+            r.utilization()
+        );
+    }
+    println!(
+        "PAL improves average JCT by {:.0}% over packed-sticky placement",
+        (1.0 - pal.avg_jct() / tiresias.avg_jct()) * 100.0
+    );
+}

@@ -1,0 +1,90 @@
+//! A full Sia-Philly evaluation campaign: all eight workload variants, all
+//! six placement policies, FIFO scheduling — the experiment behind
+//! Figure 11 — printed as a summary table.
+//!
+//! ```text
+//! cargo run --release --example sia_philly_campaign
+//! ```
+
+use pal::{PalPlacement, PmFirstPlacement};
+use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
+use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
+use pal_sim::placement::{PackedPlacement, RandomPlacement};
+use pal_sim::sched::Fifo;
+use pal_sim::{PlacementPolicy, SimConfig, Simulator};
+use pal_trace::{ModelCatalog, SiaPhillyConfig, Trace};
+
+/// The six placement configurations of the paper's evaluation.
+fn policies(profile: &VariabilityProfile) -> Vec<(&'static str, bool, Box<dyn PlacementPolicy>)> {
+    vec![
+        ("Random-Non-Sticky", false, Box::new(RandomPlacement::new(1))),
+        ("Random-Sticky", true, Box::new(RandomPlacement::new(2))),
+        ("Gandiva", false, Box::new(PackedPlacement::randomized(3))),
+        ("Tiresias", true, Box::new(PackedPlacement::randomized(4))),
+        ("PM-First", false, Box::new(PmFirstPlacement::new(profile))),
+        ("PAL", false, Box::new(PalPlacement::new(profile))),
+    ]
+}
+
+fn main() {
+    let topology = ClusterTopology::sia_64();
+    // Longhorn profiles, sampled without repetition onto the 64 GPUs.
+    let measured = profiler::build_cluster_gpus(&GpuSpec::v100(), ClusterFlavor::Longhorn, 448, 9);
+    let profiled: Vec<_> = Workload::TABLE_III
+        .iter()
+        .map(|w| profiler::profile_cluster(&w.spec(), &measured))
+        .collect();
+    let profile = VariabilityProfile::sample_from_profiled(&profiled, 64, 11);
+    let locality = LocalityModel::frontera_per_model();
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let traces: Vec<Trace> = SiaPhillyConfig::default().generate_all(&catalog);
+
+    println!("avg JCT (hours) per workload; ratio = geomean vs Tiresias");
+    println!(
+        "{:<18} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  ratio",
+        "policy", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8"
+    );
+    let mut tiresias_jcts: Vec<f64> = Vec::new();
+    for (name, sticky, _) in policies(&profile) {
+        let mut row: Vec<f64> = Vec::new();
+        for trace in &traces {
+            let mut policy = policies(&profile)
+                .into_iter()
+                .find(|(n, _, _)| *n == name)
+                .expect("known policy")
+                .2;
+            let config = if sticky {
+                SimConfig::sticky()
+            } else {
+                SimConfig::non_sticky()
+            };
+            let r = Simulator::new(config).run(
+                trace,
+                topology,
+                &profile,
+                &locality,
+                &Fifo,
+                policy.as_mut(),
+            );
+            row.push(r.avg_jct());
+        }
+        if name == "Tiresias" {
+            tiresias_jcts = row.clone();
+        }
+        let ratio = if tiresias_jcts.is_empty() {
+            f64::NAN
+        } else {
+            pal_stats::geomean_of_ratios(&row, &tiresias_jcts).unwrap_or(f64::NAN)
+        };
+        print!("{name:<18}");
+        for v in &row {
+            print!(" {:>6.2}", v / 3600.0);
+        }
+        if ratio.is_nan() {
+            println!("      -");
+        } else {
+            println!("  {ratio:>5.3}");
+        }
+    }
+    println!("\n(ratio < 1.0 = better than Tiresias; the paper reports PAL ~0.58 geomean)");
+}

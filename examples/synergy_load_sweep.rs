@@ -1,0 +1,60 @@
+//! Synergy steady-state load sweep on a 256-GPU cluster (the experiment
+//! behind Figure 14), comparing Tiresias and PAL under FIFO as the arrival
+//! rate rises — including the multi-GPU job subset where variability bites
+//! hardest.
+//!
+//! ```text
+//! cargo run --release --example synergy_load_sweep
+//! ```
+
+use pal::PalPlacement;
+use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
+use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
+use pal_sim::placement::PackedPlacement;
+use pal_sim::sched::Fifo;
+use pal_sim::{SimConfig, Simulator};
+use pal_trace::{ModelCatalog, SynergyConfig};
+
+fn main() {
+    let topology = ClusterTopology::synergy_256();
+    let measured = profiler::build_cluster_gpus(&GpuSpec::v100(), ClusterFlavor::Longhorn, 448, 9);
+    let profiled: Vec<_> = Workload::TABLE_III
+        .iter()
+        .map(|w| profiler::profile_cluster(&w.spec(), &measured))
+        .collect();
+    let profile = VariabilityProfile::sample_from_profiled(&profiled, 256, 11);
+    let locality = LocalityModel::uniform(1.7);
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+
+    println!(
+        "{:>5}  {:>14} {:>14}  {:>9}  {:>14} {:>14}",
+        "load", "Tiresias JCT h", "PAL JCT h", "PAL gain", "Tiresias multi", "PAL multi"
+    );
+    for load in [4.0, 8.0, 12.0, 16.0, 20.0] {
+        let trace = SynergyConfig::default().at_load(load).generate(&catalog);
+        let tiresias = Simulator::new(SimConfig::sticky()).run(
+            &trace,
+            topology,
+            &profile,
+            &locality,
+            &Fifo,
+            &mut PackedPlacement::randomized(5),
+        );
+        let pal = Simulator::new(SimConfig::non_sticky()).run(
+            &trace,
+            topology,
+            &profile,
+            &locality,
+            &Fifo,
+            &mut PalPlacement::new(&profile),
+        );
+        println!(
+            "{load:>5}  {:>14.2} {:>14.2}  {:>8.0}%  {:>14.2} {:>14.2}",
+            tiresias.avg_jct() / 3600.0,
+            pal.avg_jct() / 3600.0,
+            (1.0 - pal.avg_jct() / tiresias.avg_jct()) * 100.0,
+            tiresias.avg_jct_multi_gpu().expect("multi-GPU jobs") / 3600.0,
+            pal.avg_jct_multi_gpu().expect("multi-GPU jobs") / 3600.0,
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Reproducibility: every stochastic component is seed-driven, so repeated
+//! runs with identical inputs must be bit-identical, and different seeds
+//! must actually change outcomes.
+
+use pal::{AppClassifier, PalPlacement};
+use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
+use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
+use pal_sim::placement::RandomPlacement;
+use pal_sim::sched::Fifo;
+use pal_sim::{SimConfig, SimResult, Simulator};
+use pal_trace::{ModelCatalog, SiaPhillyConfig, SynergyConfig, Trace};
+
+fn trace() -> Trace {
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    SiaPhillyConfig {
+        num_jobs: 50,
+        ..Default::default()
+    }
+    .generate(1, &catalog)
+}
+
+fn profile() -> VariabilityProfile {
+    let gpus = profiler::build_cluster_gpus(&GpuSpec::v100(), ClusterFlavor::Longhorn, 64, 3);
+    let apps: Vec<_> = Workload::TABLE_III.iter().map(|w| w.spec()).collect();
+    VariabilityProfile::from_modeled_gpus(&apps, &gpus)
+}
+
+fn run_pal() -> SimResult {
+    let profile = profile();
+    Simulator::new(SimConfig::non_sticky()).run(
+        &trace(),
+        ClusterTopology::sia_64(),
+        &profile,
+        &LocalityModel::uniform(1.5),
+        &Fifo,
+        &mut PalPlacement::new(&profile),
+    )
+}
+
+#[test]
+fn pal_simulation_is_bit_identical_across_runs() {
+    let a = run_pal();
+    let b = run_pal();
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.gpus_in_use, b.gpus_in_use);
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.busy_gpu_seconds, b.busy_gpu_seconds);
+}
+
+#[test]
+fn random_placement_is_deterministic_per_seed() {
+    let profile = profile();
+    let run = |seed: u64| {
+        Simulator::new(SimConfig::non_sticky()).run(
+            &trace(),
+            ClusterTopology::sia_64(),
+            &profile,
+            &LocalityModel::uniform(1.5),
+            &Fifo,
+            &mut RandomPlacement::new(seed),
+        )
+    };
+    assert_eq!(run(9).records, run(9).records);
+    assert_ne!(run(9).records, run(10).records);
+}
+
+#[test]
+fn trace_generators_are_seed_deterministic() {
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let sia = SiaPhillyConfig::default();
+    assert_eq!(sia.generate(5, &catalog), sia.generate(5, &catalog));
+    assert_ne!(sia.generate(5, &catalog), sia.generate(6, &catalog));
+
+    let syn = SynergyConfig::default();
+    assert_eq!(syn.generate(&catalog), syn.generate(&catalog));
+    let other = SynergyConfig {
+        seed: 99,
+        ..Default::default()
+    };
+    assert_ne!(syn.generate(&catalog), other.generate(&catalog));
+}
+
+#[test]
+fn profiles_and_classifier_are_deterministic() {
+    assert_eq!(profile(), profile());
+    let a = AppClassifier::fit_workloads(&Workload::ALL, &GpuSpec::v100(), 3, 1);
+    let b = AppClassifier::fit_workloads(&Workload::ALL, &GpuSpec::v100(), 3, 1);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_profile_seeds_change_pm_states() {
+    let a = ClusterFlavor::Longhorn.sample_states(64, 1);
+    let b = ClusterFlavor::Longhorn.sample_states(64, 2);
+    assert_ne!(a, b);
+}

@@ -1,0 +1,274 @@
+//! End-to-end integration: the full offline pipeline (profile → classify →
+//! bin) feeding the full online pipeline (trace → schedule → place →
+//! execute) across every policy and scheduler combination.
+
+use pal::{AppClassifier, PalPlacement, PmFirstPlacement, PmScoreTable};
+use pal_cluster::{ClusterTopology, JobClass, LocalityModel, VariabilityProfile};
+use pal_gpumodel::{profiler, utilization_features, ClusterFlavor, GpuSpec, Workload};
+use pal_sim::placement::{PackedPlacement, RandomPlacement};
+use pal_sim::sched::{Fifo, Las, SchedulingPolicy, Srtf};
+use pal_sim::{PlacementPolicy, SimConfig, Simulator};
+use pal_trace::{ModelCatalog, SiaPhillyConfig, Trace};
+
+fn small_trace(seed: u32) -> Trace {
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let cfg = SiaPhillyConfig {
+        num_jobs: 60,
+        ..Default::default()
+    };
+    cfg.generate(seed, &catalog)
+}
+
+fn profile_64() -> VariabilityProfile {
+    let gpus = profiler::build_cluster_gpus(&GpuSpec::v100(), ClusterFlavor::Longhorn, 64, 42);
+    let apps: Vec<_> = Workload::TABLE_III.iter().map(|w| w.spec()).collect();
+    VariabilityProfile::from_modeled_gpus(&apps, &gpus)
+}
+
+#[test]
+fn offline_pipeline_feeds_online_pipeline() {
+    // Offline: classify the zoo, bin the scores.
+    let spec = GpuSpec::v100();
+    let classifier = AppClassifier::fit_workloads(&Workload::ALL, &spec, 3, 0xC1A55);
+    let profile = profile_64();
+    let table = PmScoreTable::build_default(&profile);
+    assert_eq!(table.num_classes(), 3);
+
+    // The classifier's class for each Table II model matches the class the
+    // trace generator stamps on jobs (ground truth).
+    let catalog = ModelCatalog::table2(&spec);
+    for entry in catalog.entries() {
+        let (dram, fu) = utilization_features(&entry.model.spec(), &spec);
+        assert_eq!(
+            classifier.classify(dram, fu),
+            entry.class,
+            "classifier and catalog disagree on {}",
+            entry.model.name()
+        );
+    }
+
+    // Online: run PAL on a trace; every job completes with sane metrics.
+    let trace = small_trace(1);
+    let topo = ClusterTopology::sia_64();
+    let locality = LocalityModel::frontera_per_model();
+    let r = Simulator::new(SimConfig::non_sticky()).run(
+        &trace,
+        topo,
+        &profile,
+        &locality,
+        &Fifo,
+        &mut PalPlacement::new(&profile),
+    );
+    assert_eq!(r.records.len(), trace.len());
+    for rec in &r.records {
+        assert!(rec.finish > rec.arrival, "{} finished before arriving", rec.id);
+        assert!(rec.first_start >= rec.arrival);
+        assert!(rec.jct() >= rec.wait_time());
+    }
+    assert!(r.utilization() > 0.0 && r.utilization() <= 1.0);
+    assert!(r.occupancy() > 0.0 && r.occupancy() <= 1.0);
+}
+
+#[test]
+fn every_policy_scheduler_combination_completes() {
+    let profile = profile_64();
+    let trace = small_trace(2);
+    let topo = ClusterTopology::sia_64();
+    let locality = LocalityModel::uniform(1.5);
+    let las = Las::default();
+    let schedulers: [&dyn SchedulingPolicy; 3] = [&Fifo, &las, &Srtf];
+    for sched in schedulers {
+        let policies: Vec<(bool, Box<dyn PlacementPolicy>)> = vec![
+            (false, Box::new(RandomPlacement::new(1))),
+            (true, Box::new(RandomPlacement::new(2))),
+            (false, Box::new(PackedPlacement::randomized(3))),
+            (true, Box::new(PackedPlacement::randomized(4))),
+            (false, Box::new(PmFirstPlacement::new(&profile))),
+            (false, Box::new(PalPlacement::new(&profile))),
+        ];
+        for (sticky, mut policy) in policies {
+            let config = if sticky {
+                SimConfig::sticky()
+            } else {
+                SimConfig::non_sticky()
+            };
+            let r = Simulator::new(config).run(
+                &trace,
+                topo,
+                &profile,
+                &locality,
+                sched,
+                policy.as_mut(),
+            );
+            assert_eq!(
+                r.records.len(),
+                trace.len(),
+                "{} + {} lost jobs",
+                sched.name(),
+                r.placement
+            );
+        }
+    }
+}
+
+#[test]
+fn makespan_bounds_hold() {
+    // Makespan can never beat the serial-work lower bound or the longest
+    // single job's span.
+    let profile = profile_64();
+    let trace = small_trace(3);
+    let topo = ClusterTopology::sia_64();
+    let locality = LocalityModel::uniform(1.5);
+    let r = Simulator::new(SimConfig::non_sticky()).run(
+        &trace,
+        topo,
+        &profile,
+        &locality,
+        &Fifo,
+        &mut PalPlacement::new(&profile),
+    );
+    let work_bound = trace.total_ideal_gpu_service() / topo.total_gpus() as f64;
+    let longest = trace
+        .jobs
+        .iter()
+        .map(|j| j.arrival + j.ideal_runtime())
+        .fold(0.0f64, f64::max);
+    assert!(r.makespan() >= work_bound, "makespan below work bound");
+    assert!(r.makespan() >= longest * 0.999, "makespan below longest job");
+}
+
+#[test]
+fn perturbed_truth_increases_jct() {
+    // The Section V-A experiment's core mechanic: stale profiles make the
+    // "cluster" arm slower than the "simulation" arm.
+    let profile = profile_64();
+    let topo = ClusterTopology::sia_64();
+    let truth = profile.perturbed(JobClass::A, &topo.gpus_of(pal_cluster::NodeId(3)), 4.0);
+    let trace = small_trace(4);
+    let locality = LocalityModel::uniform(1.5);
+    let run = |truth: &VariabilityProfile| {
+        Simulator::new(SimConfig::non_sticky())
+            .run_with_truth(
+                &trace,
+                topo,
+                &profile,
+                truth,
+                &locality,
+                &Fifo,
+                &mut PalPlacement::new(&profile),
+            )
+            .avg_jct()
+    };
+    let sim = run(&profile);
+    let cluster = run(&truth);
+    assert!(
+        cluster > sim,
+        "perturbed ground truth should raise avg JCT ({cluster} vs {sim})"
+    );
+}
+
+#[test]
+fn multi_gpu_jobs_bounded_by_slowest_gpu() {
+    // Build a profile where one GPU is 3x slow for every class; a 4-GPU
+    // job allocated over it must run 3x slower (the BSP max of Equation 1).
+    let mut scores = vec![1.0; 8];
+    scores[1] = 3.0;
+    let profile = VariabilityProfile::from_raw(vec![scores.clone(), scores.clone(), scores]);
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let entry = catalog.get(Workload::ResNet50).expect("resnet in catalog");
+    let job = pal_trace::JobSpec {
+        id: pal_trace::JobId(0),
+        model: Workload::ResNet50,
+        class: JobClass::A,
+        arrival: 0.0,
+        gpu_demand: 4,
+        iterations: (600.0 / entry.base_iter_time) as u64,
+        base_iter_time: entry.base_iter_time,
+    };
+    let ideal = job.ideal_runtime();
+    let trace = Trace::new("bsp", vec![job]);
+    let topo = ClusterTopology::new(2, 4);
+    let locality = LocalityModel::uniform(1.5);
+    let r = Simulator::new(SimConfig::non_sticky()).run(
+        &trace,
+        topo,
+        &profile,
+        &locality,
+        &Fifo,
+        &mut PackedPlacement::deterministic(),
+    );
+    // Packed deterministic picks node 0 (GPUs 0-3), including the slow GPU 1.
+    let jct = r.records[0].jct();
+    assert!(
+        (jct - 3.0 * ideal).abs() / (3.0 * ideal) < 0.01,
+        "expected ~3x ideal ({}), got {jct}",
+        3.0 * ideal
+    );
+}
+
+#[test]
+fn adaptive_pal_recovers_from_stale_profile_end_to_end() {
+    // The abl_online_updates experiment as an executable assertion: with a
+    // stale profile hiding degraded nodes, Adaptive-PAL must beat plain
+    // PAL-on-the-stale-profile.
+    use pal::AdaptivePal;
+    let topo = ClusterTopology::sia_64();
+    let stale = profile_64();
+    let mut degraded = topo.gpus_of(pal_cluster::NodeId(1));
+    degraded.extend(topo.gpus_of(pal_cluster::NodeId(7)));
+    let truth = stale.perturbed(JobClass::A, &degraded, 3.0);
+    let trace = small_trace(1);
+    let locality = LocalityModel::frontera_per_model();
+    let run = |policy: &mut dyn PlacementPolicy| {
+        Simulator::new(SimConfig::non_sticky())
+            .run_with_truth(&trace, topo, &stale, &truth, &locality, &Fifo, policy)
+            .avg_jct()
+    };
+    let stale_jct = run(&mut PalPlacement::new(&stale));
+    let adaptive_jct = run(&mut AdaptivePal::new(&stale));
+    assert!(
+        adaptive_jct < stale_jct,
+        "online updates should help: adaptive {adaptive_jct} vs stale {stale_jct}"
+    );
+}
+
+#[test]
+fn admission_control_composes_with_pal() {
+    use pal_sim::admission::MaxActiveJobs;
+    let profile = profile_64();
+    let trace = small_trace(2);
+    let topo = ClusterTopology::sia_64();
+    let locality = LocalityModel::uniform(1.5);
+    let r = Simulator::new(SimConfig::non_sticky()).run_full(
+        &trace,
+        topo,
+        &profile,
+        &profile,
+        &locality,
+        &Fifo,
+        &mut PalPlacement::new(&profile),
+        &MaxActiveJobs { limit: 8 },
+    );
+    assert_eq!(r.records.len() + r.rejected.len(), trace.len());
+    // With a tight cap on a contended trace, someone must get turned away.
+    assert!(!r.rejected.is_empty(), "cap of 8 should reject something");
+}
+
+#[test]
+fn srsf_scheduler_composes_with_pal() {
+    use pal_sim::sched::Srsf;
+    let profile = profile_64();
+    let trace = small_trace(3);
+    let topo = ClusterTopology::sia_64();
+    let locality = LocalityModel::uniform(1.5);
+    let r = Simulator::new(SimConfig::non_sticky()).run(
+        &trace,
+        topo,
+        &profile,
+        &locality,
+        &Srsf,
+        &mut PalPlacement::new(&profile),
+    );
+    assert_eq!(r.records.len(), trace.len());
+    assert_eq!(r.scheduler, "SRSF");
+}

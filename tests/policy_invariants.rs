@@ -1,0 +1,223 @@
+//! Property-based invariants for the placement policies, driven by
+//! proptest: arbitrary cluster states, profiles, and demands must never
+//! produce an invalid allocation, and PAL must never do worse than the
+//! best achievable LV-product.
+
+use pal::{PalPlacement, PmFirstPlacement};
+use pal_cluster::{ClusterState, ClusterTopology, GpuId, JobClass, LocalityModel, VariabilityProfile};
+use pal_sim::placement::{PackedPlacement, RandomPlacement};
+use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest};
+use pal_trace::JobId;
+use proptest::prelude::*;
+
+/// Strategy: a (topology, busy set, per-GPU class-A raw scores) triple with
+/// at least `min_free` GPUs free.
+fn cluster_scenario(
+    min_free: usize,
+) -> impl Strategy<Value = (ClusterTopology, Vec<GpuId>, Vec<f64>)> {
+    (2usize..=8, 2usize..=4)
+        .prop_flat_map(move |(nodes, gpn)| {
+            let n = nodes * gpn;
+            (
+                Just(ClusterTopology::new(nodes, gpn)),
+                proptest::collection::vec(any::<bool>(), n),
+                proptest::collection::vec(0.8f64..3.2, n),
+            )
+        })
+        .prop_map(move |(topo, busy_mask, scores)| {
+            let mut busy: Vec<GpuId> = busy_mask
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(i, _)| GpuId(i as u32))
+                .collect();
+            // Keep at least `min_free` GPUs free.
+            let n = topo.total_gpus();
+            while n - busy.len() < min_free {
+                busy.pop();
+            }
+            (topo, busy, scores)
+        })
+}
+
+fn request(class: JobClass, demand: usize) -> PlacementRequest {
+    PlacementRequest {
+        job: JobId(0),
+        model: "resnet50",
+        class,
+        gpu_demand: demand,
+    }
+}
+
+fn check_valid(state: &ClusterState, alloc: &[GpuId], demand: usize) {
+    assert_eq!(alloc.len(), demand, "wrong allocation size");
+    let mut seen = std::collections::HashSet::new();
+    for &g in alloc {
+        assert!(state.is_free(g), "allocated busy GPU {g}");
+        assert!(seen.insert(g), "duplicated GPU {g}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_policies_return_valid_allocations(
+        (topo, busy, scores) in cluster_scenario(4),
+        demand in 1usize..=4,
+        class in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let profile = VariabilityProfile::from_raw(vec![scores.clone(), scores.clone(), scores]);
+        let mut state = ClusterState::new(topo);
+        state.allocate(&busy);
+        prop_assume!(state.free_count() >= demand);
+        let locality = LocalityModel::uniform(1.7);
+        let ctx = PlacementCtx { profile: &profile, locality: &locality };
+        let req = request(JobClass(class), demand);
+
+        let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(RandomPlacement::new(seed)),
+            Box::new(PackedPlacement::deterministic()),
+            Box::new(PackedPlacement::randomized(seed)),
+            Box::new(PmFirstPlacement::new(&profile)),
+            Box::new(PalPlacement::new(&profile)),
+        ];
+        for p in policies.iter_mut() {
+            let alloc = p.place(&req, &ctx, &state);
+            check_valid(&state, &alloc, demand);
+        }
+    }
+
+    #[test]
+    fn pal_achieves_minimum_lv_product(
+        (topo, busy, scores) in cluster_scenario(4),
+        demand in 2usize..=4,
+        l_across in 1.0f64..3.0,
+    ) {
+        prop_assume!(demand <= topo.gpus_per_node);
+        let profile = VariabilityProfile::from_raw(vec![scores.clone(), scores.clone(), scores]);
+        let mut state = ClusterState::new(topo);
+        state.allocate(&busy);
+        prop_assume!(state.free_count() >= demand);
+        let locality = LocalityModel::uniform(l_across);
+        let ctx = PlacementCtx { profile: &profile, locality: &locality };
+        let mut pal = PalPlacement::new(&profile);
+        let alloc = pal.place(&request(JobClass::A, demand), &ctx, &state);
+
+        let product_of = |gpus: &[GpuId]| {
+            let l = locality.penalty(&topo, "resnet50", gpus);
+            let v = gpus
+                .iter()
+                .map(|&g| pal.table().score(JobClass::A, g))
+                .fold(0.0f64, f64::max);
+            l * v
+        };
+        let achieved = product_of(&alloc);
+
+        // Exhaustive minimum over all subsets of the free list.
+        let free = state.free_gpus();
+        let mut best = f64::INFINITY;
+        let mut stack: Vec<usize> = Vec::with_capacity(demand);
+        fn recurse(
+            free: &[GpuId],
+            stack: &mut Vec<usize>,
+            start: usize,
+            demand: usize,
+            best: &mut f64,
+            product_of: &dyn Fn(&[GpuId]) -> f64,
+        ) {
+            if stack.len() == demand {
+                let gpus: Vec<GpuId> = stack.iter().map(|&i| free[i]).collect();
+                let p = product_of(&gpus);
+                if p < *best {
+                    *best = p;
+                }
+                return;
+            }
+            for i in start..free.len() {
+                stack.push(i);
+                recurse(free, stack, i + 1, demand, best, product_of);
+                stack.pop();
+            }
+        }
+        recurse(&free, &mut stack, 0, demand, &mut best, &product_of);
+        prop_assert!(
+            achieved <= best + 1e-9,
+            "PAL product {achieved} exceeds exhaustive minimum {best}"
+        );
+    }
+
+    #[test]
+    fn pmfirst_never_worse_than_random_on_max_score(
+        (topo, busy, scores) in cluster_scenario(4),
+        demand in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let profile = VariabilityProfile::from_raw(vec![scores.clone(), scores.clone(), scores]);
+        let mut state = ClusterState::new(topo);
+        state.allocate(&busy);
+        prop_assume!(state.free_count() >= demand);
+        let locality = LocalityModel::uniform(1.7);
+        let ctx = PlacementCtx { profile: &profile, locality: &locality };
+        let req = request(JobClass::A, demand);
+
+        let mut pmf = PmFirstPlacement::new(&profile);
+        let mut rnd = RandomPlacement::new(seed);
+        let a = pmf.place(&req, &ctx, &state);
+        let b = rnd.place(&req, &ctx, &state);
+        let table = pmf.table();
+        let max_of = |alloc: &[GpuId]| {
+            alloc
+                .iter()
+                .map(|&g| table.score(JobClass::A, g))
+                .fold(0.0f64, f64::max)
+        };
+        prop_assert!(max_of(&a) <= max_of(&b) + 1e-9);
+    }
+
+    #[test]
+    fn class_priority_order_is_stable_partition(
+        classes in proptest::collection::vec(0usize..3, 1..20),
+    ) {
+        let profile = VariabilityProfile::from_raw(vec![vec![1.0; 8]; 3]);
+        let locality = LocalityModel::uniform(1.5);
+        let ctx = PlacementCtx { profile: &profile, locality: &locality };
+        let requests: Vec<PlacementRequest> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| PlacementRequest {
+                job: JobId(i as u32),
+                model: "resnet50",
+                class: JobClass(c),
+                gpu_demand: 1,
+            })
+            .collect();
+        let pal = PalPlacement::new(&profile);
+        let order = pal.placement_order(&requests, &ctx);
+        // Permutation check.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..requests.len()).collect::<Vec<_>>());
+        // Classes non-decreasing along the order; equal classes keep
+        // original relative order (stability).
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            prop_assert!(requests[a].class <= requests[b].class);
+            if requests[a].class == requests[b].class {
+                prop_assert!(a < b);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_state_allocate_release_roundtrip(
+        (topo, busy, _) in cluster_scenario(1),
+    ) {
+        let mut state = ClusterState::new(topo);
+        state.allocate(&busy);
+        prop_assert_eq!(state.busy_count(), busy.len());
+        state.release(&busy);
+        prop_assert_eq!(state.free_count(), topo.total_gpus());
+    }
+}
