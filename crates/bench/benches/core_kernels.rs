@@ -65,7 +65,7 @@ fn bench_full_simulation(c: &mut Criterion) {
     group.sample_size(20);
     for kind in [PolicyKind::Tiresias, PolicyKind::PmFirst, PolicyKind::Pal] {
         group.bench_function(kind.name(), |b| {
-            b.iter(|| black_box(run_policy(&trace, topo, &profile, &locality, &Fifo, kind)))
+            b.iter(|| black_box(run_policy(&trace, topo, &profile, &locality, Fifo, kind)))
         });
     }
     group.finish();

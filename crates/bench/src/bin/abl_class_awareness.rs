@@ -16,8 +16,7 @@ use pal::PalPlacement;
 use pal_bench::{hours, longhorn_profile, PROFILE_SEED};
 use pal_cluster::{ClusterState, ClusterTopology, GpuId, JobClass, LocalityModel};
 use pal_gpumodel::GpuSpec;
-use pal_sim::sched::Fifo;
-use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest, SimConfig, Simulator};
+use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest, Scenario};
 use pal_trace::{ModelCatalog, SiaPhillyConfig};
 
 /// Wraps a placement policy, overriding the class it perceives for every
@@ -82,12 +81,15 @@ fn main() {
         let jcts: Vec<f64> = traces
             .iter()
             .map(|t| {
-                let mut policy = ForcedClassView {
-                    inner: PalPlacement::new(&profile),
-                    class: forced,
-                };
-                Simulator::new(SimConfig::non_sticky())
-                    .run(t, topo, &profile, &locality, &Fifo, &mut policy)
+                Scenario::new(t.clone(), topo)
+                    .profile(profile.clone())
+                    .locality(locality.clone())
+                    .placement(ForcedClassView {
+                        inner: PalPlacement::new(&profile),
+                        class: forced,
+                    })
+                    .run()
+                    .expect("ablation scenario misconfigured")
                     .avg_jct()
             })
             .collect();

@@ -10,8 +10,7 @@ use pal_bench::{hours, longhorn_profile, PROFILE_SEED};
 use pal_cluster::{ClusterTopology, LocalityModel};
 use pal_gpumodel::GpuSpec;
 use pal_kmeans::ScoreBinning;
-use pal_sim::sched::Fifo;
-use pal_sim::{SimConfig, Simulator};
+use pal_sim::Scenario;
 use pal_trace::{ModelCatalog, SiaPhillyConfig};
 
 fn main() {
@@ -29,15 +28,12 @@ fn main() {
         let jcts: Vec<f64> = traces
             .iter()
             .map(|trace| {
-                Simulator::new(SimConfig::non_sticky())
-                    .run(
-                        trace,
-                        topo,
-                        &profile,
-                        &locality,
-                        &Fifo,
-                        &mut PalPlacement::with_binning(&profile, &binning),
-                    )
+                Scenario::new(trace.clone(), topo)
+                    .profile(profile.clone())
+                    .locality(locality.clone())
+                    .placement(PalPlacement::with_binning(&profile, &binning))
+                    .run()
+                    .expect("ablation scenario misconfigured")
                     .avg_jct()
             })
             .collect();

@@ -13,8 +13,7 @@ use pal::{AdaptivePal, PalPlacement};
 use pal_bench::{frontera_testbed_profile, hours, PROFILE_SEED};
 use pal_cluster::{ClusterTopology, JobClass, LocalityModel, NodeId};
 use pal_gpumodel::GpuSpec;
-use pal_sim::sched::Fifo;
-use pal_sim::{PlacementPolicy, SimConfig, Simulator};
+use pal_sim::{PlacementPolicy, Scenario};
 use pal_trace::{ModelCatalog, SiaPhillyConfig};
 
 fn main() {
@@ -31,21 +30,23 @@ fn main() {
     println!("workload,policy,avg_jct_h,p99_jct_h,makespan_h");
     for w in 1..=4u32 {
         let trace = SiaPhillyConfig::default().generate(w, &catalog);
-        let arms: Vec<(&str, Box<dyn PlacementPolicy>, &pal_cluster::VariabilityProfile)> = vec![
+        let arms: Vec<(
+            &str,
+            Box<dyn PlacementPolicy + Send>,
+            &pal_cluster::VariabilityProfile,
+        )> = vec![
             ("PAL-stale", Box::new(PalPlacement::new(&stale)), &stale),
             ("Adaptive-PAL", Box::new(AdaptivePal::new(&stale)), &stale),
             ("PAL-oracle", Box::new(PalPlacement::new(&truth)), &truth),
         ];
-        for (name, mut policy, visible) in arms {
-            let r = Simulator::new(SimConfig::non_sticky()).run_with_truth(
-                &trace,
-                topo,
-                visible,
-                &truth,
-                &locality,
-                &Fifo,
-                policy.as_mut(),
-            );
+        for (name, policy, visible) in arms {
+            let r = Scenario::new(trace.clone(), topo)
+                .profile(visible.clone())
+                .truth(truth.clone())
+                .locality(locality.clone())
+                .placement_boxed(policy)
+                .run()
+                .expect("ablation scenario misconfigured");
             println!(
                 "{w},{name},{:.2},{:.2},{:.2}",
                 hours(r.avg_jct()),

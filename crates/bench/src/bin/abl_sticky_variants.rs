@@ -8,8 +8,7 @@ use pal::{PalPlacement, PmFirstPlacement};
 use pal_bench::{hours, longhorn_profile, PROFILE_SEED};
 use pal_cluster::{ClusterTopology, LocalityModel};
 use pal_gpumodel::GpuSpec;
-use pal_sim::sched::Fifo;
-use pal_sim::{PlacementPolicy, SimConfig, Simulator};
+use pal_sim::{PlacementPolicy, Scenario};
 use pal_trace::{ModelCatalog, SiaPhillyConfig};
 
 fn main() {
@@ -32,23 +31,17 @@ fn main() {
         let mut jcts = Vec::new();
         let mut migrations = 0u64;
         for trace in &traces {
-            let mut policy: Box<dyn PlacementPolicy> = match name {
+            let policy: Box<dyn PlacementPolicy + Send> = match name {
                 "PM-First" => Box::new(PmFirstPlacement::new(&profile)),
                 _ => Box::new(PalPlacement::new(&profile)),
             };
-            let config = if sticky {
-                SimConfig::sticky()
-            } else {
-                SimConfig::non_sticky()
-            };
-            let r = Simulator::new(config).run(
-                trace,
-                topo,
-                &profile,
-                &locality,
-                &Fifo,
-                policy.as_mut(),
-            );
+            let r = Scenario::new(trace.clone(), topo)
+                .profile(profile.clone())
+                .locality(locality.clone())
+                .placement_boxed(policy)
+                .sticky(sticky)
+                .run()
+                .expect("ablation scenario misconfigured");
             jcts.push(r.avg_jct());
             migrations += r.total_migrations();
         }

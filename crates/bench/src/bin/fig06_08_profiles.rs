@@ -12,8 +12,18 @@ use pal_stats::BoxplotStats;
 
 fn main() {
     let systems = [
-        ("Figure 6: Frontera", GpuSpec::quadro_rtx5000(), ClusterFlavor::Frontera, 360),
-        ("Figure 7: Longhorn", GpuSpec::v100(), ClusterFlavor::Longhorn, 416),
+        (
+            "Figure 6: Frontera",
+            GpuSpec::quadro_rtx5000(),
+            ClusterFlavor::Frontera,
+            360,
+        ),
+        (
+            "Figure 7: Longhorn",
+            GpuSpec::v100(),
+            ClusterFlavor::Longhorn,
+            416,
+        ),
         (
             "Figure 8: Frontera 64-GPU testbed",
             GpuSpec::quadro_rtx5000(),

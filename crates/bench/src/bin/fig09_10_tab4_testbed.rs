@@ -14,11 +14,13 @@
 //! Prints the four JCT CDFs (Figure 9), boxplot stats (Figure 10), and the
 //! Table IV summary.
 
-use pal_bench::{frontera_testbed_profile, hours, run_policy, PolicyKind, PROFILE_SEED};
+use pal_bench::{
+    frontera_testbed_profile, hours, run_policy, PolicyKind, CAMPAIGN_SEED, PROFILE_SEED,
+};
 use pal_cluster::{ClusterTopology, JobClass, LocalityModel};
 use pal_gpumodel::GpuSpec;
 use pal_sim::sched::Las;
-use pal_sim::{SimConfig, SimResult, Simulator};
+use pal_sim::{Scenario, SimResult};
 use pal_stats::BoxplotStats;
 use pal_trace::{ModelCatalog, SiaPhillyConfig};
 
@@ -65,23 +67,17 @@ fn main() {
     let mut results: Vec<(String, SimResult)> = Vec::new();
     for kind in [PolicyKind::Tiresias, PolicyKind::Pal] {
         // Simulation arm.
-        let sim = run_policy(&trace, topo, &profile, &locality, &sched, kind);
+        let sim = run_policy(&trace, topo, &profile, &locality, sched, kind);
         // "Physical cluster" arm: same policy view, perturbed ground truth.
-        let config = if kind.sticky() {
-            SimConfig::sticky()
-        } else {
-            SimConfig::non_sticky()
-        };
-        let mut placement = kind.build(&profile, 0xD1CE);
-        let cluster = Simulator::new(config).run_with_truth(
-            &trace,
-            topo,
-            &profile,
-            &truth,
-            &locality,
-            &sched,
-            placement.as_mut(),
-        );
+        let cluster = Scenario::new(trace.clone(), topo)
+            .profile(profile.clone())
+            .truth(truth.clone())
+            .locality(locality.clone())
+            .scheduler(sched)
+            .placement_boxed(kind.build(&profile, CAMPAIGN_SEED))
+            .sticky(kind.sticky())
+            .run()
+            .expect("testbed scenario misconfigured");
         results.push((format!("{} Simulation", kind.name()), sim));
         results.push((kind.name().to_string(), cluster));
     }
@@ -145,7 +141,11 @@ fn main() {
     );
     println!(
         "# KS distance cluster-vs-sim: Tiresias {:.3}, PAL {:.3}",
-        get("Tiresias").jct_cdf().ks_distance(&get("Tiresias Simulation").jct_cdf()),
-        get("PAL").jct_cdf().ks_distance(&get("PAL Simulation").jct_cdf())
+        get("Tiresias")
+            .jct_cdf()
+            .ks_distance(&get("Tiresias Simulation").jct_cdf()),
+        get("PAL")
+            .jct_cdf()
+            .ks_distance(&get("PAL Simulation").jct_cdf())
     );
 }

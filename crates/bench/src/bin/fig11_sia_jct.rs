@@ -1,11 +1,15 @@
 //! Figure 11 and the Section V-B headline numbers: average JCT normalized
 //! to Tiresias for the eight Sia-Philly workloads on a 64-GPU cluster with
 //! FIFO scheduling, across all six placement policies.
+//!
+//! One 8-scenario × 6-policy [`pal_sim::Campaign`]: every workload is a
+//! scenario row, every placement configuration a policy column, all 48
+//! cells run in parallel with deterministic per-cell seeds.
 
 use pal_bench::*;
 use pal_cluster::{ClusterTopology, LocalityModel};
 use pal_gpumodel::GpuSpec;
-use pal_sim::sched::Fifo;
+use pal_sim::Scenario;
 use pal_trace::{ModelCatalog, SiaPhillyConfig};
 use std::collections::HashMap;
 
@@ -15,26 +19,42 @@ fn main() {
     let locality = LocalityModel::frontera_per_model();
     let catalog = ModelCatalog::table2(&GpuSpec::v100());
 
-    println!("# Figure 11: avg JCT normalized to Tiresias (Packed-Sticky = 1.0)");
-    println!("workload,policy,avg_jct_h,normalized_to_tiresias");
-    let mut metrics: HashMap<&str, Vec<(f64, f64, f64, f64)>> = HashMap::new();
+    let mut campaign = paper_campaign();
     for w in 1..=8u32 {
         let trace = SiaPhillyConfig::default().generate(w, &catalog);
-        let results = run_all_policies(&trace, topo, &profile, &locality, &Fifo);
-        let tiresias = results
+        let profile = profile.clone();
+        let locality = locality.clone();
+        campaign = campaign.scenario(format!("{w}"), move || {
+            Scenario::new(trace.clone(), topo)
+                .profile(profile.clone())
+                .locality(locality.clone())
+        });
+    }
+    let cells = campaign.run().expect("figure 11 campaign misconfigured");
+
+    println!("# Figure 11: avg JCT normalized to Tiresias (Packed-Sticky = 1.0)");
+    println!("workload,policy,avg_jct_h,normalized_to_tiresias");
+    let mut metrics: HashMap<String, Vec<(f64, f64, f64, f64)>> = HashMap::new();
+    for w in 1..=8u32 {
+        let workload: Vec<_> = cells
             .iter()
-            .find(|(k, _)| *k == PolicyKind::Tiresias)
+            .filter(|c| c.scenario == format!("{w}"))
+            .collect();
+        let tiresias = workload
+            .iter()
+            .find(|c| c.policy == PolicyKind::Tiresias.name())
             .expect("Tiresias ran")
-            .1
+            .result
             .avg_jct();
-        for (kind, r) in &results {
+        for cell in &workload {
+            let r = &cell.result;
             println!(
                 "{w},{},{:.2},{:.3}",
-                kind.name(),
+                cell.policy,
                 hours(r.avg_jct()),
                 r.avg_jct() / tiresias
             );
-            metrics.entry(kind.name()).or_default().push((
+            metrics.entry(cell.policy.clone()).or_default().push((
                 r.avg_jct(),
                 r.p99_jct(),
                 r.makespan(),

@@ -22,7 +22,7 @@ fn main() {
     for w in [3u32, 5] {
         let trace = SiaPhillyConfig::default().generate(w, &catalog);
         for kind in [PolicyKind::Tiresias, PolicyKind::PmFirst, PolicyKind::Pal] {
-            let r = run_policy(&trace, topo, &profile, &locality, &Fifo, kind);
+            let r = run_policy(&trace, topo, &profile, &locality, Fifo, kind);
             for (id, wait) in r.wait_times() {
                 println!("{w},{},{id},{:.3}", kind.name(), hours(wait));
             }

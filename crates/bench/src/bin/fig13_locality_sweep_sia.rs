@@ -24,12 +24,14 @@ fn main() {
         for kind in PolicyKind::ALL {
             let jcts: Vec<f64> = traces
                 .iter()
-                .map(|t| run_policy(t, topo, &profile, &locality, &Fifo, kind).avg_jct())
+                .map(|t| run_policy(t, topo, &profile, &locality, Fifo, kind).avg_jct())
                 .collect();
             let mean = pal_stats::mean(&jcts).expect("eight traces");
             println!("C{penalty:.1},{},{:.2}", kind.name(), hours(mean));
         }
     }
     println!();
-    println!("# (PM-First's edge over Tiresias should shrink with the penalty; PAL's should persist)");
+    println!(
+        "# (PM-First's edge over Tiresias should shrink with the penalty; PAL's should persist)"
+    );
 }

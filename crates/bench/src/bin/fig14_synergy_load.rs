@@ -25,13 +25,16 @@ fn main() {
     println!("jobs_per_hour,policy,avg_jct_h,steady_state_jct_h,multi_gpu_jct_h");
     for load in [4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0] {
         let trace = SynergyConfig::default().at_load(load).generate(&catalog);
-        let results = run_all_policies(&trace, topo, &profile, &locality, &Fifo);
+        let results = run_all_policies(&trace, topo, &profile, &locality, Fifo);
         for (kind, r) in &results {
             println!(
                 "{load},{},{:.2},{:.2},{:.2}",
                 kind.name(),
                 hours(r.avg_jct()),
-                hours(r.avg_jct_window(WINDOW.0, WINDOW.1).expect("window non-empty")),
+                hours(
+                    r.avg_jct_window(WINDOW.0, WINDOW.1)
+                        .expect("window non-empty")
+                ),
                 hours(r.avg_jct_multi_gpu().expect("trace has multi-GPU jobs"))
             );
         }

@@ -21,7 +21,7 @@ fn main() {
     for load in [8.0, 10.0] {
         let trace = SynergyConfig::default().at_load(load).generate(&catalog);
         for kind in [PolicyKind::Tiresias, PolicyKind::Pal] {
-            let r = run_policy(&trace, topo, &profile, &locality, &Fifo, kind);
+            let r = run_policy(&trace, topo, &profile, &locality, Fifo, kind);
             let span = r.makespan();
             for (t, v) in r.gpus_in_use.resample(0.0, span, 200) {
                 println!("{load},{},{t:.0},{v:.0}", kind.name());

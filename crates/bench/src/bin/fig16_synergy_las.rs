@@ -17,7 +17,7 @@ fn main() {
     println!("jobs_per_hour,policy,avg_jct_h,pal_improvement_over_tiresias_pct");
     for load in [8.0, 10.0, 12.0, 14.0] {
         let trace = SynergyConfig::default().at_load(load).generate(&catalog);
-        let results = run_all_policies(&trace, topo, &profile, &locality, &Las::default());
+        let results = run_all_policies(&trace, topo, &profile, &locality, Las::default());
         let tiresias = results
             .iter()
             .find(|(k, _)| *k == PolicyKind::Tiresias)

@@ -11,8 +11,8 @@ use pal_bench::*;
 use pal_cluster::{ClusterTopology, LocalityModel};
 use pal_gpumodel::GpuSpec;
 use pal_sim::sched::Fifo;
-use pal_trace::{ModelCatalog, SynergyConfig};
 use pal_stats::BoxplotStats;
+use pal_trace::{ModelCatalog, SynergyConfig};
 
 fn main() {
     let catalog = ModelCatalog::table2(&GpuSpec::v100());
@@ -26,12 +26,8 @@ fn main() {
         let profile = longhorn_profile(n, PROFILE_SEED);
         // Scale offered load with cluster size so contention is comparable.
         let trace = SynergyConfig::default().at_load(load).generate(&catalog);
-        let r = run_policy(&trace, topo, &profile, &locality, &Fifo, PolicyKind::Pal);
-        let us: Vec<f64> = r
-            .placement_compute_times
-            .iter()
-            .map(|&s| s * 1e6)
-            .collect();
+        let r = run_policy(&trace, topo, &profile, &locality, Fifo, PolicyKind::Pal);
+        let us: Vec<f64> = r.placement_compute_times.iter().map(|&s| s * 1e6).collect();
         let b = BoxplotStats::of(&us).expect("at least one epoch");
         let max = us.iter().cloned().fold(0.0, f64::max);
         println!(
@@ -46,5 +42,7 @@ fn main() {
         );
     }
     println!();
-    println!("# (also see `cargo bench -p pal-bench --bench placement_overhead` for Criterion timings)");
+    println!(
+        "# (also see `cargo bench -p pal-bench --bench placement_overhead` for Criterion timings)"
+    );
 }

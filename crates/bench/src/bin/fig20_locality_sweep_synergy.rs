@@ -17,7 +17,7 @@ fn main() {
     println!("locality_penalty,policy,avg_jct_h,pal_improvement_over_tiresias_pct");
     for penalty in [1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7] {
         let locality = LocalityModel::uniform(penalty);
-        let results = run_all_policies(&trace, topo, &profile, &locality, &Fifo);
+        let results = run_all_policies(&trace, topo, &profile, &locality, Fifo);
         let tiresias = results
             .iter()
             .find(|(k, _)| *k == PolicyKind::Tiresias)

@@ -21,7 +21,7 @@ use pal_cluster::{ClusterTopology, LocalityModel};
 use pal_gpumodel::GpuSpec;
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
 use pal_sim::sched::{Fifo, Las, SchedulingPolicy, Srsf, Srtf};
-use pal_sim::{PlacementPolicy, SimConfig, Simulator};
+use pal_sim::{PlacementPolicy, Scenario};
 use pal_trace::{ModelCatalog, SiaPhillyConfig, SynergyConfig, Trace};
 
 #[derive(Debug)]
@@ -136,7 +136,7 @@ fn main() {
     let locality = LocalityModel::uniform(args.locality);
     let trace = build_trace(&args);
 
-    let (sticky, mut policy): (bool, Box<dyn PlacementPolicy>) = match args.policy.as_str() {
+    let (sticky, policy): (bool, Box<dyn PlacementPolicy + Send>) = match args.policy.as_str() {
         "random-sticky" => (true, Box::new(RandomPlacement::new(args.seed))),
         "random" => (false, Box::new(RandomPlacement::new(args.seed))),
         "gandiva" => (false, Box::new(PackedPlacement::randomized(args.seed))),
@@ -149,23 +149,31 @@ fn main() {
             usage()
         }
     };
-    let las = Las::default();
-    let sched: &dyn SchedulingPolicy = match args.sched.as_str() {
-        "fifo" => &Fifo,
-        "las" => &las,
-        "srtf" => &Srtf,
-        "srsf" => &Srsf,
+    let sched: Box<dyn SchedulingPolicy + Send + Sync> = match args.sched.as_str() {
+        "fifo" => Box::new(Fifo),
+        "las" => Box::new(Las::default()),
+        "srtf" => Box::new(Srtf),
+        "srsf" => Box::new(Srsf),
         other => {
             eprintln!("unknown scheduler: {other}");
             usage()
         }
     };
-    let config = SimConfig {
-        sticky,
-        ..Default::default()
-    };
 
-    let r = Simulator::new(config).run(&trace, topo, &profile, &locality, sched, policy.as_mut());
+    let r = match Scenario::new(trace, topo)
+        .profile(profile)
+        .locality(locality)
+        .scheduler_boxed(sched)
+        .placement_boxed(policy)
+        .sticky(sticky)
+        .run()
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     if args.csv {
         println!("job_id,model,class,gpu_demand,arrival_s,first_start_s,finish_s,jct_s,wait_s,migrations,preemptions");
@@ -189,14 +197,21 @@ fn main() {
     }
 
     println!("trace      : {} ({} jobs)", r.trace, r.records.len());
-    println!("cluster    : {} nodes x {} GPUs", args.nodes, args.gpus_per_node);
+    println!(
+        "cluster    : {} nodes x {} GPUs",
+        args.nodes, args.gpus_per_node
+    );
     println!("scheduler  : {}", r.scheduler);
     println!("placement  : {}", r.placement);
     println!("locality   : L_across = {}", args.locality);
     println!("avg JCT    : {:.2} h", r.avg_jct() / 3600.0);
     println!("p99 JCT    : {:.2} h", r.p99_jct() / 3600.0);
     println!("makespan   : {:.2} h", r.makespan() / 3600.0);
-    println!("utilization: {:.3} (effective), {:.3} (occupancy)", r.utilization(), r.occupancy());
+    println!(
+        "utilization: {:.3} (effective), {:.3} (occupancy)",
+        r.utilization(),
+        r.occupancy()
+    );
     println!("migrations : {}", r.total_migrations());
     println!("rounds     : {}", r.rounds);
     if args.wait_times {

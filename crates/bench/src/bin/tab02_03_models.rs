@@ -26,8 +26,18 @@ fn main() {
     println!("# Table III: applications profiled for PM penalty estimation");
     println!("benchmark,cluster,geomean_variability_pct,max_slowdown");
     for (cluster, spec, flavor, n) in [
-        ("Longhorn", GpuSpec::v100(), ClusterFlavor::Longhorn, 416usize),
-        ("Frontera", GpuSpec::quadro_rtx5000(), ClusterFlavor::Frontera, 360),
+        (
+            "Longhorn",
+            GpuSpec::v100(),
+            ClusterFlavor::Longhorn,
+            416usize,
+        ),
+        (
+            "Frontera",
+            GpuSpec::quadro_rtx5000(),
+            ClusterFlavor::Frontera,
+            360,
+        ),
     ] {
         let profiled = profile_table3(&spec, flavor, n, PROFILE_SEED);
         for (w, p) in Workload::TABLE_III.iter().zip(&profiled) {

@@ -1,17 +1,28 @@
 //! Shared experiment plumbing: cluster/profile construction matching the
-//! paper's methodology (Section IV) and a uniform runner over the six
-//! placement configurations of Section IV-A1.
+//! paper's methodology (Section IV) and [`PolicyKind`], the six placement
+//! configurations of Section IV-A1, expressed as [`pal_sim::Campaign`]
+//! policy specs.
+//!
+//! The sweep helpers here are thin conveniences over the simulator's
+//! `Scenario`/`Campaign` API: [`run_policy`] runs one cell,
+//! [`run_all_policies`] runs the full six-policy column for one trace, and
+//! [`paper_campaign`] builds the raw `Campaign` for binaries that sweep
+//! several scenarios at once.
 
 use pal::{PalPlacement, PmFirstPlacement};
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, ProfiledApp, Workload};
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
-use pal_sim::{PlacementPolicy, SchedulingPolicy, SimConfig, SimResult, Simulator};
+use pal_sim::{Campaign, PlacementPolicy, PolicySpec, Scenario, SchedulingPolicy, SimResult};
 use pal_trace::Trace;
 
 /// Default seed for profile synthesis — fixed so every figure binary sees
 /// the same cluster.
 pub const PROFILE_SEED: u64 = 0x70AC_C01D;
+
+/// Default campaign seed for the policy sweeps (feeds the deterministic
+/// per-cell seeds).
+pub const CAMPAIGN_SEED: u64 = 0xD1CE;
 
 /// Measured-cluster sizes the synthetic profiles are drawn from. Longhorn
 /// had 448 V100s (8 nodes × 4 GPUs × 14 chassis in the GPU subsystem);
@@ -20,7 +31,12 @@ pub const PROFILE_SEED: u64 = 0x70AC_C01D;
 pub const LONGHORN_MEASURED_GPUS: usize = 448;
 
 /// Profile the three Table III representatives on a modeled cluster.
-pub fn profile_table3(spec: &GpuSpec, flavor: ClusterFlavor, n: usize, seed: u64) -> Vec<ProfiledApp> {
+pub fn profile_table3(
+    spec: &GpuSpec,
+    flavor: ClusterFlavor,
+    n: usize,
+    seed: u64,
+) -> Vec<ProfiledApp> {
     let gpus = profiler::build_cluster_gpus(spec, flavor, n, seed);
     Workload::TABLE_III
         .iter()
@@ -100,77 +116,144 @@ impl PolicyKind {
     }
 
     /// Instantiate the placement policy object.
-    pub fn build(self, profile: &VariabilityProfile, seed: u64) -> Box<dyn PlacementPolicy> {
+    pub fn build(self, profile: &VariabilityProfile, seed: u64) -> Box<dyn PlacementPolicy + Send> {
         match self {
             PolicyKind::RandomSticky | PolicyKind::RandomNonSticky => {
                 Box::new(RandomPlacement::new(seed))
             }
-            PolicyKind::Gandiva | PolicyKind::Tiresias => Box::new(PackedPlacement::randomized(seed)),
+            PolicyKind::Gandiva | PolicyKind::Tiresias => {
+                Box::new(PackedPlacement::randomized(seed))
+            }
             PolicyKind::PmFirst => Box::new(PmFirstPlacement::new(profile)),
             PolicyKind::Pal => Box::new(PalPlacement::new(profile)),
         }
     }
+
+    /// This configuration as a [`Campaign`] policy column: the paper's
+    /// label, the policy builder, and the sticky override.
+    pub fn spec(self) -> PolicySpec {
+        PolicySpec::new(self.name(), move |profile, seed| self.build(profile, seed))
+            .sticky(self.sticky())
+    }
+}
+
+/// All six placement configurations as [`Campaign`] policy columns, in
+/// [`PolicyKind::ALL`] order.
+pub fn paper_policy_specs() -> Vec<PolicySpec> {
+    PolicyKind::ALL.iter().map(|k| k.spec()).collect()
+}
+
+/// A campaign pre-loaded with the six paper policies (add scenarios with
+/// [`Campaign::scenario`]).
+pub fn paper_campaign() -> Campaign {
+    Campaign::new()
+        .seed(CAMPAIGN_SEED)
+        .policies(paper_policy_specs())
 }
 
 /// Run one `(trace, policy)` simulation with the policy-appropriate sticky
-/// mode.
-pub fn run_policy(
+/// mode, as a one-cell [`Campaign`].
+///
+/// Cell seeds are derived from `(CAMPAIGN_SEED, trace name, policy name)`,
+/// so this reproduces the corresponding cell of [`run_all_policies`]
+/// exactly — figure binaries mixing the two helpers report consistent
+/// numbers for identical configurations.
+pub fn run_policy<S>(
     trace: &Trace,
     topology: ClusterTopology,
     profile: &VariabilityProfile,
     locality: &LocalityModel,
-    scheduler: &dyn SchedulingPolicy,
+    scheduler: S,
     kind: PolicyKind,
-) -> SimResult {
-    let config = if kind.sticky() {
-        SimConfig::sticky()
-    } else {
-        SimConfig::non_sticky()
-    };
-    let mut placement = kind.build(profile, 0xD1CE ^ trace.jobs.len() as u64);
-    let mut result = Simulator::new(config).run(
-        trace,
-        topology,
-        profile,
-        locality,
-        scheduler,
-        placement.as_mut(),
-    );
-    // The engine reports "<policy>-<Sticky|NonSticky>"; use the paper's
-    // labels instead.
-    result.placement = kind.name().to_string();
-    result
+) -> SimResult
+where
+    S: SchedulingPolicy + Send + Sync + Clone + 'static,
+{
+    let tag = trace.name.clone();
+    let trace = trace.clone();
+    let profile = profile.clone();
+    let locality = locality.clone();
+    let mut results = Campaign::new()
+        .seed(CAMPAIGN_SEED)
+        .scenario(tag, move || {
+            Scenario::new(trace.clone(), topology)
+                .profile(profile.clone())
+                .locality(locality.clone())
+                .scheduler(scheduler.clone())
+        })
+        .policy(kind.spec())
+        .run()
+        .expect("experiment scenario misconfigured");
+    results.pop().expect("one cell ran").result
 }
 
-/// Run every policy of [`PolicyKind::ALL`] over one trace, in parallel.
-pub fn run_all_policies(
+/// Run every policy of [`PolicyKind::ALL`] over one trace, in parallel,
+/// as a one-scenario [`Campaign`].
+pub fn run_all_policies<S>(
     trace: &Trace,
     topology: ClusterTopology,
     profile: &VariabilityProfile,
     locality: &LocalityModel,
-    scheduler: &(dyn SchedulingPolicy + Sync),
-) -> Vec<(PolicyKind, SimResult)> {
-    let mut out: Vec<(PolicyKind, SimResult)> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = PolicyKind::ALL
-            .iter()
-            .map(|&kind| {
-                s.spawn(move || {
-                    (
-                        kind,
-                        run_policy(trace, topology, profile, locality, scheduler, kind),
-                    )
-                })
-            })
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("policy run panicked"));
-        }
-    });
-    out
+    scheduler: S,
+) -> Vec<(PolicyKind, SimResult)>
+where
+    S: SchedulingPolicy + Send + Sync + Clone + 'static,
+{
+    let tag = trace.name.clone();
+    let trace = trace.clone();
+    let profile = profile.clone();
+    let locality = locality.clone();
+    let results = paper_campaign()
+        .scenario(tag, move || {
+            Scenario::new(trace.clone(), topology)
+                .profile(profile.clone())
+                .locality(locality.clone())
+                .scheduler(scheduler.clone())
+        })
+        .run()
+        .expect("experiment campaign misconfigured");
+    PolicyKind::ALL
+        .iter()
+        .copied()
+        .zip(results.into_iter().map(|cell| cell.result))
+        .collect()
 }
 
 /// Seconds → hours, for printing in the paper's units.
 pub fn hours(seconds: f64) -> f64 {
     seconds / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pal_sim::sched::Fifo;
+    use pal_trace::{ModelCatalog, SiaPhillyConfig};
+
+    #[test]
+    fn run_policy_matches_run_all_policies_cell() {
+        // Both helpers derive cell seeds from (CAMPAIGN_SEED, trace name,
+        // policy name), so a figure binary mixing them must see identical
+        // results for the same configuration.
+        let catalog = ModelCatalog::table2(&GpuSpec::v100());
+        let trace = SiaPhillyConfig {
+            num_jobs: 20,
+            ..Default::default()
+        }
+        .generate(1, &catalog);
+        let topo = ClusterTopology::sia_64();
+        let profile = longhorn_profile(64, PROFILE_SEED);
+        let locality = LocalityModel::uniform(1.5);
+
+        let all = run_all_policies(&trace, topo, &profile, &locality, Fifo);
+        for kind in [PolicyKind::Tiresias, PolicyKind::RandomNonSticky] {
+            let single = run_policy(&trace, topo, &profile, &locality, Fifo, kind);
+            let cell = &all.iter().find(|(k, _)| *k == kind).expect("cell ran").1;
+            assert!(
+                single.same_outcome(cell),
+                "run_policy and run_all_policies diverged for {}",
+                kind.name()
+            );
+        }
+    }
 }

@@ -123,12 +123,7 @@ mod tests {
     use pal_gpumodel::{ClusterFlavor, GpuSpec, Workload};
 
     fn modeled(n: usize) -> Vec<ModeledGpu> {
-        pal_gpumodel::profiler::build_cluster_gpus(
-            &GpuSpec::v100(),
-            ClusterFlavor::Longhorn,
-            n,
-            7,
-        )
+        pal_gpumodel::profiler::build_cluster_gpus(&GpuSpec::v100(), ClusterFlavor::Longhorn, n, 7)
     }
 
     fn class_apps() -> Vec<AppSpec> {
@@ -161,7 +156,10 @@ mod tests {
         // Every sampled class-A score exists in the source profile.
         for g in 0..64 {
             let s = p.score(JobClass::A, GpuId(g));
-            assert!(profiled[0].normalized.iter().any(|&v| (v - s).abs() < 1e-15));
+            assert!(profiled[0]
+                .normalized
+                .iter()
+                .any(|&v| (v - s).abs() < 1e-15));
         }
     }
 

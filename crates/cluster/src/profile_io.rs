@@ -52,7 +52,11 @@ pub fn write_profile_csv<W: Write>(
     for g in 0..profile.num_gpus() {
         write!(out, "{g}")?;
         for c in 0..profile.num_classes() {
-            write!(out, ",{}", profile.score(JobClass(c), crate::ids::GpuId(g as u32)))?;
+            write!(
+                out,
+                ",{}",
+                profile.score(JobClass(c), crate::ids::GpuId(g as u32))
+            )?;
         }
         writeln!(out)?;
     }

@@ -44,9 +44,7 @@ fn sampling_preserves_class_spread_ordering() {
         .map(|w| profiler::profile_cluster(&w.spec(), &gpus))
         .collect();
     let sampled = VariabilityProfile::sample_from_profiled(&profiled, 128, 5);
-    assert!(
-        sampled.geomean_variability(JobClass::A) > sampled.geomean_variability(JobClass::C)
-    );
+    assert!(sampled.geomean_variability(JobClass::A) > sampled.geomean_variability(JobClass::C));
 }
 
 #[test]

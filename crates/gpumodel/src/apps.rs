@@ -80,14 +80,7 @@ impl Workload {
     pub fn spec(self) -> AppSpec {
         // Helper: kernel from (unit, efficiency, arithmetic intensity,
         // GFLOP per call, calls per iteration).
-        fn k(
-            name: &str,
-            unit: FuncUnit,
-            eff: f64,
-            ai: f64,
-            gflop: f64,
-            calls: u32,
-        ) -> Kernel {
+        fn k(name: &str, unit: FuncUnit, eff: f64, ai: f64, gflop: f64, calls: u32) -> Kernel {
             Kernel::new(name, unit, gflop, gflop / ai, eff, calls)
         }
         use FuncUnit::*;
@@ -276,7 +269,12 @@ mod tests {
     #[test]
     fn class_a_apps_have_high_fu_utilization() {
         let g = nominal_v100();
-        for w in [Workload::ResNet50, Workload::Vgg19, Workload::Sgemm, Workload::Dcgan] {
+        for w in [
+            Workload::ResNet50,
+            Workload::Vgg19,
+            Workload::Sgemm,
+            Workload::Dcgan,
+        ] {
             let s = w.spec();
             let fu = peak_fu(&g, &s);
             assert!(fu > 6.5, "{}: peak FU util {fu}", s.name);
@@ -340,8 +338,10 @@ mod tests {
 
     #[test]
     fn expected_classes_cover_a_b_c() {
-        let classes: std::collections::HashSet<usize> =
-            Workload::ALL.iter().map(|w| w.spec().expected_class).collect();
+        let classes: std::collections::HashSet<usize> = Workload::ALL
+            .iter()
+            .map(|w| w.spec().expected_class)
+            .collect();
         assert_eq!(classes, [0usize, 1, 2].into_iter().collect());
     }
 

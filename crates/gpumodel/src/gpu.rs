@@ -65,7 +65,11 @@ impl ModeledGpu {
     pub fn kernel_time(&self, k: &Kernel) -> f64 {
         let eff_flops = self.spec.peak_of(k.unit) * k.efficiency * self.pm.freq_multiplier;
         let eff_bw = self.spec.peak_bw_gbs * k.efficiency * self.pm.mem_multiplier;
-        let t_compute = if k.flops > 0.0 { k.flops / eff_flops } else { 0.0 };
+        let t_compute = if k.flops > 0.0 {
+            k.flops / eff_flops
+        } else {
+            0.0
+        };
         let t_memory = if k.bytes > 0.0 { k.bytes / eff_bw } else { 0.0 };
         t_compute.max(t_memory)
     }

@@ -38,7 +38,12 @@ impl ProfiledApp {
 
 /// Build the modeled GPUs of a cluster: `n` devices of `spec`, PM states
 /// sampled from `flavor` with `seed`.
-pub fn build_cluster_gpus(spec: &GpuSpec, flavor: ClusterFlavor, n: usize, seed: u64) -> Vec<ModeledGpu> {
+pub fn build_cluster_gpus(
+    spec: &GpuSpec,
+    flavor: ClusterFlavor,
+    n: usize,
+    seed: u64,
+) -> Vec<ModeledGpu> {
     flavor
         .sample_states(n, seed)
         .into_iter()
@@ -53,9 +58,11 @@ pub fn build_cluster_gpus(spec: &GpuSpec, flavor: ClusterFlavor, n: usize, seed:
 /// Section IV-C).
 pub fn profile_cluster(app: &AppSpec, gpus: &[ModeledGpu]) -> ProfiledApp {
     assert!(!gpus.is_empty(), "profiling an empty cluster");
-    let iteration_times: Vec<f64> = gpus.iter().map(|g| g.iteration_time(&app.kernels)).collect();
-    let median_time =
-        pal_stats::median(&iteration_times).expect("non-empty cluster");
+    let iteration_times: Vec<f64> = gpus
+        .iter()
+        .map(|g| g.iteration_time(&app.kernels))
+        .collect();
+    let median_time = pal_stats::median(&iteration_times).expect("non-empty cluster");
     let normalized = iteration_times.iter().map(|&t| t / median_time).collect();
     ProfiledApp {
         app: app.name.clone(),

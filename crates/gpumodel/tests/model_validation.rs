@@ -2,18 +2,15 @@
 //! have the structure the paper's measurements show, on both GPU specs and
 //! for both the distribution-fit and DVFS-derived populations.
 
-use pal_gpumodel::{
-    profiler, ClusterFlavor, DvfsModel, GpuSpec, ModeledGpu, PmState, Workload,
-};
+use pal_gpumodel::{profiler, ClusterFlavor, DvfsModel, GpuSpec, ModeledGpu, PmState, Workload};
 
 #[test]
 fn variability_ordering_holds_on_both_gpu_specs() {
     // Class A > class B > class C variability, on V100 and Quadro alike.
     for spec in [GpuSpec::v100(), GpuSpec::quadro_rtx5000()] {
         let gpus = profiler::build_cluster_gpus(&spec, ClusterFlavor::Longhorn, 256, 9);
-        let var_of = |w: Workload| {
-            profiler::profile_cluster(&w.spec(), &gpus).geomean_variability()
-        };
+        let var_of =
+            |w: Workload| profiler::profile_cluster(&w.spec(), &gpus).geomean_variability();
         let a = var_of(Workload::ResNet50);
         let b = var_of(Workload::Bert);
         let c = var_of(Workload::PageRank);
@@ -77,7 +74,10 @@ fn dvfs_states_plug_into_profiling_pipeline() {
         resnet.geomean_variability(),
         pagerank.geomean_variability()
     );
-    assert!(resnet.max_slowdown() > 1.1, "no straggler in DVFS population");
+    assert!(
+        resnet.max_slowdown() > 1.1,
+        "no straggler in DVFS population"
+    );
     assert_eq!(resnet.normalized.len(), 128);
 }
 
@@ -121,5 +121,8 @@ fn cabinet_structure_visible_in_profiles() {
     }
     let spread = medians.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - medians.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(spread > 0.005, "cabinet medians indistinguishable: {medians:?}");
+    assert!(
+        spread > 0.005,
+        "cabinet medians indistinguishable: {medians:?}"
+    );
 }

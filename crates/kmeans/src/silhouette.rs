@@ -98,7 +98,11 @@ mod tests {
         let mut assignments: Vec<usize> = (0..10).map(|i| if i < 5 { 0 } else { 1 }).collect();
         assignments[0] = 1; // point at 0.0 labeled with the far cluster
         let s = silhouette_samples(&pts, &assignments);
-        assert!(s[0] < 0.0, "mislabeled point should be negative, got {}", s[0]);
+        assert!(
+            s[0] < 0.0,
+            "mislabeled point should be negative, got {}",
+            s[0]
+        );
     }
 
     #[test]
@@ -128,7 +132,9 @@ mod tests {
 
     #[test]
     fn values_in_range() {
-        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i * 7 % 13) as f64, (i % 5) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i * 7 % 13) as f64, (i % 5) as f64])
+            .collect();
         let assignments: Vec<usize> = (0..30).map(|i| i % 3).collect();
         for s in silhouette_samples(&pts, &assignments) {
             assert!((-1.0..=1.0).contains(&s), "silhouette {s} out of range");

@@ -47,9 +47,8 @@ impl AppClassifier {
         // sensitive).
         let mut order: Vec<usize> = (0..k).collect();
         order.sort_by(|&a, &b| {
-            let key = |c: usize| {
-                result.centroids[c][1] / FU_AXIS_WEIGHT - 0.25 * result.centroids[c][0]
-            };
+            let key =
+                |c: usize| result.centroids[c][1] / FU_AXIS_WEIGHT - 0.25 * result.centroids[c][0];
             key(b).partial_cmp(&key(a)).expect("NaN centroid")
         });
         // Note: centroids come back with the FU axis still weighted; undo
@@ -106,8 +105,7 @@ impl AppClassifier {
     pub fn classify(&self, dram_util: f64, peak_fu_util: f64) -> JobClass {
         let mut best = (0usize, f64::INFINITY);
         for (c, &(cd, cf)) in self.centroids.iter().enumerate() {
-            let d = (cd - dram_util).powi(2)
-                + (FU_AXIS_WEIGHT * (cf - peak_fu_util)).powi(2);
+            let d = (cd - dram_util).powi(2) + (FU_AXIS_WEIGHT * (cf - peak_fu_util)).powi(2);
             if d < best.1 {
                 best = (c, d);
             }
@@ -139,12 +137,7 @@ mod tests {
         let (c, workloads) = zoo_classifier();
         for (i, w) in workloads.iter().enumerate() {
             let expected = JobClass(w.spec().expected_class);
-            assert_eq!(
-                c.class_of_sample(i),
-                expected,
-                "{} misclassified",
-                w.name()
-            );
+            assert_eq!(c.class_of_sample(i), expected, "{} misclassified", w.name());
         }
     }
 
@@ -152,7 +145,10 @@ mod tests {
     fn class_a_centroid_most_compute_intense() {
         let (c, _) = zoo_classifier();
         let fu: Vec<f64> = c.centroids().iter().map(|&(_, f)| f).collect();
-        assert!(fu[0] > fu[1] && fu[1] > fu[2], "FU centroids not ordered: {fu:?}");
+        assert!(
+            fu[0] > fu[1] && fu[1] > fu[2],
+            "FU centroids not ordered: {fu:?}"
+        );
     }
 
     #[test]
@@ -194,11 +190,7 @@ mod tests {
         let workloads: Vec<Workload> = Workload::ALL.to_vec();
         let c = AppClassifier::fit_workloads(&workloads, &GpuSpec::v100(), 5, 42);
         let fu: Vec<f64> = c.centroids().iter().map(|&(_, f)| f).collect();
-        let intensity: Vec<f64> = c
-            .centroids()
-            .iter()
-            .map(|&(d, f)| f - 0.25 * d)
-            .collect();
+        let intensity: Vec<f64> = c.centroids().iter().map(|&(d, f)| f - 0.25 * d).collect();
         for w in intensity.windows(2) {
             assert!(w[0] >= w[1] - 1e-9, "intensity not sorted: {fu:?}");
         }

@@ -47,7 +47,10 @@ impl LvMatrix {
     /// prefer when products are equal), then lower V first.
     pub fn new(levels: &[f64], l_within: f64, l_across: f64) -> Self {
         assert!(!levels.is_empty(), "L×V matrix needs at least one V level");
-        assert!(l_within > 0.0 && l_across >= l_within, "bad locality values");
+        assert!(
+            l_within > 0.0 && l_across >= l_within,
+            "bad locality values"
+        );
         let mut entries = Vec::with_capacity(levels.len() * 2);
         for &(locality, l) in &[
             (LocalityLevel::Within, l_within),

@@ -206,7 +206,11 @@ mod tests {
         let state = ClusterState::new(ClusterTopology::new(2, 4));
         let locality = LocalityModel::uniform(1.5);
         let mut pal = PalPlacement::new(&profile);
-        let alloc = pal.place(&req(0, JobClass::A, 2), &ctx_with(&profile, &locality), &state);
+        let alloc = pal.place(
+            &req(0, JobClass::A, 2),
+            &ctx_with(&profile, &locality),
+            &state,
+        );
         assert_eq!(alloc, vec![GpuId(0), GpuId(1)]);
     }
 
@@ -223,7 +227,11 @@ mod tests {
         state.allocate(&[GpuId(4), GpuId(5)]);
         let locality = LocalityModel::uniform(1.5);
         let mut pal = PalPlacement::new(&profile);
-        let alloc = pal.place(&req(0, JobClass::A, 3), &ctx_with(&profile, &locality), &state);
+        let alloc = pal.place(
+            &req(0, JobClass::A, 3),
+            &ctx_with(&profile, &locality),
+            &state,
+        );
         assert!(state.topology().spans_nodes(&alloc));
         let worst = alloc
             .iter()
@@ -241,7 +249,11 @@ mod tests {
         state.allocate(&[GpuId(4), GpuId(5)]);
         let locality = LocalityModel::uniform(3.0);
         let mut pal = PalPlacement::new(&profile);
-        let alloc = pal.place(&req(0, JobClass::A, 3), &ctx_with(&profile, &locality), &state);
+        let alloc = pal.place(
+            &req(0, JobClass::A, 3),
+            &ctx_with(&profile, &locality),
+            &state,
+        );
         assert!(!state.topology().spans_nodes(&alloc));
         assert!(alloc.contains(&GpuId(2)) || alloc.contains(&GpuId(3)));
     }
@@ -252,7 +264,11 @@ mod tests {
         let state = ClusterState::new(ClusterTopology::new(2, 4));
         let locality = LocalityModel::uniform(1.5);
         let mut pal = PalPlacement::new(&profile);
-        let alloc = pal.place(&req(0, JobClass::A, 1), &ctx_with(&profile, &locality), &state);
+        let alloc = pal.place(
+            &req(0, JobClass::A, 1),
+            &ctx_with(&profile, &locality),
+            &state,
+        );
         assert_eq!(alloc, vec![GpuId(0)]); // globally best score
     }
 
@@ -274,12 +290,15 @@ mod tests {
         // Give class C flat scores; PAL should behave locality-first.
         let class_a = vec![0.90, 0.90, 2.60, 2.60, 1.05, 1.05, 1.05, 1.05];
         let class_c = vec![1.0; 8];
-        let profile =
-            VariabilityProfile::from_raw(vec![class_a.clone(), class_a, class_c]);
+        let profile = VariabilityProfile::from_raw(vec![class_a.clone(), class_a, class_c]);
         let state = ClusterState::new(ClusterTopology::new(2, 4));
         let locality = LocalityModel::uniform(1.5);
         let mut pal = PalPlacement::new(&profile);
-        let alloc = pal.place(&req(0, JobClass::C, 4), &ctx_with(&profile, &locality), &state);
+        let alloc = pal.place(
+            &req(0, JobClass::C, 4),
+            &ctx_with(&profile, &locality),
+            &state,
+        );
         assert!(!state.topology().spans_nodes(&alloc));
     }
 
@@ -318,12 +337,7 @@ mod tests {
                 3,
                 3.0,
             ),
-            (
-                vec![1.0, 1.3, 1.3, 1.0, 0.8, 2.4, 0.8, 2.4],
-                vec![],
-                2,
-                1.7,
-            ),
+            (vec![1.0, 1.3, 1.3, 1.0, 0.8, 2.4, 0.8, 2.4], vec![], 2, 1.7),
             (
                 vec![1.0, 1.3, 1.3, 1.0, 0.8, 2.4, 0.8, 2.4],
                 vec![GpuId(0)],

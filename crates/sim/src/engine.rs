@@ -1,16 +1,26 @@
 //! The round-based simulation engine.
+//!
+//! The engine core is [`simulate`], a crate-private function consuming a
+//! borrowed parameter bundle and returning `Result<SimResult, SimError>`.
+//! User code reaches it through [`crate::Scenario`] (single runs) and
+//! [`crate::Campaign`] (policy/scenario sweeps); the former positional
+//! [`Simulator::run*`](Simulator::run_full) entry points remain as
+//! deprecated shims that panic on configuration errors exactly like the
+//! seed engine did.
 
 use crate::admission::{AdmissionCtx, AdmissionPolicy, AdmitAll};
 use crate::config::SimConfig;
+use crate::error::{ProfileRole, SimError};
 use crate::job_state::{ActiveJob, JobPhase};
 use crate::metrics::{JobRecord, SimResult};
 use crate::placement::{
     validate_allocation, PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation,
 };
 use crate::sched::SchedulingPolicy;
-use pal_cluster::{ClusterState, ClusterTopology, LocalityModel, VariabilityProfile};
+use pal_cluster::{ClusterState, ClusterTopology, GpuId, LocalityModel, VariabilityProfile};
 use pal_stats::StepSeries;
 use pal_trace::Trace;
+use std::collections::HashSet;
 use std::time::Instant;
 
 /// Completion tolerance: a job whose computed finish lands within this many
@@ -18,7 +28,393 @@ use std::time::Instant;
 /// (floating-point slack).
 const EPS: f64 = 1e-9;
 
-/// The trace-driven simulator.
+/// Borrowed inputs of one simulation run (built by `Scenario::run`).
+pub(crate) struct EngineInputs<'a> {
+    pub trace: &'a Trace,
+    pub topology: ClusterTopology,
+    pub profile: &'a VariabilityProfile,
+    pub truth: &'a VariabilityProfile,
+    pub locality: &'a LocalityModel,
+    pub scheduler: &'a dyn SchedulingPolicy,
+    pub placement: &'a mut dyn PlacementPolicy,
+    pub admission: &'a dyn AdmissionPolicy,
+    pub config: &'a SimConfig,
+}
+
+/// The static configuration checks shared by [`crate::Scenario::validate`]
+/// (where profile/truth may still be unset) and [`simulate`] (where both
+/// are resolved). `None` profiles are exempt from the GPU-count check —
+/// the flat default always matches — and a `(None, None)` pair places no
+/// bound on job classes, since the default profile sizes itself to the
+/// trace.
+pub(crate) fn validate_inputs(
+    trace: &Trace,
+    topology: &ClusterTopology,
+    profile: Option<&VariabilityProfile>,
+    truth: Option<&VariabilityProfile>,
+    config: &SimConfig,
+) -> Result<(), SimError> {
+    let total_gpus = topology.total_gpus();
+    if let Some(p) = profile {
+        if p.num_gpus() != total_gpus {
+            return Err(SimError::ProfileTopologyMismatch {
+                role: ProfileRole::Policy,
+                profile_gpus: p.num_gpus(),
+                topology_gpus: total_gpus,
+            });
+        }
+    }
+    if let Some(t) = truth {
+        if t.num_gpus() != total_gpus {
+            return Err(SimError::ProfileTopologyMismatch {
+                role: ProfileRole::Truth,
+                profile_gpus: t.num_gpus(),
+                topology_gpus: total_gpus,
+            });
+        }
+    }
+    let dt = config.round_duration;
+    if !(dt > 0.0 && dt.is_finite()) {
+        return Err(SimError::InvalidRoundDuration { round_duration: dt });
+    }
+    let num_classes = match (profile, truth) {
+        (Some(p), Some(t)) => p.num_classes().min(t.num_classes()),
+        (Some(p), None) => p.num_classes(),
+        (None, Some(t)) => t.num_classes(),
+        (None, None) => usize::MAX,
+    };
+    if let Some(job) = trace.jobs.iter().find(|j| j.class.0 >= num_classes) {
+        return Err(SimError::ClassOutOfRange {
+            job: job.id,
+            class: job.class,
+            num_classes,
+        });
+    }
+    Ok(())
+}
+
+/// Validate inputs, then run one simulation to completion.
+///
+/// The ground-truth execution model applies Equation 1: a running job's
+/// progress rate is `1 / (L × max_g V_g)` of nominal, where `V` comes from
+/// `truth` — normally the same profile the placement policy sees, but the
+/// testbed experiment (Section V-A) passes a perturbed copy to model stale
+/// profiling data.
+pub(crate) fn simulate(inputs: EngineInputs<'_>) -> Result<SimResult, SimError> {
+    let EngineInputs {
+        trace,
+        topology,
+        profile,
+        truth,
+        locality,
+        scheduler,
+        placement,
+        admission,
+        config,
+    } = inputs;
+
+    validate_inputs(trace, &topology, Some(profile), Some(truth), config)?;
+    let total_gpus = topology.total_gpus();
+    let dt = config.round_duration;
+
+    let mut jobs: Vec<ActiveJob> = trace.jobs.iter().cloned().map(ActiveJob::new).collect();
+    let mut rejected = vec![false; jobs.len()];
+    let mut state = ClusterState::new(topology);
+    let ctx = PlacementCtx { profile, locality };
+
+    let mut t = 0.0f64;
+    let mut finished = 0usize;
+    let mut next_admit = 0usize; // jobs admitted so far (arrival order)
+    let mut gpus_in_use = StepSeries::new(0.0);
+    let mut busy_gpu_seconds = 0.0f64;
+    let mut placement_compute_times = Vec::new();
+    let mut rounds = 0usize;
+
+    while finished < jobs.len() {
+        rounds += 1;
+        if rounds > config.max_rounds {
+            return Err(SimError::Livelock { rounds });
+        }
+
+        // 1. Admission: consult the admission policy for every job
+        // that has arrived by now (Blox admits at queue entry).
+        while next_admit < jobs.len() && jobs[next_admit].spec.arrival <= t + EPS {
+            let active_now: Vec<usize> = (0..next_admit)
+                .filter(|&i| !rejected[i] && jobs[i].is_active())
+                .collect();
+            let ctx = AdmissionCtx {
+                total_gpus,
+                active_jobs: active_now.len(),
+                active_demand: active_now.iter().map(|&i| jobs[i].spec.gpu_demand).sum(),
+            };
+            if !admission.admit(&jobs[next_admit].spec, &ctx) {
+                rejected[next_admit] = true;
+                finished += 1;
+            } else if jobs[next_admit].spec.gpu_demand > total_gpus {
+                return Err(SimError::OversizedJob {
+                    job: jobs[next_admit].spec.id,
+                    demand: jobs[next_admit].spec.gpu_demand,
+                    total_gpus,
+                });
+            }
+            next_admit += 1;
+        }
+        let active: Vec<usize> = (0..next_admit)
+            .filter(|&i| !rejected[i] && jobs[i].is_active())
+            .collect();
+
+        // Idle fast-forward: nothing to run until the next arrival.
+        if active.is_empty() {
+            // The admission loop may have just rejected the final pending
+            // job(s): nothing is active and nothing is left to admit.
+            if next_admit >= jobs.len() {
+                break;
+            }
+            let next_arrival = jobs[next_admit].spec.arrival;
+            let k = (next_arrival / dt).floor();
+            let mut nt = k * dt;
+            if nt <= t + EPS || nt + EPS < next_arrival {
+                nt = (k + 1.0) * dt;
+            }
+            t = nt.max(t + dt);
+            continue;
+        }
+
+        // 2. Scheduling order over active jobs.
+        let active_jobs: Vec<ActiveJob> = active.iter().map(|&i| jobs[i].clone()).collect();
+        let order = scheduler.order(&active_jobs);
+
+        // 3. Mark the schedulable prefix (Figure 4): maximal prefix of
+        // the ordered queue whose cumulative demand fits the cluster.
+        let mut prefix: Vec<usize> = Vec::new(); // indices into `jobs`
+        let mut demand_sum = 0usize;
+        for &oi in &order {
+            let ji = active[oi];
+            let d = jobs[ji].spec.gpu_demand;
+            if demand_sum + d > total_gpus {
+                break;
+            }
+            demand_sum += d;
+            prefix.push(ji);
+        }
+        let in_prefix: HashSet<usize> = prefix.iter().copied().collect();
+
+        // 4a. Preempt running jobs that fell out of the prefix (O(active)
+        // via the membership set).
+        for &ji in &active {
+            if jobs[ji].is_running() && !in_prefix.contains(&ji) {
+                let gpus = jobs[ji].allocation().expect("running").to_vec();
+                state.release(&gpus);
+                jobs[ji].phase = JobPhase::Waiting;
+                jobs[ji].preemptions += 1;
+            }
+        }
+
+        // 4b. Under non-sticky placement every prefix job is re-placed;
+        // under sticky placement running jobs keep their GPUs.
+        let mut old_allocs: Vec<(usize, Vec<GpuId>)> = Vec::new();
+        if !config.sticky {
+            for &ji in &prefix {
+                if jobs[ji].is_running() {
+                    let gpus = jobs[ji].allocation().expect("running").to_vec();
+                    state.release(&gpus);
+                    old_allocs.push((ji, gpus));
+                    jobs[ji].phase = JobPhase::Waiting;
+                }
+            }
+        }
+
+        // 4c. Build requests (in scheduling order) for jobs needing GPUs.
+        let needs: Vec<usize> = prefix
+            .iter()
+            .copied()
+            .filter(|&ji| !jobs[ji].is_running())
+            .collect();
+        let requests: Vec<PlacementRequest> = needs
+            .iter()
+            .map(|&ji| PlacementRequest {
+                job: jobs[ji].spec.id,
+                model: jobs[ji].spec.model.name(),
+                class: jobs[ji].spec.class,
+                gpu_demand: jobs[ji].spec.gpu_demand,
+            })
+            .collect();
+
+        // 4d. Place, timing the policy (Figure 18 measures this).
+        let mut migrated_jobs: HashSet<usize> = Default::default();
+        let clock = Instant::now();
+        let place_order = placement.placement_order(&requests, &ctx);
+        assert_eq!(
+            {
+                let mut s = place_order.clone();
+                s.sort_unstable();
+                s
+            },
+            (0..requests.len()).collect::<Vec<_>>(),
+            "{} returned an invalid placement order",
+            placement.name()
+        );
+        for &ri in &place_order {
+            let req = &requests[ri];
+            let alloc = placement.place(req, &ctx, &state);
+            validate_allocation(placement.name(), req, &state, &alloc);
+            state.allocate(&alloc);
+            let ji = needs[ri];
+            if jobs[ji].first_start.is_none() {
+                jobs[ji].first_start = Some(t);
+            } else {
+                // Re-placement of a previously running job: count a
+                // migration if the GPU set changed.
+                let migrated = match old_allocs.iter().find(|(j, _)| *j == ji) {
+                    Some((_, old)) => {
+                        let mut a = old.clone();
+                        let mut b = alloc.clone();
+                        a.sort_unstable();
+                        b.sort_unstable();
+                        a != b
+                    }
+                    None => true, // resume after preemption
+                };
+                if migrated {
+                    jobs[ji].migrations += 1;
+                    migrated_jobs.insert(ji);
+                }
+            }
+            jobs[ji].phase = JobPhase::Running { gpus: alloc };
+        }
+        placement_compute_times.push(clock.elapsed().as_secs_f64());
+
+        // 5. Execute to the round boundary. Rates are constant within
+        // the round, so each job's completion time is closed-form. Each
+        // prefix job's allocation is captured here so that telemetry can
+        // still be reported for jobs that finish (and release their GPUs)
+        // mid-round.
+        let running_demand: usize = prefix.iter().map(|&ji| jobs[ji].spec.gpu_demand).sum();
+        gpus_in_use.push(t, running_demand as f64);
+        let mut completions: Vec<(f64, usize)> = Vec::new();
+        let mut round_allocs: Vec<(usize, Vec<GpuId>)> = Vec::with_capacity(prefix.len());
+        for &ji in &prefix {
+            let gpus = jobs[ji].allocation().expect("prefix job running").to_vec();
+            let slowdown = {
+                let l = locality.penalty(state.topology(), jobs[ji].spec.model.name(), &gpus);
+                let v = gpus
+                    .iter()
+                    .map(|&g| truth.score(jobs[ji].spec.class, g))
+                    .fold(0.0f64, f64::max);
+                l * v
+            };
+            debug_assert!(slowdown > 0.0);
+            // A migrated job spends the restore overhead re-loading its
+            // checkpoint before making progress; its GPUs are occupied
+            // but idle during that window.
+            let overhead = if migrated_jobs.contains(&ji) {
+                config.migration_overhead.min(dt)
+            } else {
+                0.0
+            };
+            let finish_t = t + overhead + jobs[ji].remaining_work * slowdown;
+            if finish_t <= t + dt + EPS {
+                let run = finish_t - t;
+                busy_gpu_seconds += jobs[ji].spec.gpu_demand as f64 * run;
+                jobs[ji].attained_service += jobs[ji].spec.gpu_demand as f64 * run;
+                jobs[ji].remaining_work = 0.0;
+                state.release(&gpus);
+                jobs[ji].phase = JobPhase::Finished { at: finish_t };
+                finished += 1;
+                completions.push((finish_t, jobs[ji].spec.gpu_demand));
+            } else {
+                busy_gpu_seconds += jobs[ji].spec.gpu_demand as f64 * dt;
+                jobs[ji].attained_service += jobs[ji].spec.gpu_demand as f64 * dt;
+                jobs[ji].remaining_work -= (dt - overhead) / slowdown;
+            }
+            round_allocs.push((ji, gpus));
+        }
+        // Telemetry feedback: what each job's GPUs actually delivered
+        // this round (per-GPU ground-truth penalties plus the locality
+        // penalty paid) — the online-update signal of Section V-A. Jobs
+        // that finished mid-round are included: a real system reports the
+        // final iterations too, and adaptive policies would otherwise
+        // never see a short job's only round of telemetry.
+        for (ji, gpus) in &round_allocs {
+            let per_gpu: Vec<f64> = gpus
+                .iter()
+                .map(|&g| truth.score(jobs[*ji].spec.class, g))
+                .collect();
+            let l = locality.penalty(state.topology(), jobs[*ji].spec.model.name(), gpus);
+            placement.observe(&RoundObservation {
+                job: jobs[*ji].spec.id,
+                class: jobs[*ji].spec.class,
+                gpus,
+                per_gpu_slowdown: &per_gpu,
+                locality_penalty: l,
+            });
+        }
+
+        // Record mid-round utilization drops in completion order.
+        completions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN finish"));
+        let mut in_use = running_demand as f64;
+        for (ft, d) in completions {
+            in_use -= d as f64;
+            gpus_in_use.push(ft.max(t), in_use);
+        }
+
+        t += dt;
+    }
+
+    let rejected_ids: Vec<pal_trace::JobId> = jobs
+        .iter()
+        .zip(&rejected)
+        .filter(|&(_, &r)| r)
+        .map(|(j, _)| j.spec.id)
+        .collect();
+    let records: Vec<JobRecord> = jobs
+        .iter()
+        .zip(&rejected)
+        .filter(|&(_, &r)| !r)
+        .map(|(j, _)| {
+            let finish = match j.phase {
+                JobPhase::Finished { at } => at,
+                _ => unreachable!("all admitted jobs finished"),
+            };
+            JobRecord {
+                id: j.spec.id,
+                model: j.spec.model.name().to_string(),
+                class: j.spec.class,
+                gpu_demand: j.spec.gpu_demand,
+                arrival: j.spec.arrival,
+                first_start: j.first_start.expect("finished job must have started"),
+                finish,
+                migrations: j.migrations,
+                preemptions: j.preemptions,
+            }
+        })
+        .collect();
+
+    Ok(SimResult {
+        trace: trace.name.clone(),
+        scheduler: scheduler.name().to_string(),
+        placement: format!(
+            "{}-{}",
+            placement.name(),
+            if config.sticky { "Sticky" } else { "NonSticky" }
+        ),
+        records,
+        rejected: rejected_ids,
+        gpus_in_use,
+        busy_gpu_seconds,
+        ideal_gpu_seconds: trace.total_ideal_gpu_service(),
+        total_gpus,
+        rounds,
+        placement_compute_times,
+    })
+}
+
+/// The legacy positional-argument front end to the simulator.
+///
+/// Superseded by [`crate::Scenario`] (builder, typed errors) and
+/// [`crate::Campaign`] (sweeps); the `run*` methods below survive as thin
+/// deprecated shims for one release and panic on configuration errors
+/// exactly like the seed engine did.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: SimConfig,
@@ -35,14 +431,32 @@ impl Simulator {
         Simulator::new(SimConfig::default())
     }
 
-    /// Run one simulation to completion and collect metrics.
-    ///
-    /// The ground-truth execution model applies Equation 1: a running job's
-    /// progress rate is `1 / (L × max_g V_g)` of nominal, where `V` comes
-    /// from `truth` — normally the same profile the placement policy sees,
-    /// but the testbed experiment (Section V-A) passes a perturbed copy to
-    /// model stale profiling data.
-    #[allow(clippy::too_many_arguments)]
+    /// Run with the policy-visible profile as ground truth (the common
+    /// simulation path).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Scenario::new(trace, topology).profile(..).run() instead"
+    )]
+    pub fn run(
+        &self,
+        trace: &Trace,
+        topology: ClusterTopology,
+        profile: &VariabilityProfile,
+        locality: &LocalityModel,
+        scheduler: &dyn SchedulingPolicy,
+        placement: &mut dyn PlacementPolicy,
+    ) -> SimResult {
+        self.shim_run(
+            trace, topology, profile, profile, locality, scheduler, placement, &AdmitAll,
+        )
+    }
+
+    /// Run with a distinct ground-truth profile (Section V-A's stale-profile
+    /// experiments).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Scenario::new(trace, topology).profile(..).truth(..).run() instead"
+    )]
     pub fn run_with_truth(
         &self,
         trace: &Trace,
@@ -53,16 +467,17 @@ impl Simulator {
         scheduler: &dyn SchedulingPolicy,
         placement: &mut dyn PlacementPolicy,
     ) -> SimResult {
-        self.run_full(
+        self.shim_run(
             trace, topology, profile, truth, locality, scheduler, placement, &AdmitAll,
         )
     }
 
     /// Run with every knob exposed: a distinct ground-truth profile *and*
-    /// an admission-control policy (Blox's first pipeline stage; jobs it
-    /// rejects never enter the queue and are reported in
-    /// [`SimResult::rejected`]).
-    #[allow(clippy::too_many_arguments)]
+    /// an admission-control policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Scenario::new(trace, topology).profile(..).truth(..).admission(..).run() instead"
+    )]
     pub fn run_full(
         &self,
         trace: &Trace,
@@ -74,322 +489,36 @@ impl Simulator {
         placement: &mut dyn PlacementPolicy,
         admission: &dyn AdmissionPolicy,
     ) -> SimResult {
-        assert_eq!(
-            profile.num_gpus(),
-            topology.total_gpus(),
-            "profile covers {} GPUs but topology has {}",
-            profile.num_gpus(),
-            topology.total_gpus()
-        );
-        assert_eq!(truth.num_gpus(), topology.total_gpus());
-        let total_gpus = topology.total_gpus();
-        let dt = self.config.round_duration;
-        assert!(dt > 0.0, "round duration must be positive");
-
-        let mut jobs: Vec<ActiveJob> = trace.jobs.iter().cloned().map(ActiveJob::new).collect();
-        let mut rejected = vec![false; jobs.len()];
-        let mut state = ClusterState::new(topology);
-        let ctx = PlacementCtx { profile, locality };
-
-        let mut t = 0.0f64;
-        let mut finished = 0usize;
-        let mut next_admit = 0usize; // jobs admitted so far (arrival order)
-        let mut gpus_in_use = StepSeries::new(0.0);
-        let mut busy_gpu_seconds = 0.0f64;
-        let mut placement_compute_times = Vec::new();
-        let mut rounds = 0usize;
-
-        while finished < jobs.len() {
-            rounds += 1;
-            assert!(
-                rounds <= self.config.max_rounds,
-                "simulation exceeded {} rounds — livelock?",
-                self.config.max_rounds
-            );
-
-            // 1. Admission: consult the admission policy for every job
-            // that has arrived by now (Blox admits at queue entry).
-            while next_admit < jobs.len() && jobs[next_admit].spec.arrival <= t + EPS {
-                let active_now: Vec<usize> = (0..next_admit)
-                    .filter(|&i| !rejected[i] && jobs[i].is_active())
-                    .collect();
-                let ctx = AdmissionCtx {
-                    total_gpus,
-                    active_jobs: active_now.len(),
-                    active_demand: active_now
-                        .iter()
-                        .map(|&i| jobs[i].spec.gpu_demand)
-                        .sum(),
-                };
-                if !admission.admit(&jobs[next_admit].spec, &ctx) {
-                    rejected[next_admit] = true;
-                    finished += 1;
-                } else {
-                    assert!(
-                        jobs[next_admit].spec.gpu_demand <= total_gpus,
-                        "{} demands {} GPUs but the cluster has {total_gpus} \
-                         (use an admission policy such as RejectOversized)",
-                        jobs[next_admit].spec.id,
-                        jobs[next_admit].spec.gpu_demand
-                    );
-                }
-                next_admit += 1;
-            }
-            let active: Vec<usize> = (0..next_admit)
-                .filter(|&i| !rejected[i] && jobs[i].is_active())
-                .collect();
-
-            // Idle fast-forward: nothing to run until the next arrival.
-            if active.is_empty() {
-                let next_arrival = jobs[next_admit].spec.arrival;
-                let k = (next_arrival / dt).floor();
-                let mut nt = k * dt;
-                if nt <= t + EPS || nt + EPS < next_arrival {
-                    nt = (k + 1.0) * dt;
-                }
-                t = nt.max(t + dt);
-                continue;
-            }
-
-            // 2. Scheduling order over active jobs.
-            let active_jobs: Vec<ActiveJob> = active.iter().map(|&i| jobs[i].clone()).collect();
-            let order = scheduler.order(&active_jobs);
-
-            // 3. Mark the schedulable prefix (Figure 4): maximal prefix of
-            // the ordered queue whose cumulative demand fits the cluster.
-            let mut prefix: Vec<usize> = Vec::new(); // indices into `jobs`
-            let mut demand_sum = 0usize;
-            for &oi in &order {
-                let ji = active[oi];
-                let d = jobs[ji].spec.gpu_demand;
-                if demand_sum + d > total_gpus {
-                    break;
-                }
-                demand_sum += d;
-                prefix.push(ji);
-            }
-
-            // 4a. Preempt running jobs that fell out of the prefix.
-            for &ji in &active {
-                if jobs[ji].is_running() && !prefix.contains(&ji) {
-                    let gpus = jobs[ji].allocation().expect("running").to_vec();
-                    state.release(&gpus);
-                    jobs[ji].phase = JobPhase::Waiting;
-                    jobs[ji].preemptions += 1;
-                }
-            }
-
-            // 4b. Under non-sticky placement every prefix job is re-placed;
-            // under sticky placement running jobs keep their GPUs.
-            let mut old_allocs: Vec<(usize, Vec<pal_cluster::GpuId>)> = Vec::new();
-            if !self.config.sticky {
-                for &ji in &prefix {
-                    if jobs[ji].is_running() {
-                        let gpus = jobs[ji].allocation().expect("running").to_vec();
-                        state.release(&gpus);
-                        old_allocs.push((ji, gpus));
-                        jobs[ji].phase = JobPhase::Waiting;
-                    }
-                }
-            }
-
-            // 4c. Build requests (in scheduling order) for jobs needing GPUs.
-            let needs: Vec<usize> = prefix
-                .iter()
-                .copied()
-                .filter(|&ji| !jobs[ji].is_running())
-                .collect();
-            let requests: Vec<PlacementRequest> = needs
-                .iter()
-                .map(|&ji| PlacementRequest {
-                    job: jobs[ji].spec.id,
-                    model: jobs[ji].spec.model.name(),
-                    class: jobs[ji].spec.class,
-                    gpu_demand: jobs[ji].spec.gpu_demand,
-                })
-                .collect();
-
-            // 4d. Place, timing the policy (Figure 18 measures this).
-            let mut migrated_jobs: std::collections::HashSet<usize> = Default::default();
-            let clock = Instant::now();
-            let place_order = placement.placement_order(&requests, &ctx);
-            assert_eq!(
-                {
-                    let mut s = place_order.clone();
-                    s.sort_unstable();
-                    s
-                },
-                (0..requests.len()).collect::<Vec<_>>(),
-                "{} returned an invalid placement order",
-                placement.name()
-            );
-            for &ri in &place_order {
-                let req = &requests[ri];
-                let alloc = placement.place(req, &ctx, &state);
-                validate_allocation(placement.name(), req, &state, &alloc);
-                state.allocate(&alloc);
-                let ji = needs[ri];
-                if jobs[ji].first_start.is_none() {
-                    jobs[ji].first_start = Some(t);
-                } else {
-                    // Re-placement of a previously running job: count a
-                    // migration if the GPU set changed.
-                    let migrated = match old_allocs.iter().find(|(j, _)| *j == ji) {
-                        Some((_, old)) => {
-                            let mut a = old.clone();
-                            let mut b = alloc.clone();
-                            a.sort_unstable();
-                            b.sort_unstable();
-                            a != b
-                        }
-                        None => true, // resume after preemption
-                    };
-                    if migrated {
-                        jobs[ji].migrations += 1;
-                        migrated_jobs.insert(ji);
-                    }
-                }
-                jobs[ji].phase = JobPhase::Running { gpus: alloc };
-            }
-            placement_compute_times.push(clock.elapsed().as_secs_f64());
-
-            // 5. Execute to the round boundary. Rates are constant within
-            // the round, so each job's completion time is closed-form.
-            let running_demand: usize = prefix.iter().map(|&ji| jobs[ji].spec.gpu_demand).sum();
-            gpus_in_use.push(t, running_demand as f64);
-            let mut completions: Vec<(f64, usize)> = Vec::new();
-            for &ji in &prefix {
-                let gpus = jobs[ji].allocation().expect("prefix job running").to_vec();
-                let slowdown = {
-                    let l = locality.penalty(state.topology(), jobs[ji].spec.model.name(), &gpus);
-                    let v = gpus
-                        .iter()
-                        .map(|&g| truth.score(jobs[ji].spec.class, g))
-                        .fold(0.0f64, f64::max);
-                    l * v
-                };
-                debug_assert!(slowdown > 0.0);
-                // A migrated job spends the restore overhead re-loading its
-                // checkpoint before making progress; its GPUs are occupied
-                // but idle during that window.
-                let overhead = if migrated_jobs.contains(&ji) {
-                    self.config.migration_overhead.min(dt)
-                } else {
-                    0.0
-                };
-                let finish_t = t + overhead + jobs[ji].remaining_work * slowdown;
-                if finish_t <= t + dt + EPS {
-                    let run = finish_t - t;
-                    busy_gpu_seconds += jobs[ji].spec.gpu_demand as f64 * run;
-                    jobs[ji].attained_service += jobs[ji].spec.gpu_demand as f64 * run;
-                    jobs[ji].remaining_work = 0.0;
-                    state.release(&gpus);
-                    jobs[ji].phase = JobPhase::Finished { at: finish_t };
-                    finished += 1;
-                    completions.push((finish_t, jobs[ji].spec.gpu_demand));
-                } else {
-                    busy_gpu_seconds += jobs[ji].spec.gpu_demand as f64 * dt;
-                    jobs[ji].attained_service += jobs[ji].spec.gpu_demand as f64 * dt;
-                    jobs[ji].remaining_work -= (dt - overhead) / slowdown;
-                }
-            }
-            // Telemetry feedback: what each job's GPUs actually delivered
-            // this round (per-GPU ground-truth penalties plus the locality
-            // penalty paid) — the online-update signal of Section V-A.
-            for &ji in &prefix {
-                let gpus: Vec<pal_cluster::GpuId> = match &jobs[ji].phase {
-                    JobPhase::Running { gpus } => gpus.clone(),
-                    // Finished mid-round: its allocation was already
-                    // released, so skip the observation. (A real system
-                    // reports the final iterations too; one round of lost
-                    // telemetry is immaterial.)
-                    JobPhase::Finished { .. } | JobPhase::Waiting => continue,
-                };
-                let per_gpu: Vec<f64> = gpus
-                    .iter()
-                    .map(|&g| truth.score(jobs[ji].spec.class, g))
-                    .collect();
-                let l = locality.penalty(state.topology(), jobs[ji].spec.model.name(), &gpus);
-                placement.observe(&RoundObservation {
-                    job: jobs[ji].spec.id,
-                    class: jobs[ji].spec.class,
-                    gpus: &gpus,
-                    per_gpu_slowdown: &per_gpu,
-                    locality_penalty: l,
-                });
-            }
-
-            // Record mid-round utilization drops in completion order.
-            completions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN finish"));
-            let mut in_use = running_demand as f64;
-            for (ft, d) in completions {
-                in_use -= d as f64;
-                gpus_in_use.push(ft.max(t), in_use);
-            }
-
-            t += dt;
-        }
-
-        let rejected_ids: Vec<pal_trace::JobId> = jobs
-            .iter()
-            .zip(&rejected)
-            .filter(|&(_, &r)| r)
-            .map(|(j, _)| j.spec.id)
-            .collect();
-        let records: Vec<JobRecord> = jobs
-            .iter()
-            .zip(&rejected)
-            .filter(|&(_, &r)| !r)
-            .map(|(j, _)| {
-                let finish = match j.phase {
-                    JobPhase::Finished { at } => at,
-                    _ => unreachable!("all admitted jobs finished"),
-                };
-                JobRecord {
-                    id: j.spec.id,
-                    model: j.spec.model.name().to_string(),
-                    class: j.spec.class,
-                    gpu_demand: j.spec.gpu_demand,
-                    arrival: j.spec.arrival,
-                    first_start: j.first_start.expect("finished job must have started"),
-                    finish,
-                    migrations: j.migrations,
-                    preemptions: j.preemptions,
-                }
-            })
-            .collect();
-
-        SimResult {
-            trace: trace.name.clone(),
-            scheduler: scheduler.name().to_string(),
-            placement: format!(
-                "{}-{}",
-                placement.name(),
-                if self.config.sticky { "Sticky" } else { "NonSticky" }
-            ),
-            records,
-            rejected: rejected_ids,
-            gpus_in_use,
-            busy_gpu_seconds,
-            ideal_gpu_seconds: trace.total_ideal_gpu_service(),
-            total_gpus,
-            rounds,
-            placement_compute_times,
-        }
+        self.shim_run(
+            trace, topology, profile, truth, locality, scheduler, placement, admission,
+        )
     }
 
-    /// Run with the policy-visible profile as ground truth (the common
-    /// simulation path).
-    pub fn run(
+    /// Shared shim body: run the engine, panic on configuration errors
+    /// (the seed's assert-based contract).
+    fn shim_run(
         &self,
         trace: &Trace,
         topology: ClusterTopology,
         profile: &VariabilityProfile,
+        truth: &VariabilityProfile,
         locality: &LocalityModel,
         scheduler: &dyn SchedulingPolicy,
         placement: &mut dyn PlacementPolicy,
+        admission: &dyn AdmissionPolicy,
     ) -> SimResult {
-        self.run_with_truth(trace, topology, profile, profile, locality, scheduler, placement)
+        simulate(EngineInputs {
+            trace,
+            topology,
+            profile,
+            truth,
+            locality,
+            scheduler,
+            placement,
+            admission,
+            config: &self.config,
+        })
+        .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -397,6 +526,7 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::placement::{PackedPlacement, RandomPlacement};
+    use crate::scenario::Scenario;
     use crate::sched::{Fifo, Las, Srtf};
     use pal_cluster::{GpuId, JobClass};
     use pal_gpumodel::Workload;
@@ -423,29 +553,23 @@ mod tests {
         nodes: usize,
         sticky: bool,
         l_across: f64,
-    ) -> SimResult {
-        let trace = Trace::new("test", jobs);
+    ) -> Result<SimResult, SimError> {
         let topo = ClusterTopology::new(nodes, 4);
-        let profile = flat_profile(topo.total_gpus());
-        let locality = LocalityModel::uniform(l_across);
-        let cfg = if sticky {
-            SimConfig::sticky()
-        } else {
-            SimConfig::non_sticky()
-        };
-        Simulator::new(cfg).run(
-            &trace,
-            topo,
-            &profile,
-            &locality,
-            &Fifo,
-            &mut PackedPlacement::deterministic(),
-        )
+        Scenario::new(Trace::new("test", jobs), topo)
+            .profile(flat_profile(topo.total_gpus()))
+            .locality(LocalityModel::uniform(l_across))
+            .placement(PackedPlacement::deterministic())
+            .config(if sticky {
+                SimConfig::sticky()
+            } else {
+                SimConfig::non_sticky()
+            })
+            .run()
     }
 
     #[test]
     fn single_job_runs_to_completion() {
-        let r = run_simple(vec![spec(0, 0.0, 1, 1000.0)], 1, false, 1.5);
+        let r = run_simple(vec![spec(0, 0.0, 1, 1000.0)], 1, false, 1.5).unwrap();
         assert_eq!(r.records.len(), 1);
         assert!((r.records[0].finish - 1000.0).abs() < 1.0);
         assert_eq!(r.records[0].wait_time(), 0.0);
@@ -453,7 +577,7 @@ mod tests {
 
     #[test]
     fn job_arriving_mid_round_starts_next_round() {
-        let r = run_simple(vec![spec(0, 450.0, 1, 100.0)], 1, false, 1.5);
+        let r = run_simple(vec![spec(0, 450.0, 1, 100.0)], 1, false, 1.5).unwrap();
         // Rounds at 0,300,600: arrival 450 -> first start 600.
         assert_eq!(r.records[0].first_start, 600.0);
         assert!((r.records[0].finish - 700.0).abs() < 1.0);
@@ -467,7 +591,8 @@ mod tests {
             1,
             false,
             1.5,
-        );
+        )
+        .unwrap();
         let j0 = &r.records[0];
         let j1 = &r.records[1];
         assert!((j0.finish - 600.0).abs() < 1.0);
@@ -479,46 +604,49 @@ mod tests {
     #[test]
     fn spanning_job_pays_locality_penalty() {
         // 8-GPU job on 2 nodes of 4: penalty 2.0 doubles runtime.
-        let r = run_simple(vec![spec(0, 0.0, 8, 600.0)], 2, false, 2.0);
-        assert!((r.records[0].finish - 1200.0).abs() < 1.0, "{}", r.records[0].finish);
+        let r = run_simple(vec![spec(0, 0.0, 8, 600.0)], 2, false, 2.0).unwrap();
+        assert!(
+            (r.records[0].finish - 1200.0).abs() < 1.0,
+            "{}",
+            r.records[0].finish
+        );
     }
 
     #[test]
     fn slow_gpu_slows_whole_job() {
         // 4-GPU job where one GPU has V = 2.0 (BSP straggler effect).
-        let trace = Trace::new("t", vec![spec(0, 0.0, 4, 600.0)]);
-        let topo = ClusterTopology::new(1, 4);
         let mut scores = vec![1.0; 4];
         scores[2] = 2.0;
-        let profile = VariabilityProfile::from_raw(vec![scores.clone(), scores.clone(), scores]);
-        let locality = LocalityModel::uniform(1.5);
-        let r = Simulator::default_sim().run(
-            &trace,
-            topo,
-            &profile,
-            &locality,
-            &Fifo,
-            &mut PackedPlacement::deterministic(),
-        );
+        let r = Scenario::new(
+            Trace::new("t", vec![spec(0, 0.0, 4, 600.0)]),
+            ClusterTopology::new(1, 4),
+        )
+        .profile(VariabilityProfile::from_raw(vec![
+            scores.clone(),
+            scores.clone(),
+            scores,
+        ]))
+        .locality(LocalityModel::uniform(1.5))
+        .placement(PackedPlacement::deterministic())
+        .run()
+        .unwrap();
         assert!((r.records[0].finish - 1200.0).abs() < 1.0);
     }
 
     #[test]
     fn perturbed_truth_slows_execution_but_not_policy() {
-        let trace = Trace::new("t", vec![spec(0, 0.0, 1, 600.0)]);
-        let topo = ClusterTopology::new(1, 4);
         let profile = flat_profile(4);
         let truth = profile.perturbed(JobClass::A, &[GpuId(0), GpuId(1), GpuId(2), GpuId(3)], 2.0);
-        let locality = LocalityModel::uniform(1.5);
-        let r = Simulator::default_sim().run_with_truth(
-            &trace,
-            topo,
-            &profile,
-            &truth,
-            &locality,
-            &Fifo,
-            &mut PackedPlacement::deterministic(),
-        );
+        let r = Scenario::new(
+            Trace::new("t", vec![spec(0, 0.0, 1, 600.0)]),
+            ClusterTopology::new(1, 4),
+        )
+        .profile(profile)
+        .truth(truth)
+        .locality(LocalityModel::uniform(1.5))
+        .placement(PackedPlacement::deterministic())
+        .run()
+        .unwrap();
         assert!((r.records[0].finish - 1200.0).abs() < 1.0);
     }
 
@@ -527,18 +655,13 @@ mod tests {
         // Long job arrives first; short job arrives during its run. Under
         // SRTF the short job preempts at the next round.
         let jobs = vec![spec(0, 0.0, 4, 3000.0), spec(1, 100.0, 4, 300.0)];
-        let trace = Trace::new("t", jobs);
-        let topo = ClusterTopology::new(1, 4);
-        let profile = flat_profile(4);
-        let locality = LocalityModel::uniform(1.5);
-        let r = Simulator::default_sim().run(
-            &trace,
-            topo,
-            &profile,
-            &locality,
-            &Srtf,
-            &mut PackedPlacement::deterministic(),
-        );
+        let r = Scenario::new(Trace::new("t", jobs), ClusterTopology::new(1, 4))
+            .profile(flat_profile(4))
+            .locality(LocalityModel::uniform(1.5))
+            .scheduler(Srtf)
+            .placement(PackedPlacement::deterministic())
+            .run()
+            .unwrap();
         let short = &r.records[1];
         let long = &r.records[0];
         assert!(short.finish < long.finish);
@@ -548,18 +671,13 @@ mod tests {
     #[test]
     fn las_gives_new_jobs_priority() {
         let jobs = vec![spec(0, 0.0, 4, 10_000.0), spec(1, 600.0, 4, 600.0)];
-        let trace = Trace::new("t", jobs);
-        let topo = ClusterTopology::new(1, 4);
-        let profile = flat_profile(4);
-        let locality = LocalityModel::uniform(1.5);
-        let r = Simulator::default_sim().run(
-            &trace,
-            topo,
-            &profile,
-            &locality,
-            &Las::default(),
-            &mut PackedPlacement::deterministic(),
-        );
+        let r = Scenario::new(Trace::new("t", jobs), ClusterTopology::new(1, 4))
+            .profile(flat_profile(4))
+            .locality(LocalityModel::uniform(1.5))
+            .scheduler(Las::default())
+            .placement(PackedPlacement::deterministic())
+            .run()
+            .unwrap();
         // Job 0 accrues 4 GPU * 900s+ of service before job 1's first
         // round, exceeding the 3600 GPU-second threshold -> demoted.
         assert!(r.records[1].finish < r.records[0].finish);
@@ -572,18 +690,13 @@ mod tests {
             spec(1, 0.0, 2, 2000.0),
             spec(2, 0.0, 2, 2000.0),
         ];
-        let trace = Trace::new("t", jobs);
-        let topo = ClusterTopology::new(2, 4);
-        let profile = flat_profile(8);
-        let locality = LocalityModel::uniform(1.5);
-        let r = Simulator::new(SimConfig::sticky()).run(
-            &trace,
-            topo,
-            &profile,
-            &locality,
-            &Fifo,
-            &mut PackedPlacement::deterministic(),
-        );
+        let r = Scenario::new(Trace::new("t", jobs), ClusterTopology::new(2, 4))
+            .profile(flat_profile(8))
+            .locality(LocalityModel::uniform(1.5))
+            .placement(PackedPlacement::deterministic())
+            .config(SimConfig::sticky())
+            .run()
+            .unwrap();
         for rec in &r.records {
             assert_eq!(
                 rec.migrations, 0,
@@ -597,22 +710,28 @@ mod tests {
     #[test]
     fn all_schedulers_complete_a_mixed_trace() {
         let jobs: Vec<JobSpec> = (0..12)
-            .map(|i| spec(i, i as f64 * 200.0, 1 + (i as usize % 4), 500.0 + 100.0 * i as f64))
+            .map(|i| {
+                spec(
+                    i,
+                    i as f64 * 200.0,
+                    1 + (i as usize % 4),
+                    500.0 + 100.0 * i as f64,
+                )
+            })
             .collect();
-        for sched in [&Fifo as &dyn SchedulingPolicy, &Las::default(), &Srtf] {
-            let trace = Trace::new("t", jobs.clone());
-            let topo = ClusterTopology::new(2, 4);
-            let profile = flat_profile(8);
-            let locality = LocalityModel::uniform(1.5);
-            let r = Simulator::default_sim().run(
-                &trace,
-                topo,
-                &profile,
-                &locality,
-                sched,
-                &mut RandomPlacement::new(1),
-            );
-            assert_eq!(r.records.len(), 12, "{}", sched.name());
+        for pick in 0..3 {
+            let mut scenario =
+                Scenario::new(Trace::new("t", jobs.clone()), ClusterTopology::new(2, 4))
+                    .profile(flat_profile(8))
+                    .locality(LocalityModel::uniform(1.5))
+                    .placement(RandomPlacement::new(1));
+            scenario = match pick {
+                0 => scenario.scheduler(Fifo),
+                1 => scenario.scheduler(Las::default()),
+                _ => scenario.scheduler(Srtf),
+            };
+            let r = scenario.run().unwrap();
+            assert_eq!(r.records.len(), 12, "scheduler pick {pick}");
             for rec in &r.records {
                 assert!(rec.finish > rec.arrival);
                 assert!(rec.first_start >= rec.arrival);
@@ -627,22 +746,45 @@ mod tests {
             1,
             false,
             1.5,
-        );
+        )
+        .unwrap();
         let u = r.utilization();
         assert!(u > 0.0 && u <= 1.0, "utilization {u}");
     }
 
     #[test]
     fn gpus_in_use_series_tracks_demand() {
-        let r = run_simple(vec![spec(0, 0.0, 3, 500.0)], 1, false, 1.5);
+        let r = run_simple(vec![spec(0, 0.0, 3, 500.0)], 1, false, 1.5).unwrap();
         assert_eq!(r.gpus_in_use.eval(10.0), 3.0);
         assert_eq!(r.gpus_in_use.eval(1e9), 0.0);
     }
 
     #[test]
+    fn oversized_job_is_a_typed_error() {
+        let err = run_simple(vec![spec(0, 0.0, 64, 100.0)], 1, false, 1.5).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::OversizedJob {
+                job: JobId(0),
+                demand: 64,
+                total_gpus: 4
+            }
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "demands")]
-    fn oversized_job_panics() {
-        run_simple(vec![spec(0, 0.0, 64, 100.0)], 1, false, 1.5);
+    fn deprecated_shim_preserves_oversized_panic() {
+        let topo = ClusterTopology::new(1, 4);
+        Simulator::default_sim().run(
+            &Trace::new("t", vec![spec(0, 0.0, 64, 100.0)]),
+            topo,
+            &flat_profile(4),
+            &LocalityModel::uniform(1.5),
+            &Fifo,
+            &mut PackedPlacement::deterministic(),
+        );
     }
 
     #[test]
@@ -652,7 +794,8 @@ mod tests {
             1,
             false,
             1.5,
-        );
+        )
+        .unwrap();
         // Without fast-forward this would need ~334 rounds; with it, far
         // fewer.
         assert!(r.rounds < 20, "rounds {}", r.rounds);
@@ -665,20 +808,13 @@ mod tests {
         // One oversized job, one normal: the oversized one is rejected,
         // the normal one completes.
         let jobs = vec![spec(0, 0.0, 64, 100.0), spec(1, 0.0, 1, 100.0)];
-        let trace = Trace::new("adm", jobs);
-        let topo = ClusterTopology::new(1, 4);
-        let profile = flat_profile(4);
-        let locality = LocalityModel::uniform(1.5);
-        let r = Simulator::default_sim().run_full(
-            &trace,
-            topo,
-            &profile,
-            &profile,
-            &locality,
-            &Fifo,
-            &mut PackedPlacement::deterministic(),
-            &RejectOversized,
-        );
+        let r = Scenario::new(Trace::new("adm", jobs), ClusterTopology::new(1, 4))
+            .profile(flat_profile(4))
+            .locality(LocalityModel::uniform(1.5))
+            .placement(PackedPlacement::deterministic())
+            .admission(RejectOversized)
+            .run()
+            .unwrap();
         assert_eq!(r.rejected.len(), 1);
         assert_eq!(r.records.len(), 1);
         assert!((r.records[0].finish - 100.0).abs() < 1.0);
@@ -688,20 +824,13 @@ mod tests {
     fn max_active_jobs_caps_queue() {
         use crate::admission::MaxActiveJobs;
         let jobs: Vec<JobSpec> = (0..6).map(|i| spec(i, 0.0, 4, 900.0)).collect();
-        let trace = Trace::new("cap", jobs);
-        let topo = ClusterTopology::new(1, 4);
-        let profile = flat_profile(4);
-        let locality = LocalityModel::uniform(1.5);
-        let r = Simulator::default_sim().run_full(
-            &trace,
-            topo,
-            &profile,
-            &profile,
-            &locality,
-            &Fifo,
-            &mut PackedPlacement::deterministic(),
-            &MaxActiveJobs { limit: 2 },
-        );
+        let r = Scenario::new(Trace::new("cap", jobs), ClusterTopology::new(1, 4))
+            .profile(flat_profile(4))
+            .locality(LocalityModel::uniform(1.5))
+            .placement(PackedPlacement::deterministic())
+            .admission(MaxActiveJobs { limit: 2 })
+            .run()
+            .unwrap();
         // First two admitted; the rest arrive while both are active.
         assert_eq!(r.rejected.len(), 4);
         assert_eq!(r.records.len(), 2);
@@ -713,18 +842,12 @@ mod tests {
             .map(|i| spec(i, i as f64 * 100.0, 1 + (i as usize % 3), 700.0))
             .collect();
         let run = || {
-            let trace = Trace::new("t", jobs.clone());
-            let topo = ClusterTopology::new(2, 4);
-            let profile = flat_profile(8);
-            let locality = LocalityModel::uniform(1.5);
-            Simulator::default_sim().run(
-                &trace,
-                topo,
-                &profile,
-                &locality,
-                &Fifo,
-                &mut RandomPlacement::new(7),
-            )
+            Scenario::new(Trace::new("t", jobs.clone()), ClusterTopology::new(2, 4))
+                .profile(flat_profile(8))
+                .locality(LocalityModel::uniform(1.5))
+                .placement(RandomPlacement::new(7))
+                .run()
+                .unwrap()
         };
         let a = run();
         let b = run();

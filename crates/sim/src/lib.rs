@@ -25,20 +25,36 @@
 //! Metrics ([`metrics`]): per-job JCT and wait time, makespan, cluster
 //! utilization, GPUs-in-use time series, and per-round placement compute
 //! time (Figure 18).
+//!
+//! ## Entry points
+//!
+//! - [`Scenario`]: the builder describing one run — trace + topology plus
+//!   optional profile/truth/locality/scheduler/placement/admission/config
+//!   dimensions — executed with `run() -> Result<SimResult, SimError>`.
+//! - [`Campaign`]: a sweep of M scenarios × N [`PolicySpec`]s run in
+//!   parallel with deterministic per-cell seeds and tagged results.
+//! - [`Simulator`]: the legacy positional API, kept as deprecated shims
+//!   for one release.
 
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod campaign;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod job_state;
 pub mod metrics;
 pub mod placement;
+pub mod scenario;
 pub mod sched;
 
 pub use admission::{AdmissionCtx, AdmissionPolicy, AdmitAll};
+pub use campaign::{Campaign, CampaignResult, PolicySpec};
 pub use config::SimConfig;
 pub use engine::Simulator;
+pub use error::{ProfileRole, SimError};
 pub use metrics::{JobRecord, SimResult};
 pub use placement::{PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation};
+pub use scenario::Scenario;
 pub use sched::SchedulingPolicy;

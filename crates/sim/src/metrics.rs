@@ -156,6 +156,23 @@ impl SimResult {
     pub fn total_migrations(&self) -> u64 {
         self.records.iter().map(|r| r.migrations as u64).sum()
     }
+
+    /// Whether two results describe the same simulated outcome: every
+    /// field equal except `placement_compute_times`, which is wall-clock
+    /// measurement noise rather than simulation state. This is the
+    /// equality [`crate::Campaign`]'s determinism contract is stated in.
+    pub fn same_outcome(&self, other: &SimResult) -> bool {
+        self.trace == other.trace
+            && self.scheduler == other.scheduler
+            && self.placement == other.placement
+            && self.records == other.records
+            && self.rejected == other.rejected
+            && self.gpus_in_use == other.gpus_in_use
+            && self.busy_gpu_seconds == other.busy_gpu_seconds
+            && self.ideal_gpu_seconds == other.ideal_gpu_seconds
+            && self.total_gpus == other.total_gpus
+            && self.rounds == other.rounds
+    }
 }
 
 #[cfg(test)]

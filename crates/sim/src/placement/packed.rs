@@ -91,7 +91,9 @@ impl PlacementPolicy for PackedPlacement {
         // Spanning allocation: fill from the nodes with the most free GPUs
         // first, touching as few nodes as possible. Equal-sized nodes are
         // tie-broken per mode.
-        let mut nodes: Vec<usize> = (0..by_node.len()).filter(|&n| !by_node[n].is_empty()).collect();
+        let mut nodes: Vec<usize> = (0..by_node.len())
+            .filter(|&n| !by_node[n].is_empty())
+            .collect();
         if let Some(rng) = &mut self.rng {
             nodes.shuffle(rng);
         }
@@ -180,7 +182,10 @@ mod tests {
         for _ in 0..16 {
             let alloc = pol.place(&request(0, 4), &ctx(&p, &l), &s);
             assert_eq!(alloc.len(), 4);
-            assert!(!s.topology().spans_nodes(&alloc), "randomized packing spanned nodes");
+            assert!(
+                !s.topology().spans_nodes(&alloc),
+                "randomized packing spanned nodes"
+            );
         }
     }
 

@@ -104,6 +104,9 @@ mod tests {
                 s.topology().spans_nodes(&a)
             })
             .count();
-        assert!(spans > 0, "random placement never spanned nodes in 32 draws");
+        assert!(
+            spans > 0,
+            "random placement never spanned nodes in 32 draws"
+        );
     }
 }

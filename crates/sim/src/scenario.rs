@@ -1,0 +1,405 @@
+//! The [`Scenario`] builder — the primary entry point to the simulator.
+//!
+//! A scenario owns everything one simulation run needs: the trace, the
+//! cluster, the profiles, the policies, and the knob set. Every dimension
+//! beyond `(trace, topology)` has a sensible default, so the minimal run
+//! is two lines:
+//!
+//! ```
+//! use pal_sim::Scenario;
+//! use pal_cluster::ClusterTopology;
+//! use pal_trace::{JobId, JobSpec, Trace};
+//! use pal_cluster::JobClass;
+//! use pal_gpumodel::Workload;
+//!
+//! let job = JobSpec {
+//!     id: JobId(0), model: Workload::ResNet50, class: JobClass::A,
+//!     arrival: 0.0, gpu_demand: 2, iterations: 600, base_iter_time: 1.0,
+//! };
+//! let result = Scenario::new(Trace::new("demo", vec![job]), ClusterTopology::new(2, 4))
+//!     .run()
+//!     .expect("valid scenario");
+//! assert_eq!(result.records.len(), 1);
+//! ```
+//!
+//! Misconfiguration surfaces as a typed [`SimError`] instead of a panic,
+//! and new scenario dimensions (truth perturbation, admission control,
+//! sticky mode, …) compose through builder methods without touching any
+//! call site that doesn't care.
+
+use crate::admission::{AdmissionPolicy, AdmitAll};
+use crate::config::SimConfig;
+use crate::engine::{simulate, EngineInputs};
+use crate::error::SimError;
+use crate::metrics::SimResult;
+use crate::placement::{PackedPlacement, PlacementPolicy};
+use crate::sched::{Fifo, SchedulingPolicy};
+use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
+use pal_trace::Trace;
+
+/// Minimum number of variability classes a default (flat) profile covers.
+const DEFAULT_CLASSES: usize = 3;
+
+/// A fully described simulation run. See the [module docs](self).
+///
+/// Build with [`Scenario::new`], customize with the chained setters, and
+/// execute with [`Scenario::run`]. For sweeps over many scenarios and
+/// placement policies, see [`crate::Campaign`].
+pub struct Scenario {
+    trace: Trace,
+    topology: ClusterTopology,
+    profile: Option<VariabilityProfile>,
+    truth: Option<VariabilityProfile>,
+    locality: LocalityModel,
+    scheduler: Box<dyn SchedulingPolicy + Send + Sync>,
+    placement: Box<dyn PlacementPolicy + Send>,
+    admission: Box<dyn AdmissionPolicy + Send + Sync>,
+    config: SimConfig,
+}
+
+impl Scenario {
+    /// A scenario with defaults for everything but the workload and the
+    /// cluster: flat (variability-free) profile, no locality penalty, FIFO
+    /// scheduling, deterministic packed placement, admit-all admission,
+    /// and the paper's 300 s non-sticky rounds.
+    pub fn new(trace: Trace, topology: ClusterTopology) -> Self {
+        Scenario {
+            trace,
+            topology,
+            profile: None,
+            truth: None,
+            locality: LocalityModel::uniform(1.0),
+            scheduler: Box::new(Fifo),
+            placement: Box::new(PackedPlacement::deterministic()),
+            admission: Box::new(AdmitAll),
+            config: SimConfig::default(),
+        }
+    }
+
+    /// The variability profile placement policies consult (and, unless
+    /// [`truth`](Scenario::truth) is set, the one execution follows).
+    pub fn profile(mut self, profile: VariabilityProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// A distinct ground-truth profile driving execution — the
+    /// stale-profile experiments of Section V-A perturb this copy.
+    pub fn truth(mut self, truth: VariabilityProfile) -> Self {
+        self.truth = Some(truth);
+        self
+    }
+
+    /// The locality penalty model (defaults to no penalty).
+    pub fn locality(mut self, locality: LocalityModel) -> Self {
+        self.locality = locality;
+        self
+    }
+
+    /// The scheduling policy ordering the queue (defaults to FIFO).
+    pub fn scheduler(mut self, scheduler: impl SchedulingPolicy + Send + Sync + 'static) -> Self {
+        self.scheduler = Box::new(scheduler);
+        self
+    }
+
+    /// Boxed-policy variant of [`scheduler`](Scenario::scheduler), for
+    /// callers that pick the scheduler dynamically (e.g. from a CLI flag).
+    pub fn scheduler_boxed(mut self, scheduler: Box<dyn SchedulingPolicy + Send + Sync>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The placement policy choosing GPUs (defaults to deterministic
+    /// packed placement).
+    pub fn placement(mut self, placement: impl PlacementPolicy + Send + 'static) -> Self {
+        self.placement = Box::new(placement);
+        self
+    }
+
+    /// Boxed-policy variant of [`placement`](Scenario::placement), for
+    /// callers that build policies dynamically (e.g. [`crate::Campaign`]).
+    pub fn placement_boxed(mut self, placement: Box<dyn PlacementPolicy + Send>) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The admission-control policy (defaults to admit-all).
+    pub fn admission(mut self, admission: impl AdmissionPolicy + Send + Sync + 'static) -> Self {
+        self.admission = Box::new(admission);
+        self
+    }
+
+    /// Replace the whole knob set.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set sticky placement without touching the other knobs.
+    pub fn sticky(mut self, sticky: bool) -> Self {
+        self.config.sticky = sticky;
+        self
+    }
+
+    /// Set the scheduling round duration without touching the other knobs.
+    pub fn round_duration(mut self, seconds: f64) -> Self {
+        self.config.round_duration = seconds;
+        self
+    }
+
+    /// The effective policy-visible profile: the one set via
+    /// [`profile`](Scenario::profile), or the flat default.
+    pub fn effective_profile(&self) -> VariabilityProfile {
+        match &self.profile {
+            Some(p) => p.clone(),
+            None => flat_profile(&self.trace, &self.topology),
+        }
+    }
+
+    /// Trace accessor (e.g. for labeling sweep results).
+    pub fn trace_name(&self) -> &str {
+        &self.trace.name
+    }
+
+    /// Validate the scenario without running it. Catches the static
+    /// configuration errors ([`SimError::ProfileTopologyMismatch`],
+    /// [`SimError::InvalidRoundDuration`], [`SimError::ClassOutOfRange`]);
+    /// admission-dependent conditions such as [`SimError::OversizedJob`]
+    /// are only detectable by running.
+    pub fn validate(&self) -> Result<(), SimError> {
+        crate::engine::validate_inputs(
+            &self.trace,
+            &self.topology,
+            self.profile.as_ref(),
+            self.truth.as_ref(),
+            &self.config,
+        )
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(self) -> Result<SimResult, SimError> {
+        let Scenario {
+            trace,
+            topology,
+            profile,
+            truth,
+            locality,
+            scheduler,
+            mut placement,
+            admission,
+            config,
+        } = self;
+        let profile = profile.unwrap_or_else(|| flat_profile(&trace, &topology));
+        let truth_ref = truth.as_ref().unwrap_or(&profile);
+        simulate(EngineInputs {
+            trace: &trace,
+            topology,
+            profile: &profile,
+            truth: truth_ref,
+            locality: &locality,
+            scheduler: scheduler.as_ref(),
+            placement: placement.as_mut(),
+            admission: admission.as_ref(),
+            config: &config,
+        })
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("trace", &self.trace.name)
+            .field("jobs", &self.trace.len())
+            .field("topology", &self.topology)
+            .field("profile", &self.profile.as_ref().map(|_| "set"))
+            .field("truth", &self.truth.as_ref().map(|_| "set"))
+            .field("scheduler", &self.scheduler.name())
+            .field("placement", &self.placement.name())
+            .field("admission", &self.admission.name())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// A variability-free profile sized to the topology, with enough class
+/// rows for every job in the trace (at least [`DEFAULT_CLASSES`]).
+fn flat_profile(trace: &Trace, topology: &ClusterTopology) -> VariabilityProfile {
+    let classes = trace
+        .jobs
+        .iter()
+        .map(|j| j.class.0 + 1)
+        .max()
+        .unwrap_or(0)
+        .max(DEFAULT_CLASSES);
+    VariabilityProfile::from_raw(vec![vec![1.0; topology.total_gpus()]; classes])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ProfileRole;
+    use pal_cluster::JobClass;
+    use pal_gpumodel::Workload;
+    use pal_trace::{JobId, JobSpec};
+
+    fn spec(id: u32, demand: usize, class: JobClass) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            model: Workload::ResNet50,
+            class,
+            arrival: 0.0,
+            gpu_demand: demand,
+            iterations: 100,
+            base_iter_time: 1.0,
+        }
+    }
+
+    #[test]
+    fn defaults_run_a_minimal_trace() {
+        let r = Scenario::new(
+            Trace::new("t", vec![spec(0, 2, JobClass::A)]),
+            ClusterTopology::new(1, 4),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(r.records.len(), 1);
+        // Flat profile + no locality penalty: exact ideal runtime.
+        assert!((r.records[0].finish - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_profile_is_typed_error() {
+        let err = Scenario::new(
+            Trace::new("t", vec![spec(0, 1, JobClass::A)]),
+            ClusterTopology::new(2, 4),
+        )
+        .profile(VariabilityProfile::from_raw(vec![vec![1.0; 4]; 3]))
+        .run()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ProfileTopologyMismatch {
+                role: ProfileRole::Policy,
+                profile_gpus: 4,
+                topology_gpus: 8
+            }
+        );
+    }
+
+    #[test]
+    fn mismatched_truth_is_typed_error() {
+        let err = Scenario::new(
+            Trace::new("t", vec![spec(0, 1, JobClass::A)]),
+            ClusterTopology::new(1, 4),
+        )
+        .truth(VariabilityProfile::from_raw(vec![vec![1.0; 8]; 3]))
+        .run()
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::ProfileTopologyMismatch {
+                role: ProfileRole::Truth,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn invalid_round_duration_is_typed_error() {
+        let err = Scenario::new(
+            Trace::new("t", vec![spec(0, 1, JobClass::A)]),
+            ClusterTopology::new(1, 4),
+        )
+        .round_duration(0.0)
+        .run()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidRoundDuration {
+                round_duration: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn class_out_of_range_is_typed_error() {
+        let err = Scenario::new(
+            Trace::new("t", vec![spec(0, 1, JobClass(7))]),
+            ClusterTopology::new(1, 4),
+        )
+        .profile(VariabilityProfile::from_raw(vec![vec![1.0; 4]; 3]))
+        .run()
+        .unwrap_err();
+        assert!(matches!(err, SimError::ClassOutOfRange { .. }));
+    }
+
+    #[test]
+    fn default_flat_profile_covers_high_class_indices() {
+        // Class 5 with no explicit profile: the default sizes itself.
+        let r = Scenario::new(
+            Trace::new("t", vec![spec(0, 1, JobClass(5))]),
+            ClusterTopology::new(1, 4),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(r.records.len(), 1);
+    }
+
+    #[test]
+    fn validate_catches_static_errors_without_running() {
+        let s = Scenario::new(
+            Trace::new("t", vec![spec(0, 1, JobClass::A)]),
+            ClusterTopology::new(2, 4),
+        )
+        .profile(VariabilityProfile::from_raw(vec![vec![1.0; 4]; 3]));
+        assert!(s.validate().is_err());
+
+        let ok = Scenario::new(
+            Trace::new("t", vec![spec(0, 1, JobClass::A)]),
+            ClusterTopology::new(1, 4),
+        );
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn rejecting_the_final_pending_job_terminates_cleanly() {
+        // Regression: job 1 arrives after job 0 finishes and is rejected
+        // by admission while nothing is active — the idle fast-forward
+        // must not index past the end of the job list.
+        use crate::admission::RejectOversized;
+        let mut late_oversized = spec(1, 99, JobClass::A);
+        late_oversized.arrival = 400.0;
+        let jobs = vec![spec(0, 1, JobClass::A), late_oversized];
+        let r = Scenario::new(Trace::new("t", jobs), ClusterTopology::new(1, 4))
+            .admission(RejectOversized)
+            .run()
+            .expect("rejection of the last pending job must not panic");
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.rejected.len(), 1);
+    }
+
+    #[test]
+    fn livelock_is_typed_error() {
+        let config = SimConfig {
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let jobs = vec![spec(0, 4, JobClass::A), spec(1, 4, JobClass::A)];
+        let err = Scenario::new(Trace::new("t", jobs), ClusterTopology::new(1, 4))
+            .config(config)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Livelock { .. }));
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let s = Scenario::new(
+            Trace::new("debug-trace", vec![spec(0, 1, JobClass::A)]),
+            ClusterTopology::new(1, 4),
+        );
+        let d = format!("{s:?}");
+        assert!(d.contains("debug-trace"));
+        assert!(d.contains("FIFO") || d.contains("Fifo"));
+    }
+}

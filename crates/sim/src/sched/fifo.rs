@@ -25,7 +25,11 @@ mod tests {
 
     #[test]
     fn orders_by_arrival() {
-        let jobs = vec![job(0, 30.0, 1, 10), job(1, 10.0, 1, 10), job(2, 20.0, 1, 10)];
+        let jobs = vec![
+            job(0, 30.0, 1, 10),
+            job(1, 10.0, 1, 10),
+            job(2, 20.0, 1, 10),
+        ];
         assert_eq!(Fifo.order(&jobs), vec![1, 2, 0]);
     }
 

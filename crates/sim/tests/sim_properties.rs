@@ -6,7 +6,7 @@ use pal_cluster::{ClusterTopology, JobClass, LocalityModel, VariabilityProfile};
 use pal_gpumodel::Workload;
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
 use pal_sim::sched::{Fifo, Las, SchedulingPolicy, Srsf, Srtf};
-use pal_sim::{PlacementPolicy, SimConfig, SimResult, Simulator};
+use pal_sim::{PlacementPolicy, Scenario, SimConfig, SimResult};
 use pal_trace::{JobId, JobSpec, Trace};
 use proptest::prelude::*;
 
@@ -17,10 +17,10 @@ fn scenario() -> impl Strategy<Value = (ClusterTopology, Trace, Vec<f64>)> {
             let n = nodes * gpn;
             let jobs = proptest::collection::vec(
                 (
-                    0.0f64..20_000.0,           // arrival
-                    1usize..=n.min(8),          // demand
-                    60.0f64..4000.0,            // ideal duration
-                    0usize..3,                  // class
+                    0.0f64..20_000.0,  // arrival
+                    1usize..=n.min(8), // demand
+                    60.0f64..4000.0,   // ideal duration
+                    0usize..3,         // class
                 ),
                 1..25,
             );
@@ -53,7 +53,11 @@ fn check_invariants(topo: ClusterTopology, trace: &Trace, r: &SimResult) {
     assert_eq!(r.records.len(), trace.len());
     for (rec, spec) in r.records.iter().zip(&trace.jobs) {
         assert_eq!(rec.id, spec.id);
-        assert!(rec.first_start >= spec.arrival - 1e-9, "{} ran early", rec.id);
+        assert!(
+            rec.first_start >= spec.arrival - 1e-9,
+            "{} ran early",
+            rec.id
+        );
         assert!(rec.finish > rec.first_start - 1e-9);
         // A job can never finish faster than its ideal runtime (scores are
         // >= 0.85 here, so give 0.8 slack).
@@ -88,30 +92,25 @@ proptest! {
     ) {
         let profile = VariabilityProfile::from_raw(vec![scores.clone(), scores.clone(), scores]);
         let locality = LocalityModel::uniform(1.5);
-        let las = Las::default();
-        let sched: &dyn SchedulingPolicy = match sched_pick {
-            0 => &Fifo,
-            1 => &las,
-            2 => &Srtf,
-            _ => &Srsf,
+        let sched: Box<dyn SchedulingPolicy + Send + Sync> = match sched_pick {
+            0 => Box::new(Fifo),
+            1 => Box::new(Las::default()),
+            2 => Box::new(Srtf),
+            _ => Box::new(Srsf),
         };
-        let mut policy: Box<dyn PlacementPolicy> = if seed % 2 == 0 {
+        let policy: Box<dyn PlacementPolicy + Send> = if seed % 2 == 0 {
             Box::new(RandomPlacement::new(seed))
         } else {
             Box::new(PackedPlacement::randomized(seed))
         };
-        let config = SimConfig {
-            sticky,
-            ..Default::default()
-        };
-        let r = Simulator::new(config).run(
-            &trace,
-            topo,
-            &profile,
-            &locality,
-            sched,
-            policy.as_mut(),
-        );
+        let r = Scenario::new(trace.clone(), topo)
+            .profile(profile)
+            .locality(locality)
+            .scheduler_boxed(sched)
+            .placement_boxed(policy)
+            .sticky(sticky)
+            .run()
+            .expect("property scenario misconfigured");
         check_invariants(topo, &trace, &r);
     }
 
@@ -138,16 +137,10 @@ proptest! {
                 base_iter_time: 1.0,
             }],
         );
-        let profile = VariabilityProfile::from_raw(vec![vec![1.0; topo.total_gpus()]; 3]);
-        let locality = LocalityModel::uniform(1.0);
-        let r = Simulator::new(SimConfig::non_sticky()).run(
-            &trace,
-            topo,
-            &profile,
-            &locality,
-            &Fifo,
-            &mut PackedPlacement::deterministic(),
-        );
+        let r = Scenario::new(trace.clone(), topo)
+            .placement(PackedPlacement::deterministic())
+            .run()
+            .expect("flat scenario misconfigured");
         let rec = &r.records[0];
         let ideal = trace.jobs[0].ideal_runtime();
         prop_assert!((rec.finish - rec.first_start - ideal).abs() < 1e-6);
@@ -159,15 +152,13 @@ proptest! {
         seed in 0u64..500,
     ) {
         let profile = VariabilityProfile::from_raw(vec![scores.clone(), scores.clone(), scores]);
-        let locality = LocalityModel::uniform(1.5);
-        let r = Simulator::new(SimConfig::sticky()).run(
-            &trace,
-            topo,
-            &profile,
-            &locality,
-            &Fifo,
-            &mut PackedPlacement::randomized(seed),
-        );
+        let r = Scenario::new(trace.clone(), topo)
+            .profile(profile)
+            .locality(LocalityModel::uniform(1.5))
+            .placement(PackedPlacement::randomized(seed))
+            .config(SimConfig::sticky())
+            .run()
+            .expect("sticky scenario misconfigured");
         for rec in &r.records {
             if rec.preemptions == 0 {
                 prop_assert_eq!(
@@ -201,15 +192,11 @@ proptest! {
         };
         let ideal = job.ideal_runtime();
         let trace = Trace::new("span", vec![job]);
-        let profile = VariabilityProfile::from_raw(vec![vec![1.0; topo.total_gpus()]; 3]);
-        let r = Simulator::new(SimConfig::non_sticky()).run(
-            &trace,
-            topo,
-            &profile,
-            &LocalityModel::uniform(penalty),
-            &Fifo,
-            &mut PackedPlacement::deterministic(),
-        );
+        let r = Scenario::new(trace.clone(), topo)
+            .locality(LocalityModel::uniform(penalty))
+            .placement(PackedPlacement::deterministic())
+            .run()
+            .expect("spanning scenario misconfigured");
         let run_time = r.records[0].finish - r.records[0].first_start;
         prop_assert!(
             (run_time - penalty * ideal).abs() < 1e-6 * penalty * ideal + 1e-6,

@@ -142,7 +142,7 @@ mod tests {
         let mut s = StepSeries::new(0.0);
         s.push(1.0, 2.0); // [1,3): 2
         s.push(3.0, 4.0); // [3,...): 4
-        // over [0,5]: 1*0 + 2*2 + 2*4 = 12
+                          // over [0,5]: 1*0 + 2*2 + 2*4 = 12
         assert!((s.integral(0.0, 5.0) - 12.0).abs() < 1e-12);
     }
 

@@ -87,9 +87,7 @@ pub fn read_trace_csv<R: BufRead>(name: &str, input: R) -> Result<Trace, TraceIo
             arrival: fields[3].parse().map_err(|_| parse_err("arrival"))?,
             gpu_demand: fields[4].parse().map_err(|_| parse_err("gpu_demand"))?,
             iterations: fields[5].parse().map_err(|_| parse_err("iterations"))?,
-            base_iter_time: fields[6]
-                .parse()
-                .map_err(|_| parse_err("base_iter_time"))?,
+            base_iter_time: fields[6].parse().map_err(|_| parse_err("base_iter_time"))?,
         };
         job.validate()
             .map_err(|e| TraceIoError::Parse(lineno + 1, e))?;
@@ -159,8 +157,7 @@ mod tests {
         let mut buf = Vec::new();
         write_trace_csv(&trace, &mut buf).unwrap();
         let with_blanks = String::from_utf8(buf).unwrap().replace('\n', "\n\n");
-        let parsed =
-            read_trace_csv(&trace.name, BufReader::new(with_blanks.as_bytes())).unwrap();
+        let parsed = read_trace_csv(&trace.name, BufReader::new(with_blanks.as_bytes())).unwrap();
         assert_eq!(parsed.len(), trace.len());
     }
 }

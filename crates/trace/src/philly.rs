@@ -197,7 +197,10 @@ mod tests {
         let runtimes: Vec<f64> = t.jobs.iter().map(|j| j.ideal_runtime()).collect();
         let mean = pal_stats::mean(&runtimes).unwrap();
         let med = pal_stats::median(&runtimes).unwrap();
-        assert!(mean > med, "heavy tail: mean {mean} should exceed median {med}");
+        assert!(
+            mean > med,
+            "heavy tail: mean {mean} should exceed median {med}"
+        );
     }
 
     #[test]
@@ -209,8 +212,7 @@ mod tests {
     #[test]
     fn all_classes_present() {
         let t = SiaPhillyConfig::default().generate(5, &catalog());
-        let classes: std::collections::HashSet<usize> =
-            t.jobs.iter().map(|j| j.class.0).collect();
+        let classes: std::collections::HashSet<usize> = t.jobs.iter().map(|j| j.class.0).collect();
         assert!(classes.len() >= 2, "trace should mix classes");
     }
 }

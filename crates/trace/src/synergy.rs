@@ -53,13 +53,8 @@ impl Default for SynergyConfig {
 /// Philly GPU-demand distribution for the multi-GPU minority (Synergy
 /// "preserves the Philly trace's GPU demand"; Philly multi-GPU jobs are
 /// dominated by 2-, 4-, and 8-GPU requests).
-const MULTI_GPU_DEMANDS: [(usize, f64); 5] = [
-    (2, 0.40),
-    (4, 0.32),
-    (8, 0.18),
-    (16, 0.07),
-    (32, 0.03),
-];
+const MULTI_GPU_DEMANDS: [(usize, f64); 5] =
+    [(2, 0.40), (4, 0.32), (8, 0.18), (16, 0.07), (32, 0.03)];
 
 impl SynergyConfig {
     /// Generate a Synergy trace at this config's arrival rate.
@@ -101,10 +96,7 @@ impl SynergyConfig {
                 base_iter_time: entry.base_iter_time,
             });
         }
-        Trace::new(
-            format!("synergy-{:.0}jph", self.jobs_per_hour),
-            jobs,
-        )
+        Trace::new(format!("synergy-{:.0}jph", self.jobs_per_hour), jobs)
     }
 
     /// Same trace shape at a different arrival rate (the load sweeps keep

@@ -13,13 +13,19 @@ fn catalog() -> ModelCatalog {
 #[test]
 fn sia_demand_distribution_matches_published_stats() {
     let c = catalog();
-    let traces: Vec<_> = (1..=8).map(|w| SiaPhillyConfig::default().generate(w, &c)).collect();
+    let traces: Vec<_> = (1..=8)
+        .map(|w| SiaPhillyConfig::default().generate(w, &c))
+        .collect();
     let all_jobs: Vec<_> = traces.iter().flat_map(|t| t.jobs.iter()).collect();
     let n = all_jobs.len() as f64;
 
     // ~40% single GPU.
     let singles = all_jobs.iter().filter(|j| j.gpu_demand == 1).count() as f64;
-    assert!((singles / n - 0.40).abs() < 0.05, "single fraction {}", singles / n);
+    assert!(
+        (singles / n - 0.40).abs() < 0.05,
+        "single fraction {}",
+        singles / n
+    );
 
     // Nothing above 48; power-of-two demands dominate the multi-GPU mass.
     assert!(all_jobs.iter().all(|j| j.gpu_demand <= 48));

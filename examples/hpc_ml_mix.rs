@@ -14,8 +14,7 @@ use pal::PalPlacement;
 use pal_cluster::{ClusterTopology, JobClass, LocalityModel, VariabilityProfile};
 use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
 use pal_sim::placement::PackedPlacement;
-use pal_sim::sched::Fifo;
-use pal_sim::{SimConfig, Simulator};
+use pal_sim::Scenario;
 use pal_trace::{ModelCatalog, SiaPhillyConfig};
 
 fn main() {
@@ -54,27 +53,29 @@ fn main() {
         trace.len() - hpc_jobs
     );
 
-    let tiresias = Simulator::new(SimConfig::sticky()).run(
-        &trace,
-        topology,
-        &profile,
-        &locality,
-        &Fifo,
-        &mut PackedPlacement::randomized(5),
-    );
-    let pal = Simulator::new(SimConfig::non_sticky()).run(
-        &trace,
-        topology,
-        &profile,
-        &locality,
-        &Fifo,
-        &mut PalPlacement::new(&profile),
-    );
+    let tiresias = Scenario::new(trace.clone(), topology)
+        .profile(profile.clone())
+        .locality(locality.clone())
+        .placement(PackedPlacement::randomized(5))
+        .sticky(true)
+        .run()
+        .expect("tiresias scenario misconfigured");
+    let pal = Scenario::new(trace, topology)
+        .profile(profile.clone())
+        .locality(locality)
+        .placement(PalPlacement::new(&profile))
+        .run()
+        .expect("pal scenario misconfigured");
 
     for r in [&tiresias, &pal] {
         // Split JCTs by class to show where the benefit lands.
         let by = |pred: &dyn Fn(&pal_sim::JobRecord) -> bool| {
-            let jcts: Vec<f64> = r.records.iter().filter(|x| pred(x)).map(|x| x.jct()).collect();
+            let jcts: Vec<f64> = r
+                .records
+                .iter()
+                .filter(|x| pred(x))
+                .map(|x| x.jct())
+                .collect();
             pal_stats::mean(&jcts).unwrap_or(0.0) / 3600.0
         };
         println!(

@@ -1,5 +1,13 @@
 //! Quickstart: schedule a small trace on a variability-affected cluster
-//! with Tiresias-style packed placement and with PAL, and compare.
+//! with Tiresias-style packed placement and with PAL, and compare — using
+//! the [`Scenario`] builder, the simulator's primary entry point.
+//!
+//! A scenario starts from `(trace, topology)` and layers on exactly the
+//! dimensions an experiment cares about: `.profile(..)` for per-GPU
+//! variability, `.locality(..)` for the cross-node penalty model,
+//! `.placement(..)`/`.sticky(..)` for the placement configuration, and
+//! `.run()` returns `Result<SimResult, SimError>` — misconfiguration is a
+//! typed error, not a panic.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -9,8 +17,7 @@ use pal::PalPlacement;
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
 use pal_sim::placement::PackedPlacement;
-use pal_sim::sched::Fifo;
-use pal_sim::{SimConfig, Simulator};
+use pal_sim::Scenario;
 use pal_trace::{ModelCatalog, SiaPhillyConfig};
 
 fn main() {
@@ -43,24 +50,21 @@ fn main() {
 
     // 3. Simulate with the Tiresias baseline (packed, sticky)...
     let locality = LocalityModel::uniform(1.5);
-    let tiresias = Simulator::new(SimConfig::sticky()).run(
-        &trace,
-        topology,
-        &profile,
-        &locality,
-        &Fifo,
-        &mut PackedPlacement::randomized(7),
-    );
+    let tiresias = Scenario::new(trace.clone(), topology)
+        .profile(profile.clone())
+        .locality(locality.clone())
+        .placement(PackedPlacement::randomized(7))
+        .sticky(true)
+        .run()
+        .expect("tiresias scenario misconfigured");
 
     // 4. ...and with PAL (variability + locality aware, non-sticky).
-    let pal = Simulator::new(SimConfig::non_sticky()).run(
-        &trace,
-        topology,
-        &profile,
-        &locality,
-        &Fifo,
-        &mut PalPlacement::new(&profile),
-    );
+    let pal = Scenario::new(trace, topology)
+        .profile(profile.clone())
+        .locality(locality)
+        .placement(PalPlacement::new(&profile))
+        .run()
+        .expect("pal scenario misconfigured");
 
     // 5. Compare.
     for r in [&tiresias, &pal] {

@@ -2,6 +2,10 @@
 //! six placement policies, FIFO scheduling — the experiment behind
 //! Figure 11 — printed as a summary table.
 //!
+//! This is the simulator's [`Campaign`] API end to end: scenarios are the
+//! eight workloads, policy columns are the six placement configurations,
+//! and the 48 cells run in parallel with deterministic per-cell seeds.
+//!
 //! ```text
 //! cargo run --release --example sia_philly_campaign
 //! ```
@@ -10,19 +14,34 @@ use pal::{PalPlacement, PmFirstPlacement};
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
-use pal_sim::sched::Fifo;
-use pal_sim::{PlacementPolicy, SimConfig, Simulator};
+use pal_sim::{Campaign, PolicySpec, Scenario};
 use pal_trace::{ModelCatalog, SiaPhillyConfig, Trace};
 
-/// The six placement configurations of the paper's evaluation.
-fn policies(profile: &VariabilityProfile) -> Vec<(&'static str, bool, Box<dyn PlacementPolicy>)> {
+/// The six placement configurations of the paper's evaluation, as
+/// campaign policy columns.
+fn policies() -> Vec<PolicySpec> {
     vec![
-        ("Random-Non-Sticky", false, Box::new(RandomPlacement::new(1))),
-        ("Random-Sticky", true, Box::new(RandomPlacement::new(2))),
-        ("Gandiva", false, Box::new(PackedPlacement::randomized(3))),
-        ("Tiresias", true, Box::new(PackedPlacement::randomized(4))),
-        ("PM-First", false, Box::new(PmFirstPlacement::new(profile))),
-        ("PAL", false, Box::new(PalPlacement::new(profile))),
+        PolicySpec::new("Random-Non-Sticky", |_, seed| {
+            Box::new(RandomPlacement::new(seed))
+        })
+        .sticky(false),
+        PolicySpec::new("Random-Sticky", |_, seed| {
+            Box::new(RandomPlacement::new(seed))
+        })
+        .sticky(true),
+        PolicySpec::new("Gandiva", |_, seed| {
+            Box::new(PackedPlacement::randomized(seed))
+        })
+        .sticky(false),
+        PolicySpec::new("Tiresias", |_, seed| {
+            Box::new(PackedPlacement::randomized(seed))
+        })
+        .sticky(true),
+        PolicySpec::new("PM-First", |profile, _| {
+            Box::new(PmFirstPlacement::new(profile))
+        })
+        .sticky(false),
+        PolicySpec::new("PAL", |profile, _| Box::new(PalPlacement::new(profile))).sticky(false),
     ]
 }
 
@@ -39,52 +58,46 @@ fn main() {
     let catalog = ModelCatalog::table2(&GpuSpec::v100());
     let traces: Vec<Trace> = SiaPhillyConfig::default().generate_all(&catalog);
 
+    let mut campaign = Campaign::new().seed(0x51A).policies(policies());
+    for (w, trace) in traces.iter().enumerate() {
+        let trace = trace.clone();
+        let profile = profile.clone();
+        let locality = locality.clone();
+        campaign = campaign.scenario(format!("w{}", w + 1), move || {
+            Scenario::new(trace.clone(), topology)
+                .profile(profile.clone())
+                .locality(locality.clone())
+        });
+    }
+    let cells = campaign.run().expect("campaign misconfigured");
+
     println!("avg JCT (hours) per workload; ratio = geomean vs Tiresias");
     println!(
         "{:<18} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  ratio",
         "policy", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8"
     );
-    let mut tiresias_jcts: Vec<f64> = Vec::new();
-    for (name, sticky, _) in policies(&profile) {
-        let mut row: Vec<f64> = Vec::new();
-        for trace in &traces {
-            let mut policy = policies(&profile)
-                .into_iter()
-                .find(|(n, _, _)| *n == name)
-                .expect("known policy")
-                .2;
-            let config = if sticky {
-                SimConfig::sticky()
-            } else {
-                SimConfig::non_sticky()
-            };
-            let r = Simulator::new(config).run(
-                trace,
-                topology,
-                &profile,
-                &locality,
-                &Fifo,
-                policy.as_mut(),
-            );
-            row.push(r.avg_jct());
-        }
-        if name == "Tiresias" {
-            tiresias_jcts = row.clone();
-        }
-        let ratio = if tiresias_jcts.is_empty() {
-            f64::NAN
-        } else {
-            pal_stats::geomean_of_ratios(&row, &tiresias_jcts).unwrap_or(f64::NAN)
-        };
+    let row_of = |policy: &str| -> Vec<f64> {
+        (1..=traces.len())
+            .map(|w| {
+                cells
+                    .iter()
+                    .find(|c| c.policy == policy && c.scenario == format!("w{w}"))
+                    .expect("cell ran")
+                    .result
+                    .avg_jct()
+            })
+            .collect()
+    };
+    let tiresias_jcts = row_of("Tiresias");
+    for spec in policies() {
+        let name = spec.name().to_string();
+        let row = row_of(&name);
+        let ratio = pal_stats::geomean_of_ratios(&row, &tiresias_jcts).unwrap_or(f64::NAN);
         print!("{name:<18}");
         for v in &row {
             print!(" {:>6.2}", v / 3600.0);
         }
-        if ratio.is_nan() {
-            println!("      -");
-        } else {
-            println!("  {ratio:>5.3}");
-        }
+        println!("  {ratio:>5.3}");
     }
     println!("\n(ratio < 1.0 = better than Tiresias; the paper reports PAL ~0.58 geomean)");
 }

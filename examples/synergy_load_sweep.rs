@@ -3,6 +3,9 @@
 //! rate rises — including the multi-GPU job subset where variability bites
 //! hardest.
 //!
+//! A 5-load × 2-policy [`Campaign`]: one scenario per arrival rate, one
+//! policy column per placement configuration.
+//!
 //! ```text
 //! cargo run --release --example synergy_load_sweep
 //! ```
@@ -11,9 +14,10 @@ use pal::PalPlacement;
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
 use pal_sim::placement::PackedPlacement;
-use pal_sim::sched::Fifo;
-use pal_sim::{SimConfig, Simulator};
+use pal_sim::{Campaign, PolicySpec, Scenario};
 use pal_trace::{ModelCatalog, SynergyConfig};
+
+const LOADS: [f64; 5] = [4.0, 8.0, 12.0, 16.0, 20.0];
 
 fn main() {
     let topology = ClusterTopology::synergy_256();
@@ -26,28 +30,43 @@ fn main() {
     let locality = LocalityModel::uniform(1.7);
     let catalog = ModelCatalog::table2(&GpuSpec::v100());
 
+    let mut campaign = Campaign::new()
+        .seed(0x10AD)
+        .policy(
+            PolicySpec::new("Tiresias", |_, seed| {
+                Box::new(PackedPlacement::randomized(seed))
+            })
+            .sticky(true),
+        )
+        .policy(
+            PolicySpec::new("PAL", |profile, _| Box::new(PalPlacement::new(profile))).sticky(false),
+        );
+    for load in LOADS {
+        let trace = SynergyConfig::default().at_load(load).generate(&catalog);
+        let profile = profile.clone();
+        let locality = locality.clone();
+        campaign = campaign.scenario(format!("{load}"), move || {
+            Scenario::new(trace.clone(), topology)
+                .profile(profile.clone())
+                .locality(locality.clone())
+        });
+    }
+    let cells = campaign.run().expect("load sweep campaign misconfigured");
+
     println!(
         "{:>5}  {:>14} {:>14}  {:>9}  {:>14} {:>14}",
         "load", "Tiresias JCT h", "PAL JCT h", "PAL gain", "Tiresias multi", "PAL multi"
     );
-    for load in [4.0, 8.0, 12.0, 16.0, 20.0] {
-        let trace = SynergyConfig::default().at_load(load).generate(&catalog);
-        let tiresias = Simulator::new(SimConfig::sticky()).run(
-            &trace,
-            topology,
-            &profile,
-            &locality,
-            &Fifo,
-            &mut PackedPlacement::randomized(5),
-        );
-        let pal = Simulator::new(SimConfig::non_sticky()).run(
-            &trace,
-            topology,
-            &profile,
-            &locality,
-            &Fifo,
-            &mut PalPlacement::new(&profile),
-        );
+    for load in LOADS {
+        let cell = |policy: &str| {
+            &cells
+                .iter()
+                .find(|c| c.policy == policy && c.scenario == format!("{load}"))
+                .expect("cell ran")
+                .result
+        };
+        let tiresias = cell("Tiresias");
+        let pal = cell("PAL");
         println!(
             "{load:>5}  {:>14.2} {:>14.2}  {:>8.0}%  {:>14.2} {:>14.2}",
             tiresias.avg_jct() / 3600.0,

@@ -1,0 +1,194 @@
+//! Wall-clock micro-benchmark harness standing in for `criterion` (see
+//! `shims/README.md`).
+//!
+//! Supports the subset the workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `bench_function` /
+//! `bench_with_input` / `sample_size` / `finish`, [`BenchmarkId`], and
+//! [`Bencher::iter`]. Each benchmark is timed with `std::time::Instant`
+//! and the mean ns/iter is printed to stdout; there is no statistical
+//! analysis, outlier rejection, or HTML report.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` label.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Times one closure; handed to the user's benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, then time enough iterations for a stable mean.
+        for _ in 0..2 {
+            std_black_box(f());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std_black_box(f());
+            iters += 1;
+            if iters >= self.samples || start.elapsed() > Duration::from_millis(200) {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.samples = iters;
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples == 0 {
+            println!("{label}: no samples");
+            return;
+        }
+        let per_iter = self.total.as_nanos() as f64 / self.samples as f64;
+        println!("{label}: {per_iter:.0} ns/iter ({} iters)", self.samples);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Benchmark a closure that receives `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+        };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// End the group (no-op beyond matching the upstream API).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: 100,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        b.report(&id.label);
+        self
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (ignores harness CLI arguments).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,43 @@
+//! `any::<T>()` support (`proptest::arbitrary` equivalent).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::{Rng, Standard};
+use std::marker::PhantomData;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for `Self`.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Draws from the full value range of `T` (see [`Arbitrary`]).
+#[derive(Debug, Clone, Copy)]
+pub struct StandardAny<T>(PhantomData<T>);
+
+impl<T: Standard> Strategy for StandardAny<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! arbitrary_standard {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            type Strategy = StandardAny<$t>;
+            fn arbitrary() -> Self::Strategy {
+                StandardAny(PhantomData)
+            }
+        }
+    )+};
+}
+arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

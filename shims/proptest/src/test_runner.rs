@@ -1,0 +1,40 @@
+//! Case-loop configuration and RNG plumbing
+//! (`proptest::test_runner` equivalent).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG driving generation inside one property test.
+pub type TestRng = StdRng;
+
+/// Per-property runner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of randomized cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG for one named property: same test name, same stream,
+/// every run (the shim has no failure persistence files).
+pub fn rng_for(test_name: &str) -> TestRng {
+    // FNV-1a over the name.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}

@@ -1,0 +1,13 @@
+//! Facade standing in for `serde` (see `shims/README.md`).
+//!
+//! Provides the two marker traits plus the no-op derives, which is all the
+//! workspace uses (`#[derive(Serialize, Deserialize)]` on plain data
+//! types; nothing is ever serialized through a data format).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

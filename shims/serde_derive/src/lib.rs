@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's derive macros (see `shims/README.md`).
+//!
+//! The workspace only ever derives `Serialize`/`Deserialize` — it never
+//! serializes through a serde data format — so the derives can expand to
+//! nothing and the marker traits in the `serde` shim stay unimplemented.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -6,8 +6,7 @@ use pal::{AppClassifier, PalPlacement};
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
 use pal_sim::placement::RandomPlacement;
-use pal_sim::sched::Fifo;
-use pal_sim::{SimConfig, SimResult, Simulator};
+use pal_sim::{Scenario, SimResult};
 use pal_trace::{ModelCatalog, SiaPhillyConfig, SynergyConfig, Trace};
 
 fn trace() -> Trace {
@@ -27,14 +26,12 @@ fn profile() -> VariabilityProfile {
 
 fn run_pal() -> SimResult {
     let profile = profile();
-    Simulator::new(SimConfig::non_sticky()).run(
-        &trace(),
-        ClusterTopology::sia_64(),
-        &profile,
-        &LocalityModel::uniform(1.5),
-        &Fifo,
-        &mut PalPlacement::new(&profile),
-    )
+    Scenario::new(trace(), ClusterTopology::sia_64())
+        .profile(profile.clone())
+        .locality(LocalityModel::uniform(1.5))
+        .placement(PalPlacement::new(&profile))
+        .run()
+        .expect("pal scenario misconfigured")
 }
 
 #[test]
@@ -45,20 +42,19 @@ fn pal_simulation_is_bit_identical_across_runs() {
     assert_eq!(a.gpus_in_use, b.gpus_in_use);
     assert_eq!(a.rounds, b.rounds);
     assert_eq!(a.busy_gpu_seconds, b.busy_gpu_seconds);
+    assert!(a.same_outcome(&b));
 }
 
 #[test]
 fn random_placement_is_deterministic_per_seed() {
     let profile = profile();
     let run = |seed: u64| {
-        Simulator::new(SimConfig::non_sticky()).run(
-            &trace(),
-            ClusterTopology::sia_64(),
-            &profile,
-            &LocalityModel::uniform(1.5),
-            &Fifo,
-            &mut RandomPlacement::new(seed),
-        )
+        Scenario::new(trace(), ClusterTopology::sia_64())
+            .profile(profile.clone())
+            .locality(LocalityModel::uniform(1.5))
+            .placement(RandomPlacement::new(seed))
+            .run()
+            .expect("random scenario misconfigured")
     };
     assert_eq!(run(9).records, run(9).records);
     assert_ne!(run(9).records, run(10).records);

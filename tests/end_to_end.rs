@@ -1,13 +1,14 @@
 //! End-to-end integration: the full offline pipeline (profile → classify →
 //! bin) feeding the full online pipeline (trace → schedule → place →
-//! execute) across every policy and scheduler combination.
+//! execute) across every policy and scheduler combination, driven through
+//! the `Scenario`/`Campaign` API.
 
 use pal::{AppClassifier, PalPlacement, PmFirstPlacement, PmScoreTable};
 use pal_cluster::{ClusterTopology, JobClass, LocalityModel, VariabilityProfile};
 use pal_gpumodel::{profiler, utilization_features, ClusterFlavor, GpuSpec, Workload};
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
-use pal_sim::sched::{Fifo, Las, SchedulingPolicy, Srtf};
-use pal_sim::{PlacementPolicy, SimConfig, Simulator};
+use pal_sim::sched::{Fifo, Las, Srtf};
+use pal_sim::{Campaign, PlacementPolicy, PolicySpec, Scenario};
 use pal_trace::{ModelCatalog, SiaPhillyConfig, Trace};
 
 fn small_trace(seed: u32) -> Trace {
@@ -49,19 +50,19 @@ fn offline_pipeline_feeds_online_pipeline() {
 
     // Online: run PAL on a trace; every job completes with sane metrics.
     let trace = small_trace(1);
-    let topo = ClusterTopology::sia_64();
-    let locality = LocalityModel::frontera_per_model();
-    let r = Simulator::new(SimConfig::non_sticky()).run(
-        &trace,
-        topo,
-        &profile,
-        &locality,
-        &Fifo,
-        &mut PalPlacement::new(&profile),
-    );
+    let r = Scenario::new(trace.clone(), ClusterTopology::sia_64())
+        .profile(profile.clone())
+        .locality(LocalityModel::frontera_per_model())
+        .placement(PalPlacement::new(&profile))
+        .run()
+        .expect("pal scenario misconfigured");
     assert_eq!(r.records.len(), trace.len());
     for rec in &r.records {
-        assert!(rec.finish > rec.arrival, "{} finished before arriving", rec.id);
+        assert!(
+            rec.finish > rec.arrival,
+            "{} finished before arriving",
+            rec.id
+        );
         assert!(rec.first_start >= rec.arrival);
         assert!(rec.jct() >= rec.wait_time());
     }
@@ -71,43 +72,56 @@ fn offline_pipeline_feeds_online_pipeline() {
 
 #[test]
 fn every_policy_scheduler_combination_completes() {
+    // 3 schedulers × 6 placement configurations as one campaign: the
+    // scheduler axis is the scenario rows, placement the policy columns.
     let profile = profile_64();
     let trace = small_trace(2);
     let topo = ClusterTopology::sia_64();
     let locality = LocalityModel::uniform(1.5);
-    let las = Las::default();
-    let schedulers: [&dyn SchedulingPolicy; 3] = [&Fifo, &las, &Srtf];
-    for sched in schedulers {
-        let policies: Vec<(bool, Box<dyn PlacementPolicy>)> = vec![
-            (false, Box::new(RandomPlacement::new(1))),
-            (true, Box::new(RandomPlacement::new(2))),
-            (false, Box::new(PackedPlacement::randomized(3))),
-            (true, Box::new(PackedPlacement::randomized(4))),
-            (false, Box::new(PmFirstPlacement::new(&profile))),
-            (false, Box::new(PalPlacement::new(&profile))),
-        ];
-        for (sticky, mut policy) in policies {
-            let config = if sticky {
-                SimConfig::sticky()
-            } else {
-                SimConfig::non_sticky()
-            };
-            let r = Simulator::new(config).run(
-                &trace,
-                topo,
-                &profile,
-                &locality,
-                sched,
-                policy.as_mut(),
-            );
-            assert_eq!(
-                r.records.len(),
-                trace.len(),
-                "{} + {} lost jobs",
-                sched.name(),
-                r.placement
-            );
+
+    let base = {
+        let trace = trace.clone();
+        let profile = profile.clone();
+        let locality = locality.clone();
+        move || {
+            Scenario::new(trace.clone(), topo)
+                .profile(profile.clone())
+                .locality(locality.clone())
         }
+    };
+    let cells = Campaign::new()
+        .scenario("FIFO", {
+            let base = base.clone();
+            move || base().scheduler(Fifo)
+        })
+        .scenario("LAS", {
+            let base = base.clone();
+            move || base().scheduler(Las::default())
+        })
+        .scenario("SRTF", {
+            let base = base.clone();
+            move || base().scheduler(Srtf)
+        })
+        .policies([
+            PolicySpec::new("Random-NS", |_, s| Box::new(RandomPlacement::new(s))),
+            PolicySpec::new("Random-S", |_, s| Box::new(RandomPlacement::new(s))).sticky(true),
+            PolicySpec::new("Packed-NS", |_, s| Box::new(PackedPlacement::randomized(s))),
+            PolicySpec::new("Packed-S", |_, s| Box::new(PackedPlacement::randomized(s)))
+                .sticky(true),
+            PolicySpec::new("PM-First", |p, _| Box::new(PmFirstPlacement::new(p))),
+            PolicySpec::new("PAL", |p, _| Box::new(PalPlacement::new(p))),
+        ])
+        .run()
+        .expect("combination campaign misconfigured");
+    assert_eq!(cells.len(), 18);
+    for cell in &cells {
+        assert_eq!(
+            cell.result.records.len(),
+            trace.len(),
+            "{} + {} lost jobs",
+            cell.scenario,
+            cell.policy
+        );
     }
 }
 
@@ -118,15 +132,12 @@ fn makespan_bounds_hold() {
     let profile = profile_64();
     let trace = small_trace(3);
     let topo = ClusterTopology::sia_64();
-    let locality = LocalityModel::uniform(1.5);
-    let r = Simulator::new(SimConfig::non_sticky()).run(
-        &trace,
-        topo,
-        &profile,
-        &locality,
-        &Fifo,
-        &mut PalPlacement::new(&profile),
-    );
+    let r = Scenario::new(trace.clone(), topo)
+        .profile(profile.clone())
+        .locality(LocalityModel::uniform(1.5))
+        .placement(PalPlacement::new(&profile))
+        .run()
+        .expect("pal scenario misconfigured");
     let work_bound = trace.total_ideal_gpu_service() / topo.total_gpus() as f64;
     let longest = trace
         .jobs
@@ -134,7 +145,10 @@ fn makespan_bounds_hold() {
         .map(|j| j.arrival + j.ideal_runtime())
         .fold(0.0f64, f64::max);
     assert!(r.makespan() >= work_bound, "makespan below work bound");
-    assert!(r.makespan() >= longest * 0.999, "makespan below longest job");
+    assert!(
+        r.makespan() >= longest * 0.999,
+        "makespan below longest job"
+    );
 }
 
 #[test]
@@ -145,18 +159,14 @@ fn perturbed_truth_increases_jct() {
     let topo = ClusterTopology::sia_64();
     let truth = profile.perturbed(JobClass::A, &topo.gpus_of(pal_cluster::NodeId(3)), 4.0);
     let trace = small_trace(4);
-    let locality = LocalityModel::uniform(1.5);
     let run = |truth: &VariabilityProfile| {
-        Simulator::new(SimConfig::non_sticky())
-            .run_with_truth(
-                &trace,
-                topo,
-                &profile,
-                truth,
-                &locality,
-                &Fifo,
-                &mut PalPlacement::new(&profile),
-            )
+        Scenario::new(trace.clone(), topo)
+            .profile(profile.clone())
+            .truth(truth.clone())
+            .locality(LocalityModel::uniform(1.5))
+            .placement(PalPlacement::new(&profile))
+            .run()
+            .expect("truth scenario misconfigured")
             .avg_jct()
     };
     let sim = run(&profile);
@@ -187,16 +197,12 @@ fn multi_gpu_jobs_bounded_by_slowest_gpu() {
     };
     let ideal = job.ideal_runtime();
     let trace = Trace::new("bsp", vec![job]);
-    let topo = ClusterTopology::new(2, 4);
-    let locality = LocalityModel::uniform(1.5);
-    let r = Simulator::new(SimConfig::non_sticky()).run(
-        &trace,
-        topo,
-        &profile,
-        &locality,
-        &Fifo,
-        &mut PackedPlacement::deterministic(),
-    );
+    let r = Scenario::new(trace, ClusterTopology::new(2, 4))
+        .profile(profile)
+        .locality(LocalityModel::uniform(1.5))
+        .placement(PackedPlacement::deterministic())
+        .run()
+        .expect("bsp scenario misconfigured");
     // Packed deterministic picks node 0 (GPUs 0-3), including the slow GPU 1.
     let jct = r.records[0].jct();
     assert!(
@@ -218,14 +224,18 @@ fn adaptive_pal_recovers_from_stale_profile_end_to_end() {
     degraded.extend(topo.gpus_of(pal_cluster::NodeId(7)));
     let truth = stale.perturbed(JobClass::A, &degraded, 3.0);
     let trace = small_trace(1);
-    let locality = LocalityModel::frontera_per_model();
-    let run = |policy: &mut dyn PlacementPolicy| {
-        Simulator::new(SimConfig::non_sticky())
-            .run_with_truth(&trace, topo, &stale, &truth, &locality, &Fifo, policy)
+    let run = |policy: Box<dyn PlacementPolicy + Send>| {
+        Scenario::new(trace.clone(), topo)
+            .profile(stale.clone())
+            .truth(truth.clone())
+            .locality(LocalityModel::frontera_per_model())
+            .placement_boxed(policy)
+            .run()
+            .expect("stale scenario misconfigured")
             .avg_jct()
     };
-    let stale_jct = run(&mut PalPlacement::new(&stale));
-    let adaptive_jct = run(&mut AdaptivePal::new(&stale));
+    let stale_jct = run(Box::new(PalPlacement::new(&stale)));
+    let adaptive_jct = run(Box::new(AdaptivePal::new(&stale)));
     assert!(
         adaptive_jct < stale_jct,
         "online updates should help: adaptive {adaptive_jct} vs stale {stale_jct}"
@@ -237,18 +247,13 @@ fn admission_control_composes_with_pal() {
     use pal_sim::admission::MaxActiveJobs;
     let profile = profile_64();
     let trace = small_trace(2);
-    let topo = ClusterTopology::sia_64();
-    let locality = LocalityModel::uniform(1.5);
-    let r = Simulator::new(SimConfig::non_sticky()).run_full(
-        &trace,
-        topo,
-        &profile,
-        &profile,
-        &locality,
-        &Fifo,
-        &mut PalPlacement::new(&profile),
-        &MaxActiveJobs { limit: 8 },
-    );
+    let r = Scenario::new(trace.clone(), ClusterTopology::sia_64())
+        .profile(profile.clone())
+        .locality(LocalityModel::uniform(1.5))
+        .placement(PalPlacement::new(&profile))
+        .admission(MaxActiveJobs { limit: 8 })
+        .run()
+        .expect("admission scenario misconfigured");
     assert_eq!(r.records.len() + r.rejected.len(), trace.len());
     // With a tight cap on a contended trace, someone must get turned away.
     assert!(!r.rejected.is_empty(), "cap of 8 should reject something");
@@ -259,16 +264,13 @@ fn srsf_scheduler_composes_with_pal() {
     use pal_sim::sched::Srsf;
     let profile = profile_64();
     let trace = small_trace(3);
-    let topo = ClusterTopology::sia_64();
-    let locality = LocalityModel::uniform(1.5);
-    let r = Simulator::new(SimConfig::non_sticky()).run(
-        &trace,
-        topo,
-        &profile,
-        &locality,
-        &Srsf,
-        &mut PalPlacement::new(&profile),
-    );
+    let r = Scenario::new(trace.clone(), ClusterTopology::sia_64())
+        .profile(profile.clone())
+        .locality(LocalityModel::uniform(1.5))
+        .scheduler(Srsf)
+        .placement(PalPlacement::new(&profile))
+        .run()
+        .expect("srsf scenario misconfigured");
     assert_eq!(r.records.len(), trace.len());
     assert_eq!(r.scheduler, "SRSF");
 }

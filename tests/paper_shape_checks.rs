@@ -9,8 +9,7 @@ use pal::{PalPlacement, PmFirstPlacement};
 use pal_cluster::{ClusterTopology, JobClass, LocalityModel, VariabilityProfile};
 use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
 use pal_sim::placement::PackedPlacement;
-use pal_sim::sched::Fifo;
-use pal_sim::{SimConfig, SimResult, Simulator};
+use pal_sim::{Scenario, SimResult};
 use pal_trace::{ModelCatalog, SiaPhillyConfig, Trace};
 
 fn profile_64() -> VariabilityProfile {
@@ -38,33 +37,19 @@ fn run(
     which: &str,
 ) -> SimResult {
     let topo = ClusterTopology::sia_64();
+    let scenario = Scenario::new(trace.clone(), topo)
+        .profile(profile.clone())
+        .locality(locality.clone());
     match which {
-        "tiresias" => Simulator::new(SimConfig::sticky()).run(
-            trace,
-            topo,
-            profile,
-            locality,
-            &Fifo,
-            &mut PackedPlacement::randomized(5),
-        ),
-        "pmfirst" => Simulator::new(SimConfig::non_sticky()).run(
-            trace,
-            topo,
-            profile,
-            locality,
-            &Fifo,
-            &mut PmFirstPlacement::new(profile),
-        ),
-        "pal" => Simulator::new(SimConfig::non_sticky()).run(
-            trace,
-            topo,
-            profile,
-            locality,
-            &Fifo,
-            &mut PalPlacement::new(profile),
-        ),
+        "tiresias" => scenario
+            .placement(PackedPlacement::randomized(5))
+            .sticky(true),
+        "pmfirst" => scenario.placement(PmFirstPlacement::new(profile)),
+        "pal" => scenario.placement(PalPlacement::new(profile)),
         _ => unreachable!(),
     }
+    .run()
+    .expect("shape-check scenario misconfigured")
 }
 
 #[test]
@@ -194,18 +179,19 @@ fn testbed_experiment_reproduces_cluster_sim_gap() {
     .generate(1, &catalog);
 
     let arm = |sticky: bool, truth: &VariabilityProfile, pal: bool| {
-        let config = if sticky {
-            SimConfig::sticky()
-        } else {
-            SimConfig::non_sticky()
-        };
-        let mut policy: Box<dyn pal_sim::PlacementPolicy> = if pal {
+        let policy: Box<dyn pal_sim::PlacementPolicy + Send> = if pal {
             Box::new(PalPlacement::new(&profile))
         } else {
             Box::new(PackedPlacement::randomized(5))
         };
-        Simulator::new(config)
-            .run_with_truth(&trace, topo, &profile, truth, &locality, &Fifo, policy.as_mut())
+        Scenario::new(trace.clone(), topo)
+            .profile(profile.clone())
+            .truth(truth.clone())
+            .locality(locality.clone())
+            .placement_boxed(policy)
+            .sticky(sticky)
+            .run()
+            .expect("testbed-arm scenario misconfigured")
             .avg_jct()
     };
     let tiresias_sim = arm(true, &profile, false);

@@ -4,7 +4,9 @@
 //! best achievable LV-product.
 
 use pal::{PalPlacement, PmFirstPlacement};
-use pal_cluster::{ClusterState, ClusterTopology, GpuId, JobClass, LocalityModel, VariabilityProfile};
+use pal_cluster::{
+    ClusterState, ClusterTopology, GpuId, JobClass, LocalityModel, VariabilityProfile,
+};
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
 use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest};
 use pal_trace::JobId;

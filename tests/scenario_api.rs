@@ -1,0 +1,302 @@
+//! Contract tests for the `Scenario`/`Campaign` API:
+//!
+//! - misconfiguration returns typed `SimError`s instead of panicking,
+//! - the builder with explicit arguments reproduces the deprecated
+//!   positional `Simulator::run` exactly,
+//! - campaigns are deterministic across thread interleavings and match
+//!   sequential per-policy runs byte-for-byte (modulo wall-clock placement
+//!   timing, which `SimResult::same_outcome` excludes by definition).
+
+use pal::PalPlacement;
+use pal_cluster::{ClusterTopology, JobClass, LocalityModel, VariabilityProfile};
+use pal_gpumodel::{GpuSpec, Workload};
+use pal_sim::placement::{PackedPlacement, RandomPlacement};
+use pal_sim::sched::Las;
+use pal_sim::{Campaign, PolicySpec, ProfileRole, Scenario, SimError, Simulator};
+use pal_trace::{JobId, JobSpec, ModelCatalog, SiaPhillyConfig, Trace};
+
+fn job(id: u32, arrival: f64, demand: usize, iters: u64) -> JobSpec {
+    JobSpec {
+        id: JobId(id),
+        model: Workload::ResNet50,
+        class: JobClass::A,
+        arrival,
+        gpu_demand: demand,
+        iterations: iters,
+        base_iter_time: 1.0,
+    }
+}
+
+fn sia_trace() -> Trace {
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    SiaPhillyConfig {
+        num_jobs: 40,
+        ..Default::default()
+    }
+    .generate(2, &catalog)
+}
+
+fn varied_profile(n: usize) -> VariabilityProfile {
+    let scores: Vec<f64> = (0..n).map(|i| 1.0 + 0.02 * (i % 13) as f64).collect();
+    VariabilityProfile::from_raw(vec![scores.clone(), scores.clone(), scores])
+}
+
+// ---------------------------------------------------------------- errors
+
+#[test]
+fn profile_topology_mismatch_is_error_not_panic() {
+    let err = Scenario::new(
+        Trace::new("t", vec![job(0, 0.0, 1, 100)]),
+        ClusterTopology::new(4, 4),
+    )
+    .profile(varied_profile(8))
+    .run()
+    .unwrap_err();
+    assert_eq!(
+        err,
+        SimError::ProfileTopologyMismatch {
+            role: ProfileRole::Policy,
+            profile_gpus: 8,
+            topology_gpus: 16
+        }
+    );
+    // And the error formats with enough context to act on.
+    assert!(err.to_string().contains("profile covers 8 GPUs"));
+}
+
+#[test]
+fn truth_mismatch_reports_truth_role() {
+    let err = Scenario::new(
+        Trace::new("t", vec![job(0, 0.0, 1, 100)]),
+        ClusterTopology::new(2, 4),
+    )
+    .profile(varied_profile(8))
+    .truth(varied_profile(4))
+    .run()
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        SimError::ProfileTopologyMismatch {
+            role: ProfileRole::Truth,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn oversized_job_is_error_not_panic() {
+    let err = Scenario::new(
+        Trace::new("t", vec![job(0, 0.0, 64, 100)]),
+        ClusterTopology::new(1, 4),
+    )
+    .run()
+    .unwrap_err();
+    assert_eq!(
+        err,
+        SimError::OversizedJob {
+            job: JobId(0),
+            demand: 64,
+            total_gpus: 4
+        }
+    );
+}
+
+#[test]
+fn oversized_job_with_reject_admission_succeeds() {
+    use pal_sim::admission::RejectOversized;
+    let r = Scenario::new(
+        Trace::new("t", vec![job(0, 0.0, 64, 100), job(1, 0.0, 2, 100)]),
+        ClusterTopology::new(1, 4),
+    )
+    .admission(RejectOversized)
+    .run()
+    .expect("rejected oversized job should not fail the run");
+    assert_eq!(r.rejected, vec![JobId(0)]);
+    assert_eq!(r.records.len(), 1);
+}
+
+#[test]
+fn sim_error_is_std_error() {
+    fn run() -> Result<(), Box<dyn std::error::Error>> {
+        Scenario::new(
+            Trace::new("t", vec![job(0, 0.0, 64, 100)]),
+            ClusterTopology::new(1, 4),
+        )
+        .run()?;
+        Ok(())
+    }
+    let err = run().unwrap_err();
+    assert!(err.to_string().contains("demands 64 GPUs"));
+}
+
+// ----------------------------------------------- builder/shim equivalence
+
+#[test]
+#[allow(deprecated)]
+fn builder_matches_deprecated_positional_run() {
+    let trace = sia_trace();
+    let topo = ClusterTopology::sia_64();
+    let profile = varied_profile(64);
+    let locality = LocalityModel::uniform(1.5);
+
+    let old = Simulator::default_sim().run(
+        &trace,
+        topo,
+        &profile,
+        &locality,
+        &Las::default(),
+        &mut RandomPlacement::new(17),
+    );
+    let new = Scenario::new(trace, topo)
+        .profile(profile)
+        .locality(locality)
+        .scheduler(Las::default())
+        .placement(RandomPlacement::new(17))
+        .run()
+        .expect("scenario misconfigured");
+    assert!(
+        new.same_outcome(&old),
+        "builder and positional API diverged"
+    );
+}
+
+#[test]
+#[allow(deprecated)]
+fn builder_defaults_match_flat_profile_run() {
+    // Scenario's defaults are a flat profile, L = 1.0, FIFO, packed
+    // placement: spelling those out through the old API must agree.
+    let trace = Trace::new(
+        "defaults",
+        vec![
+            job(0, 0.0, 3, 500),
+            job(1, 200.0, 2, 300),
+            job(2, 500.0, 4, 800),
+        ],
+    );
+    let topo = ClusterTopology::new(2, 4);
+    let flat = VariabilityProfile::from_raw(vec![vec![1.0; 8]; 3]);
+
+    let old = Simulator::default_sim().run(
+        &trace,
+        topo,
+        &flat,
+        &LocalityModel::uniform(1.0),
+        &pal_sim::sched::Fifo,
+        &mut PackedPlacement::deterministic(),
+    );
+    let new = Scenario::new(trace, topo).run().expect("defaults run");
+    assert!(
+        new.same_outcome(&old),
+        "builder defaults diverged from seed behavior"
+    );
+}
+
+// ------------------------------------------------------------- campaigns
+
+fn policy_columns() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::new("Random", |_, seed| Box::new(RandomPlacement::new(seed))),
+        PolicySpec::new("Tiresias", |_, seed| {
+            Box::new(PackedPlacement::randomized(seed))
+        })
+        .sticky(true),
+        PolicySpec::new("PAL", |profile, _| Box::new(PalPlacement::new(profile))),
+    ]
+}
+
+fn api_campaign() -> Campaign {
+    let topo = ClusterTopology::sia_64();
+    let profile = varied_profile(64);
+    let locality = LocalityModel::uniform(1.7);
+    let mut campaign = Campaign::new().seed(42).policies(policy_columns());
+    for w in [1u32, 2] {
+        let catalog = ModelCatalog::table2(&GpuSpec::v100());
+        let trace = SiaPhillyConfig {
+            num_jobs: 30,
+            ..Default::default()
+        }
+        .generate(w, &catalog);
+        let profile = profile.clone();
+        let locality = locality.clone();
+        campaign = campaign.scenario(format!("w{w}"), move || {
+            Scenario::new(trace.clone(), topo)
+                .profile(profile.clone())
+                .locality(locality.clone())
+        });
+    }
+    campaign
+}
+
+#[test]
+fn campaign_matches_sequential_runs_bytewise() {
+    let campaign = api_campaign();
+    let parallel = campaign.run().expect("campaign run");
+    let sequential = campaign.run_sequential().expect("sequential run");
+    assert_eq!(parallel.len(), 6);
+    for (a, b) in parallel.iter().zip(&sequential) {
+        assert_eq!(
+            (a.scenario.as_str(), a.policy.as_str()),
+            (b.scenario.as_str(), b.policy.as_str())
+        );
+        assert_eq!(a.seed, b.seed);
+        assert!(
+            a.result.same_outcome(&b.result),
+            "cell {}/{} differs between parallel and sequential execution",
+            a.scenario,
+            a.policy
+        );
+        // Byte-identical in the serializable sense: identical records,
+        // series, and counters.
+        assert_eq!(a.result.records, b.result.records);
+        assert_eq!(a.result.gpus_in_use, b.result.gpus_in_use);
+    }
+}
+
+#[test]
+fn campaign_is_deterministic_across_thread_interleavings() {
+    // Different worker counts force different interleavings; outcomes and
+    // ordering must not move.
+    let wide = api_campaign().run().expect("wide run");
+    let narrow = api_campaign().max_parallelism(1).run().expect("narrow run");
+    let two = api_campaign()
+        .max_parallelism(2)
+        .run()
+        .expect("two-worker run");
+    for other in [&narrow, &two] {
+        for (a, b) in wide.iter().zip(other.iter()) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.policy, b.policy);
+            assert!(a.result.same_outcome(&b.result));
+        }
+    }
+}
+
+#[test]
+fn campaign_cells_match_equivalent_single_scenarios() {
+    // A campaign cell must equal the same scenario run standalone with the
+    // same policy and seed — the sweep adds tagging, not behavior.
+    let campaign = api_campaign();
+    let cells = campaign.run().expect("campaign run");
+    let topo = ClusterTopology::sia_64();
+    let profile = varied_profile(64);
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let trace = SiaPhillyConfig {
+        num_jobs: 30,
+        ..Default::default()
+    }
+    .generate(1, &catalog);
+
+    let cell = cells
+        .iter()
+        .find(|c| c.scenario == "w1" && c.policy == "Tiresias")
+        .expect("cell ran");
+    let mut standalone = Scenario::new(trace, topo)
+        .profile(profile.clone())
+        .locality(LocalityModel::uniform(1.7))
+        .placement(PackedPlacement::randomized(cell.seed))
+        .sticky(true)
+        .run()
+        .expect("standalone run");
+    standalone.placement = "Tiresias".into();
+    assert!(cell.result.same_outcome(&standalone));
+}
