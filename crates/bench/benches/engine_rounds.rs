@@ -1,0 +1,94 @@
+//! Criterion benchmark for raw engine throughput: scheduling rounds per
+//! second on Synergy-generated traces over the paper's 256-GPU cluster,
+//! at a low (4 jobs/hour) and a high (14 jobs/hour, past saturation)
+//! arrival rate.
+//!
+//! This pins the perf trajectory of the round loop itself: the PR 2
+//! engine decomposition (allocation-free stepper, cached-key scheduling
+//! sort, incremental active queue) must keep ≥2× the seed engine's
+//! rounds/sec at the high rate, and future engine work lands its speedup
+//! here. The high-rate case is the interesting one — hundreds of jobs
+//! are active at once, so per-round costs that scale with the active
+//! queue dominate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
+use pal_gpumodel::GpuSpec;
+use pal_sim::sched::Las;
+use pal_sim::{Scenario, StepOutcome};
+use pal_trace::{ModelCatalog, SynergyConfig, Trace};
+
+/// Deterministic non-flat 3-class profile sized to the cluster (profile
+/// synthesis is not what this bench measures, so keep it cheap).
+fn profile(gpus: usize) -> VariabilityProfile {
+    VariabilityProfile::from_raw(
+        (0..3)
+            .map(|c| {
+                (0..gpus)
+                    .map(|g| 1.0 + ((g * 7 + c * 13) % 10) as f64 * 0.05)
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn synergy_trace(jobs_per_hour: f64) -> Trace {
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    SynergyConfig {
+        num_jobs: 300,
+        jobs_per_hour,
+        ..Default::default()
+    }
+    .generate(&catalog)
+}
+
+fn scenario(trace: &Trace, topo: ClusterTopology) -> Scenario {
+    Scenario::new(trace.clone(), topo)
+        .profile(profile(topo.total_gpus()))
+        .locality(LocalityModel::uniform(1.5))
+        .scheduler(Las::default())
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let topo = ClusterTopology::new(64, 4);
+    let mut group = c.benchmark_group("engine_full_run");
+    group.sample_size(10);
+    for (label, rate) in [("low_4jph", 4.0), ("high_14jph", 14.0)] {
+        let trace = synergy_trace(rate);
+        group.bench_with_input(BenchmarkId::new("synergy_300jobs", label), &rate, |b, _| {
+            b.iter(|| {
+                let r = scenario(&trace, topo).run().expect("bench run");
+                black_box(r.rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_steps(c: &mut Criterion) {
+    // Per-round cost at saturation: warm a stepper into the congested
+    // regime once, then measure individual `step()` calls (restarting
+    // when the run completes). This is the allocation-free hot path.
+    let topo = ClusterTopology::new(64, 4);
+    let trace = synergy_trace(14.0);
+    let mut group = c.benchmark_group("engine_step");
+    let mut sim = scenario(&trace, topo).start().expect("bench scenario");
+    for _ in 0..200 {
+        sim.step().expect("warmup step");
+    }
+    group.bench_function("saturated_round", |b| {
+        b.iter(|| {
+            if sim.step().expect("bench step") == StepOutcome::Complete {
+                sim = scenario(&trace, topo).start().expect("bench scenario");
+                for _ in 0..200 {
+                    sim.step().expect("warmup step");
+                }
+            }
+            black_box(sim.rounds())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_run, bench_single_steps);
+criterion_main!(benches);

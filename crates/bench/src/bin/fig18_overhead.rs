@@ -6,6 +6,11 @@
 //! (they report ≤4 s in Python/Blox; a Rust implementation is far faster,
 //! but the shape — growing with cluster size, tiny versus the epoch — is
 //! the claim).
+//!
+//! The engine times *only* the policy's `placement_order` and `place`
+//! calls — allocation-validity checks and engine bookkeeping sit outside
+//! the measured window — so these numbers are the policy's own compute
+//! cost, directly comparable to the paper's.
 
 use pal_bench::*;
 use pal_cluster::{ClusterTopology, LocalityModel};

@@ -6,10 +6,16 @@ use crate::topology::ClusterTopology;
 use serde::{Deserialize, Serialize};
 
 /// Occupancy state of every GPU in a cluster.
+///
+/// Free counts — total and per node — are maintained incrementally on
+/// every allocate/release, so the O(1)/O(nodes) count queries placement
+/// policies issue on each decision never rescan the GPU bitmap.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterState {
     topology: ClusterTopology,
     in_use: Vec<bool>,
+    free_total: usize,
+    free_per_node: Vec<usize>,
 }
 
 impl ClusterState {
@@ -17,6 +23,8 @@ impl ClusterState {
     pub fn new(topology: ClusterTopology) -> Self {
         ClusterState {
             in_use: vec![false; topology.total_gpus()],
+            free_total: topology.total_gpus(),
+            free_per_node: vec![topology.gpus_per_node; topology.nodes],
             topology,
         }
     }
@@ -31,9 +39,24 @@ impl ClusterState {
         !self.in_use[gpu.index()]
     }
 
-    /// Number of free GPUs.
+    /// Number of free GPUs. O(1).
     pub fn free_count(&self) -> usize {
-        self.in_use.iter().filter(|&&u| !u).count()
+        self.free_total
+    }
+
+    /// Free-GPU count of every node, indexed by node id. O(1) (borrowed
+    /// from the incrementally maintained counters).
+    pub fn free_count_by_node(&self) -> &[usize] {
+        &self.free_per_node
+    }
+
+    /// The free GPUs of one node, in GPU-id order.
+    pub fn node_free_gpus(&self, node: NodeId) -> Vec<GpuId> {
+        let base = node.index() * self.topology.gpus_per_node;
+        (base..base + self.topology.gpus_per_node)
+            .filter(|&i| !self.in_use[i])
+            .map(|i| GpuId(i as u32))
+            .collect()
     }
 
     /// Number of busy GPUs.
@@ -63,10 +86,10 @@ impl ClusterState {
 
     /// Nodes that currently have at least `want` free GPUs.
     pub fn nodes_with_free(&self, want: usize) -> Vec<NodeId> {
-        self.free_gpus_by_node()
+        self.free_per_node
             .iter()
             .enumerate()
-            .filter(|(_, g)| g.len() >= want)
+            .filter(|&(_, &free)| free >= want)
             .map(|(i, _)| NodeId(i as u32))
             .collect()
     }
@@ -81,6 +104,8 @@ impl ClusterState {
                 "double allocation of {g}: already in use"
             );
             self.in_use[g.index()] = true;
+            self.free_total -= 1;
+            self.free_per_node[self.topology.node_of(g).index()] -= 1;
         }
     }
 
@@ -89,6 +114,8 @@ impl ClusterState {
         for &g in gpus {
             assert!(self.in_use[g.index()], "releasing free GPU {g}");
             self.in_use[g.index()] = false;
+            self.free_total += 1;
+            self.free_per_node[self.topology.node_of(g).index()] += 1;
         }
     }
 }
@@ -150,6 +177,36 @@ mod tests {
         let by_node = s.free_gpus_by_node();
         assert!(by_node[0].is_empty());
         assert_eq!(by_node[1].len(), 4);
+    }
+
+    #[test]
+    fn incremental_counts_track_bitmap() {
+        let mut s = state();
+        assert_eq!(s.free_count_by_node(), &[4, 4]);
+        s.allocate(&[GpuId(0), GpuId(1), GpuId(5)]);
+        assert_eq!(s.free_count(), 5);
+        assert_eq!(s.free_count_by_node(), &[2, 3]);
+        s.release(&[GpuId(1)]);
+        assert_eq!(s.free_count(), 6);
+        assert_eq!(s.free_count_by_node(), &[3, 3]);
+        // Counts must agree with a fresh bitmap scan at all times.
+        let scanned: Vec<usize> = s
+            .free_gpus_by_node()
+            .iter()
+            .map(|gpus| gpus.len())
+            .collect();
+        assert_eq!(s.free_count_by_node(), &scanned[..]);
+    }
+
+    #[test]
+    fn node_free_gpus_in_id_order() {
+        let mut s = state();
+        s.allocate(&[GpuId(5)]);
+        assert_eq!(
+            s.node_free_gpus(NodeId(1)),
+            vec![GpuId(4), GpuId(6), GpuId(7)]
+        );
+        assert_eq!(s.node_free_gpus(NodeId(0)).len(), 4);
     }
 
     #[test]

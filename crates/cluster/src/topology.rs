@@ -82,8 +82,16 @@ impl ClusterTopology {
     }
 
     /// Whether an allocation crosses a node boundary (pays `L_across`).
+    /// Allocation-free — this sits in the simulator's per-job, per-round
+    /// execution path.
     pub fn spans_nodes(&self, gpus: &[GpuId]) -> bool {
-        self.nodes_spanned(gpus) > 1
+        match gpus.split_first() {
+            None => false,
+            Some((&first, rest)) => {
+                let node = self.node_of(first);
+                rest.iter().any(|&g| self.node_of(g) != node)
+            }
+        }
     }
 }
 

@@ -1,34 +1,56 @@
 //! The round-based simulation engine.
 //!
-//! The engine core is [`simulate`], a crate-private function consuming a
-//! borrowed parameter bundle and returning `Result<SimResult, SimError>`.
-//! User code reaches it through [`crate::Scenario`] (single runs) and
-//! [`crate::Campaign`] (policy/scenario sweeps); the former positional
+//! The engine is decomposed into three crate-private layers plus one
+//! public stepper:
+//!
+//! - `state`: `EngineState` — the job table, cluster occupancy, clocks,
+//!   the incrementally maintained active queue, and the scratch buffers
+//!   the hot loop reuses so that a steady-state round performs no heap
+//!   allocation.
+//! - `round`: `step_round` — one scheduling round (admission → ordering
+//!   → prefix marking → placement → execution → telemetry), advancing an
+//!   `EngineState` by one epoch.
+//! - `telemetry`: the `Telemetry` accumulators (GPUs-in-use series,
+//!   busy GPU-seconds, per-round policy compute time) and the final
+//!   [`SimResult`] assembly.
+//! - `stepper`: [`Simulation`], the public pause-inspect-resume driver
+//!   returned by [`Scenario::start`](crate::Scenario::start).
+//!
+//! [`crate::Scenario::run`] and [`crate::Campaign`] are thin drivers over
+//! the stepper; the former positional
 //! [`Simulator::run*`](Simulator::run_full) entry points remain as
 //! deprecated shims that panic on configuration errors exactly like the
 //! seed engine did.
 
-use crate::admission::{AdmissionCtx, AdmissionPolicy, AdmitAll};
+mod round;
+mod state;
+mod stepper;
+mod telemetry;
+
+pub use round::StepOutcome;
+pub use stepper::{SimSnapshot, Simulation};
+
+pub(crate) use round::{step_round, RoundCtx};
+pub(crate) use state::EngineState;
+pub(crate) use stepper::SimulationParts;
+pub(crate) use telemetry::{build_result, Telemetry};
+
+use crate::admission::{AdmissionPolicy, AdmitAll};
 use crate::config::SimConfig;
 use crate::error::{ProfileRole, SimError};
-use crate::job_state::{ActiveJob, JobPhase};
-use crate::metrics::{JobRecord, SimResult};
-use crate::placement::{
-    validate_allocation, PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation,
-};
+use crate::metrics::SimResult;
+use crate::placement::PlacementPolicy;
 use crate::sched::SchedulingPolicy;
-use pal_cluster::{ClusterState, ClusterTopology, GpuId, LocalityModel, VariabilityProfile};
-use pal_stats::StepSeries;
+use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_trace::Trace;
-use std::collections::HashSet;
-use std::time::Instant;
 
 /// Completion tolerance: a job whose computed finish lands within this many
 /// seconds past the round boundary is treated as finishing at the boundary
 /// (floating-point slack).
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 
-/// Borrowed inputs of one simulation run (built by `Scenario::run`).
+/// Borrowed inputs of one simulation run (built by the [`Simulator`]
+/// shims; [`crate::Scenario`] drives the owned [`Simulation`] instead).
 pub(crate) struct EngineInputs<'a> {
     pub trace: &'a Trace,
     pub topology: ClusterTopology,
@@ -93,7 +115,8 @@ pub(crate) fn validate_inputs(
     Ok(())
 }
 
-/// Validate inputs, then run one simulation to completion.
+/// Validate inputs, then run one simulation to completion over borrowed
+/// policies (the deprecated [`Simulator`] shims' entry point).
 ///
 /// The ground-truth execution model applies Equation 1: a running job's
 /// progress rate is `1 / (L × max_g V_g)` of nominal, where `V` comes from
@@ -114,299 +137,27 @@ pub(crate) fn simulate(inputs: EngineInputs<'_>) -> Result<SimResult, SimError> 
     } = inputs;
 
     validate_inputs(trace, &topology, Some(profile), Some(truth), config)?;
-    let total_gpus = topology.total_gpus();
-    let dt = config.round_duration;
-
-    let mut jobs: Vec<ActiveJob> = trace.jobs.iter().cloned().map(ActiveJob::new).collect();
-    let mut rejected = vec![false; jobs.len()];
-    let mut state = ClusterState::new(topology);
-    let ctx = PlacementCtx { profile, locality };
-
-    let mut t = 0.0f64;
-    let mut finished = 0usize;
-    let mut next_admit = 0usize; // jobs admitted so far (arrival order)
-    let mut gpus_in_use = StepSeries::new(0.0);
-    let mut busy_gpu_seconds = 0.0f64;
-    let mut placement_compute_times = Vec::new();
-    let mut rounds = 0usize;
-
-    while finished < jobs.len() {
-        rounds += 1;
-        if rounds > config.max_rounds {
-            return Err(SimError::Livelock { rounds });
-        }
-
-        // 1. Admission: consult the admission policy for every job
-        // that has arrived by now (Blox admits at queue entry).
-        while next_admit < jobs.len() && jobs[next_admit].spec.arrival <= t + EPS {
-            let active_now: Vec<usize> = (0..next_admit)
-                .filter(|&i| !rejected[i] && jobs[i].is_active())
-                .collect();
-            let ctx = AdmissionCtx {
-                total_gpus,
-                active_jobs: active_now.len(),
-                active_demand: active_now.iter().map(|&i| jobs[i].spec.gpu_demand).sum(),
-            };
-            if !admission.admit(&jobs[next_admit].spec, &ctx) {
-                rejected[next_admit] = true;
-                finished += 1;
-            } else if jobs[next_admit].spec.gpu_demand > total_gpus {
-                return Err(SimError::OversizedJob {
-                    job: jobs[next_admit].spec.id,
-                    demand: jobs[next_admit].spec.gpu_demand,
-                    total_gpus,
-                });
-            }
-            next_admit += 1;
-        }
-        let active: Vec<usize> = (0..next_admit)
-            .filter(|&i| !rejected[i] && jobs[i].is_active())
-            .collect();
-
-        // Idle fast-forward: nothing to run until the next arrival.
-        if active.is_empty() {
-            // The admission loop may have just rejected the final pending
-            // job(s): nothing is active and nothing is left to admit.
-            if next_admit >= jobs.len() {
-                break;
-            }
-            let next_arrival = jobs[next_admit].spec.arrival;
-            let k = (next_arrival / dt).floor();
-            let mut nt = k * dt;
-            if nt <= t + EPS || nt + EPS < next_arrival {
-                nt = (k + 1.0) * dt;
-            }
-            t = nt.max(t + dt);
-            continue;
-        }
-
-        // 2. Scheduling order over active jobs.
-        let active_jobs: Vec<ActiveJob> = active.iter().map(|&i| jobs[i].clone()).collect();
-        let order = scheduler.order(&active_jobs);
-
-        // 3. Mark the schedulable prefix (Figure 4): maximal prefix of
-        // the ordered queue whose cumulative demand fits the cluster.
-        let mut prefix: Vec<usize> = Vec::new(); // indices into `jobs`
-        let mut demand_sum = 0usize;
-        for &oi in &order {
-            let ji = active[oi];
-            let d = jobs[ji].spec.gpu_demand;
-            if demand_sum + d > total_gpus {
-                break;
-            }
-            demand_sum += d;
-            prefix.push(ji);
-        }
-        let in_prefix: HashSet<usize> = prefix.iter().copied().collect();
-
-        // 4a. Preempt running jobs that fell out of the prefix (O(active)
-        // via the membership set).
-        for &ji in &active {
-            if jobs[ji].is_running() && !in_prefix.contains(&ji) {
-                let gpus = jobs[ji].allocation().expect("running").to_vec();
-                state.release(&gpus);
-                jobs[ji].phase = JobPhase::Waiting;
-                jobs[ji].preemptions += 1;
-            }
-        }
-
-        // 4b. Under non-sticky placement every prefix job is re-placed;
-        // under sticky placement running jobs keep their GPUs.
-        let mut old_allocs: Vec<(usize, Vec<GpuId>)> = Vec::new();
-        if !config.sticky {
-            for &ji in &prefix {
-                if jobs[ji].is_running() {
-                    let gpus = jobs[ji].allocation().expect("running").to_vec();
-                    state.release(&gpus);
-                    old_allocs.push((ji, gpus));
-                    jobs[ji].phase = JobPhase::Waiting;
-                }
-            }
-        }
-
-        // 4c. Build requests (in scheduling order) for jobs needing GPUs.
-        let needs: Vec<usize> = prefix
-            .iter()
-            .copied()
-            .filter(|&ji| !jobs[ji].is_running())
-            .collect();
-        let requests: Vec<PlacementRequest> = needs
-            .iter()
-            .map(|&ji| PlacementRequest {
-                job: jobs[ji].spec.id,
-                model: jobs[ji].spec.model.name(),
-                class: jobs[ji].spec.class,
-                gpu_demand: jobs[ji].spec.gpu_demand,
-            })
-            .collect();
-
-        // 4d. Place, timing the policy (Figure 18 measures this).
-        let mut migrated_jobs: HashSet<usize> = Default::default();
-        let clock = Instant::now();
-        let place_order = placement.placement_order(&requests, &ctx);
-        assert_eq!(
-            {
-                let mut s = place_order.clone();
-                s.sort_unstable();
-                s
-            },
-            (0..requests.len()).collect::<Vec<_>>(),
-            "{} returned an invalid placement order",
-            placement.name()
-        );
-        for &ri in &place_order {
-            let req = &requests[ri];
-            let alloc = placement.place(req, &ctx, &state);
-            validate_allocation(placement.name(), req, &state, &alloc);
-            state.allocate(&alloc);
-            let ji = needs[ri];
-            if jobs[ji].first_start.is_none() {
-                jobs[ji].first_start = Some(t);
-            } else {
-                // Re-placement of a previously running job: count a
-                // migration if the GPU set changed.
-                let migrated = match old_allocs.iter().find(|(j, _)| *j == ji) {
-                    Some((_, old)) => {
-                        let mut a = old.clone();
-                        let mut b = alloc.clone();
-                        a.sort_unstable();
-                        b.sort_unstable();
-                        a != b
-                    }
-                    None => true, // resume after preemption
-                };
-                if migrated {
-                    jobs[ji].migrations += 1;
-                    migrated_jobs.insert(ji);
-                }
-            }
-            jobs[ji].phase = JobPhase::Running { gpus: alloc };
-        }
-        placement_compute_times.push(clock.elapsed().as_secs_f64());
-
-        // 5. Execute to the round boundary. Rates are constant within
-        // the round, so each job's completion time is closed-form. Each
-        // prefix job's allocation is captured here so that telemetry can
-        // still be reported for jobs that finish (and release their GPUs)
-        // mid-round.
-        let running_demand: usize = prefix.iter().map(|&ji| jobs[ji].spec.gpu_demand).sum();
-        gpus_in_use.push(t, running_demand as f64);
-        let mut completions: Vec<(f64, usize)> = Vec::new();
-        let mut round_allocs: Vec<(usize, Vec<GpuId>)> = Vec::with_capacity(prefix.len());
-        for &ji in &prefix {
-            let gpus = jobs[ji].allocation().expect("prefix job running").to_vec();
-            let slowdown = {
-                let l = locality.penalty(state.topology(), jobs[ji].spec.model.name(), &gpus);
-                let v = gpus
-                    .iter()
-                    .map(|&g| truth.score(jobs[ji].spec.class, g))
-                    .fold(0.0f64, f64::max);
-                l * v
-            };
-            debug_assert!(slowdown > 0.0);
-            // A migrated job spends the restore overhead re-loading its
-            // checkpoint before making progress; its GPUs are occupied
-            // but idle during that window.
-            let overhead = if migrated_jobs.contains(&ji) {
-                config.migration_overhead.min(dt)
-            } else {
-                0.0
-            };
-            let finish_t = t + overhead + jobs[ji].remaining_work * slowdown;
-            if finish_t <= t + dt + EPS {
-                let run = finish_t - t;
-                busy_gpu_seconds += jobs[ji].spec.gpu_demand as f64 * run;
-                jobs[ji].attained_service += jobs[ji].spec.gpu_demand as f64 * run;
-                jobs[ji].remaining_work = 0.0;
-                state.release(&gpus);
-                jobs[ji].phase = JobPhase::Finished { at: finish_t };
-                finished += 1;
-                completions.push((finish_t, jobs[ji].spec.gpu_demand));
-            } else {
-                busy_gpu_seconds += jobs[ji].spec.gpu_demand as f64 * dt;
-                jobs[ji].attained_service += jobs[ji].spec.gpu_demand as f64 * dt;
-                jobs[ji].remaining_work -= (dt - overhead) / slowdown;
-            }
-            round_allocs.push((ji, gpus));
-        }
-        // Telemetry feedback: what each job's GPUs actually delivered
-        // this round (per-GPU ground-truth penalties plus the locality
-        // penalty paid) — the online-update signal of Section V-A. Jobs
-        // that finished mid-round are included: a real system reports the
-        // final iterations too, and adaptive policies would otherwise
-        // never see a short job's only round of telemetry.
-        for (ji, gpus) in &round_allocs {
-            let per_gpu: Vec<f64> = gpus
-                .iter()
-                .map(|&g| truth.score(jobs[*ji].spec.class, g))
-                .collect();
-            let l = locality.penalty(state.topology(), jobs[*ji].spec.model.name(), gpus);
-            placement.observe(&RoundObservation {
-                job: jobs[*ji].spec.id,
-                class: jobs[*ji].spec.class,
-                gpus,
-                per_gpu_slowdown: &per_gpu,
-                locality_penalty: l,
-            });
-        }
-
-        // Record mid-round utilization drops in completion order.
-        completions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN finish"));
-        let mut in_use = running_demand as f64;
-        for (ft, d) in completions {
-            in_use -= d as f64;
-            gpus_in_use.push(ft.max(t), in_use);
-        }
-
-        t += dt;
-    }
-
-    let rejected_ids: Vec<pal_trace::JobId> = jobs
-        .iter()
-        .zip(&rejected)
-        .filter(|&(_, &r)| r)
-        .map(|(j, _)| j.spec.id)
-        .collect();
-    let records: Vec<JobRecord> = jobs
-        .iter()
-        .zip(&rejected)
-        .filter(|&(_, &r)| !r)
-        .map(|(j, _)| {
-            let finish = match j.phase {
-                JobPhase::Finished { at } => at,
-                _ => unreachable!("all admitted jobs finished"),
-            };
-            JobRecord {
-                id: j.spec.id,
-                model: j.spec.model.name().to_string(),
-                class: j.spec.class,
-                gpu_demand: j.spec.gpu_demand,
-                arrival: j.spec.arrival,
-                first_start: j.first_start.expect("finished job must have started"),
-                finish,
-                migrations: j.migrations,
-                preemptions: j.preemptions,
-            }
-        })
-        .collect();
-
-    Ok(SimResult {
-        trace: trace.name.clone(),
-        scheduler: scheduler.name().to_string(),
-        placement: format!(
-            "{}-{}",
-            placement.name(),
-            if config.sticky { "Sticky" } else { "NonSticky" }
-        ),
-        records,
-        rejected: rejected_ids,
-        gpus_in_use,
-        busy_gpu_seconds,
-        ideal_gpu_seconds: trace.total_ideal_gpu_service(),
-        total_gpus,
-        rounds,
-        placement_compute_times,
-    })
+    let ctx = RoundCtx {
+        profile,
+        truth,
+        locality,
+        config,
+        total_gpus: topology.total_gpus(),
+    };
+    let mut state = EngineState::new(trace, topology);
+    let mut tel = Telemetry::new();
+    while let StepOutcome::Running =
+        step_round(&mut state, &mut tel, &ctx, scheduler, placement, admission)?
+    {}
+    Ok(build_result(
+        &state,
+        &tel,
+        &trace.name,
+        trace.total_ideal_gpu_service(),
+        scheduler.name(),
+        placement.name(),
+        config.sticky,
+    ))
 }
 
 /// The legacy positional-argument front end to the simulator.
@@ -478,6 +229,7 @@ impl Simulator {
         since = "0.2.0",
         note = "use Scenario::new(trace, topology).profile(..).truth(..).admission(..).run() instead"
     )]
+    #[allow(clippy::too_many_arguments)]
     pub fn run_full(
         &self,
         trace: &Trace,
@@ -496,6 +248,7 @@ impl Simulator {
 
     /// Shared shim body: run the engine, panic on configuration errors
     /// (the seed's assert-based contract).
+    #[allow(clippy::too_many_arguments)]
     fn shim_run(
         &self,
         trace: &Trace,

@@ -1,0 +1,357 @@
+//! [`Simulation`]: the public pause-inspect-resume driver over the engine.
+//!
+//! [`Scenario::start`](crate::Scenario::start) validates a scenario and
+//! returns a `Simulation` that owns everything the run needs. Callers can
+//! [`step`](Simulation::step) one scheduling round at a time, read the
+//! clocks, take a [`snapshot`](Simulation::snapshot) of every job's state
+//! mid-run, and either keep stepping or finish with
+//! [`run_to_completion`](Simulation::run_to_completion). Stepping is
+//! side-effect-free between rounds: a run driven round-by-round (with any
+//! number of snapshots taken along the way) is bit-identical to
+//! [`Scenario::run`](crate::Scenario::run).
+
+use super::round::{step_round, RoundCtx, StepOutcome};
+use super::state::EngineState;
+use super::telemetry::{build_result, Telemetry};
+use crate::admission::AdmissionPolicy;
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::job_state::ActiveJob;
+use crate::metrics::SimResult;
+use crate::placement::PlacementPolicy;
+use crate::sched::SchedulingPolicy;
+use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
+use pal_trace::{JobId, Trace};
+
+/// The resolved ingredients of a run, bundled by
+/// [`Scenario::start`](crate::Scenario::start).
+pub(crate) struct SimulationParts {
+    pub trace: Trace,
+    pub topology: ClusterTopology,
+    pub profile: VariabilityProfile,
+    pub truth: VariabilityProfile,
+    pub locality: LocalityModel,
+    pub scheduler: Box<dyn SchedulingPolicy + Send + Sync>,
+    pub placement: Box<dyn PlacementPolicy + Send>,
+    pub admission: Box<dyn AdmissionPolicy + Send + Sync>,
+    pub config: SimConfig,
+}
+
+/// A paused-or-running simulation: the public stepper over the engine.
+///
+/// Obtained from [`Scenario::start`](crate::Scenario::start). Stepping is
+/// side-effect-free between rounds: a run driven round-by-round (with any
+/// number of [`snapshot`](Simulation::snapshot)s taken along the way) is
+/// bit-identical to [`Scenario::run`](crate::Scenario::run).
+pub struct Simulation {
+    trace_name: String,
+    ideal_gpu_seconds: f64,
+    total_gpus: usize,
+    profile: VariabilityProfile,
+    truth: VariabilityProfile,
+    locality: LocalityModel,
+    scheduler: Box<dyn SchedulingPolicy + Send + Sync>,
+    placement: Box<dyn PlacementPolicy + Send>,
+    admission: Box<dyn AdmissionPolicy + Send + Sync>,
+    config: SimConfig,
+    state: EngineState,
+    telemetry: Telemetry,
+}
+
+/// A point-in-time view of a stepped simulation: the clocks plus every
+/// job's runtime state. Cloned out of the engine, so holding (or
+/// inspecting) a snapshot cannot perturb the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    /// Simulated seconds at the start of the next round.
+    pub time: f64,
+    /// Rounds executed so far (including idle fast-forward rounds).
+    pub rounds: usize,
+    /// Jobs out of the system (completed or rejected).
+    pub finished: usize,
+    /// Runtime state of every job, in trace order.
+    pub jobs: Vec<ActiveJob>,
+    /// Jobs turned away by admission control so far.
+    pub rejected: Vec<JobId>,
+}
+
+impl Simulation {
+    /// Build a stepper from resolved, validated parts.
+    pub(crate) fn from_parts(parts: SimulationParts) -> Self {
+        let SimulationParts {
+            trace,
+            topology,
+            profile,
+            truth,
+            locality,
+            scheduler,
+            placement,
+            admission,
+            config,
+        } = parts;
+        let state = EngineState::new(&trace, topology);
+        Simulation {
+            ideal_gpu_seconds: trace.total_ideal_gpu_service(),
+            trace_name: trace.name,
+            total_gpus: topology.total_gpus(),
+            profile,
+            truth,
+            locality,
+            scheduler,
+            placement,
+            admission,
+            config,
+            state,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Advance the simulation by one scheduling round (or one idle
+    /// fast-forward hop when nothing is active).
+    ///
+    /// Returns [`StepOutcome::Complete`] — idempotently, without advancing
+    /// anything — once every job has finished or been rejected.
+    /// Configuration errors surface exactly as they do from
+    /// [`Scenario::run`](crate::Scenario::run) and are stable: stepping
+    /// again re-derives the same error.
+    pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        let ctx = RoundCtx {
+            profile: &self.profile,
+            truth: &self.truth,
+            locality: &self.locality,
+            config: &self.config,
+            total_gpus: self.total_gpus,
+        };
+        step_round(
+            &mut self.state,
+            &mut self.telemetry,
+            &ctx,
+            self.scheduler.as_ref(),
+            self.placement.as_mut(),
+            self.admission.as_ref(),
+        )
+    }
+
+    /// Simulated time, seconds: the start of the next round to execute.
+    pub fn time(&self) -> f64 {
+        self.state.t
+    }
+
+    /// Scheduling rounds executed so far (including idle fast-forwards).
+    pub fn rounds(&self) -> usize {
+        self.state.rounds
+    }
+
+    /// Total jobs in the trace.
+    pub fn total_jobs(&self) -> usize {
+        self.state.jobs.len()
+    }
+
+    /// Jobs out of the system so far (completed or rejected).
+    pub fn finished_jobs(&self) -> usize {
+        self.state.finished
+    }
+
+    /// Jobs currently in the system (admitted, not yet finished).
+    pub fn active_jobs(&self) -> usize {
+        self.state.active_queue.len()
+    }
+
+    /// Whether the run is over: every job completed or rejected.
+    pub fn is_complete(&self) -> bool {
+        self.state.is_complete()
+    }
+
+    /// A cloned point-in-time view of the run (clocks + per-job state).
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            time: self.state.t,
+            rounds: self.state.rounds,
+            finished: self.state.finished,
+            jobs: self.state.jobs.clone(),
+            rejected: self
+                .state
+                .jobs
+                .iter()
+                .zip(&self.state.rejected)
+                .filter(|&(_, &r)| r)
+                .map(|(j, _)| j.spec.id)
+                .collect(),
+        }
+    }
+
+    /// The run's result, if it has completed; `None` while jobs remain.
+    pub fn result(&self) -> Option<SimResult> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some(build_result(
+            &self.state,
+            &self.telemetry,
+            &self.trace_name,
+            self.ideal_gpu_seconds,
+            self.scheduler.name(),
+            self.placement.name(),
+            self.config.sticky,
+        ))
+    }
+
+    /// Step until every job has left the system, then return the result.
+    pub fn run_to_completion(mut self) -> Result<SimResult, SimError> {
+        while self.step()? == StepOutcome::Running {}
+        Ok(self.result().expect("stepper reported completion"))
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("trace", &self.trace_name)
+            .field("time", &self.state.t)
+            .field("rounds", &self.state.rounds)
+            .field("finished", &self.state.finished)
+            .field("total_jobs", &self.state.jobs.len())
+            .field("scheduler", &self.scheduler.name())
+            .field("placement", &self.placement.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use pal_cluster::JobClass;
+    use pal_gpumodel::Workload;
+    use pal_trace::JobSpec;
+
+    fn spec(id: u32, arrival: f64, demand: usize, ideal_secs: f64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            model: Workload::ResNet50,
+            class: JobClass::A,
+            arrival,
+            gpu_demand: demand,
+            iterations: ideal_secs.max(1.0) as u64,
+            base_iter_time: 1.0,
+        }
+    }
+
+    fn two_job_scenario() -> Scenario {
+        Scenario::new(
+            Trace::new(
+                "step",
+                vec![spec(0, 0.0, 2, 700.0), spec(1, 100.0, 2, 400.0)],
+            ),
+            ClusterTopology::new(1, 4),
+        )
+    }
+
+    #[test]
+    fn stepping_advances_clocks_monotonically() {
+        let mut sim = two_job_scenario().start().unwrap();
+        assert_eq!(sim.time(), 0.0);
+        assert_eq!(sim.rounds(), 0);
+        let mut last = 0.0;
+        while sim.step().unwrap() == StepOutcome::Running {
+            assert!(sim.time() > last, "time must advance");
+            last = sim.time();
+        }
+        assert!(sim.is_complete());
+        assert_eq!(sim.finished_jobs(), 2);
+    }
+
+    #[test]
+    fn result_is_none_until_complete() {
+        let mut sim = two_job_scenario().start().unwrap();
+        assert!(sim.result().is_none());
+        while sim.step().unwrap() == StepOutcome::Running {}
+        let r = sim.result().expect("complete run has a result");
+        assert_eq!(r.records.len(), 2);
+    }
+
+    #[test]
+    fn step_after_completion_is_idempotent() {
+        let mut sim = two_job_scenario().start().unwrap();
+        while sim.step().unwrap() == StepOutcome::Running {}
+        let rounds = sim.rounds();
+        let r1 = sim.result().unwrap();
+        assert_eq!(sim.step().unwrap(), StepOutcome::Complete);
+        assert_eq!(sim.rounds(), rounds, "completed stepper must not advance");
+        assert!(r1.same_outcome(&sim.result().unwrap()));
+    }
+
+    #[test]
+    fn empty_trace_completes_immediately() {
+        let mut sim = Scenario::new(Trace::new("empty", vec![]), ClusterTopology::new(1, 4))
+            .start()
+            .unwrap();
+        assert!(sim.is_complete());
+        assert_eq!(sim.step().unwrap(), StepOutcome::Complete);
+        assert_eq!(sim.result().unwrap().rounds, 0);
+    }
+
+    #[test]
+    fn snapshot_reflects_mid_run_state() {
+        let mut sim = two_job_scenario().start().unwrap();
+        sim.step().unwrap();
+        let snap = sim.snapshot();
+        assert_eq!(snap.rounds, 1);
+        assert_eq!(snap.time, 300.0);
+        assert_eq!(snap.jobs.len(), 2);
+        // Job 0 ran the first round; job 1 arrived at 100 s and is queued
+        // or running depending on capacity (4 GPUs fit both).
+        assert!(snap.jobs[0].is_running() || !snap.jobs[0].is_active());
+        assert!(snap.rejected.is_empty());
+    }
+
+    #[test]
+    fn stepper_errors_are_stable() {
+        let trace = Trace::new("big", vec![spec(0, 0.0, 64, 100.0)]);
+        let mut sim = Scenario::new(trace, ClusterTopology::new(1, 4))
+            .start()
+            .unwrap();
+        let rounds_before = sim.rounds();
+        let e1 = sim.step().unwrap_err();
+        let e2 = sim.step().unwrap_err();
+        assert_eq!(e1, e2);
+        assert!(matches!(e1, SimError::OversizedJob { .. }));
+        assert_eq!(
+            sim.rounds(),
+            rounds_before,
+            "failed steps must not count rounds"
+        );
+    }
+
+    #[test]
+    fn livelock_error_is_stable_across_retries() {
+        use crate::config::SimConfig;
+        // Two serialized 4-GPU jobs with a 1-round cap: the second round
+        // can never run, so every step after the first is Livelock — with
+        // an identical payload each time, however often it is retried.
+        let trace = Trace::new("cap", vec![spec(0, 0.0, 4, 900.0), spec(1, 0.0, 4, 900.0)]);
+        let mut sim = Scenario::new(trace, ClusterTopology::new(1, 4))
+            .config(SimConfig {
+                max_rounds: 1,
+                ..Default::default()
+            })
+            .start()
+            .unwrap();
+        assert_eq!(sim.step().unwrap(), StepOutcome::Running);
+        let e1 = sim.step().unwrap_err();
+        let e2 = sim.step().unwrap_err();
+        let e3 = sim.step().unwrap_err();
+        assert_eq!(e1, SimError::Livelock { rounds: 2 });
+        assert_eq!(e1, e2);
+        assert_eq!(e2, e3);
+        assert_eq!(sim.rounds(), 1, "failed steps must not count rounds");
+    }
+
+    #[test]
+    fn debug_shows_progress() {
+        let mut sim = two_job_scenario().start().unwrap();
+        sim.step().unwrap();
+        let d = format!("{sim:?}");
+        assert!(d.contains("rounds: 1"), "{d}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-run measurement accumulators and final [`SimResult`] assembly.
+
+use super::state::EngineState;
+use crate::job_state::JobPhase;
+use crate::metrics::{JobRecord, SimResult};
+use pal_stats::StepSeries;
+
+/// Everything the engine measures about a run, as it runs. Kept separate
+/// from [`EngineState`] so the round loop can borrow simulation state and
+/// measurement sinks independently.
+pub(crate) struct Telemetry {
+    /// GPUs in use over time (Figure 15).
+    pub(crate) gpus_in_use: StepSeries,
+    /// Total busy GPU-seconds delivered.
+    pub(crate) busy_gpu_seconds: f64,
+    /// Wall-clock seconds the placement policy spent per round
+    /// (Figure 18). Measures only `placement_order` and `place` calls —
+    /// engine-side validation sits outside the timed window.
+    pub(crate) placement_compute_times: Vec<f64>,
+}
+
+impl Telemetry {
+    /// Empty accumulators for a fresh run.
+    pub(crate) fn new() -> Self {
+        Telemetry {
+            gpus_in_use: StepSeries::new(0.0),
+            busy_gpu_seconds: 0.0,
+            placement_compute_times: Vec::new(),
+        }
+    }
+}
+
+/// Assemble the final [`SimResult`] from a completed run's state and
+/// telemetry. Clones the accumulators, so a paused [`Simulation`]
+/// (`crate::Simulation`) can also produce a result without consuming
+/// itself.
+pub(crate) fn build_result(
+    st: &EngineState,
+    tel: &Telemetry,
+    trace_name: &str,
+    ideal_gpu_seconds: f64,
+    scheduler_name: &str,
+    placement_name: &str,
+    sticky: bool,
+) -> SimResult {
+    let rejected_ids: Vec<pal_trace::JobId> = st
+        .jobs
+        .iter()
+        .zip(&st.rejected)
+        .filter(|&(_, &r)| r)
+        .map(|(j, _)| j.spec.id)
+        .collect();
+    let records: Vec<JobRecord> = st
+        .jobs
+        .iter()
+        .zip(&st.rejected)
+        .filter(|&(_, &r)| !r)
+        .map(|(j, _)| {
+            let finish = match j.phase {
+                JobPhase::Finished { at } => at,
+                _ => unreachable!("all admitted jobs finished"),
+            };
+            JobRecord {
+                id: j.spec.id,
+                model: j.spec.model.name().to_string(),
+                class: j.spec.class,
+                gpu_demand: j.spec.gpu_demand,
+                arrival: j.spec.arrival,
+                first_start: j.first_start.expect("finished job must have started"),
+                finish,
+                migrations: j.migrations,
+                preemptions: j.preemptions,
+            }
+        })
+        .collect();
+
+    SimResult {
+        trace: trace_name.to_string(),
+        scheduler: scheduler_name.to_string(),
+        placement: format!(
+            "{}-{}",
+            placement_name,
+            if sticky { "Sticky" } else { "NonSticky" }
+        ),
+        records,
+        rejected: rejected_ids,
+        gpus_in_use: tel.gpus_in_use.clone(),
+        busy_gpu_seconds: tel.busy_gpu_seconds,
+        ideal_gpu_seconds,
+        total_gpus: st.cluster.topology().total_gpus(),
+        rounds: st.rounds,
+        placement_compute_times: tel.placement_compute_times.clone(),
+    }
+}

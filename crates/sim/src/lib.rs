@@ -30,7 +30,11 @@
 //!
 //! - [`Scenario`]: the builder describing one run — trace + topology plus
 //!   optional profile/truth/locality/scheduler/placement/admission/config
-//!   dimensions — executed with `run() -> Result<SimResult, SimError>`.
+//!   dimensions — executed with `run() -> Result<SimResult, SimError>`,
+//!   or started paused with `start() -> Result<Simulation, SimError>`.
+//! - [`Simulation`]: the round stepper behind both — `step()` one round
+//!   at a time, inspect mid-run state with `snapshot()`, finish with
+//!   `run_to_completion()`.
 //! - [`Campaign`]: a sweep of M scenarios × N [`PolicySpec`]s run in
 //!   parallel with deterministic per-cell seeds and tagged results.
 //! - [`Simulator`]: the legacy positional API, kept as deprecated shims
@@ -52,9 +56,9 @@ pub mod sched;
 pub use admission::{AdmissionCtx, AdmissionPolicy, AdmitAll};
 pub use campaign::{Campaign, CampaignResult, PolicySpec};
 pub use config::SimConfig;
-pub use engine::Simulator;
+pub use engine::{SimSnapshot, Simulation, Simulator, StepOutcome};
 pub use error::{ProfileRole, SimError};
 pub use metrics::{JobRecord, SimResult};
 pub use placement::{PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation};
 pub use scenario::Scenario;
-pub use sched::SchedulingPolicy;
+pub use sched::{SchedKey, SchedulingPolicy};

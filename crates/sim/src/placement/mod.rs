@@ -91,7 +91,10 @@ pub trait PlacementPolicy {
 }
 
 /// Validate a policy's answer: right count, all free, no duplicates.
-/// Called by the engine after every `place`.
+/// Called by the engine after every `place` (outside the policy-timing
+/// window). Duplicate detection is a quadratic scan — allocations are at
+/// most a few dozen GPUs, and this runs per placement per round, so
+/// avoiding a hash set matters more than big-O.
 pub(crate) fn validate_allocation(
     policy: &str,
     request: &PlacementRequest,
@@ -106,10 +109,9 @@ pub(crate) fn validate_allocation(
         request.job,
         request.gpu_demand
     );
-    let mut seen = std::collections::HashSet::new();
-    for &g in gpus {
+    for (i, &g) in gpus.iter().enumerate() {
         assert!(state.is_free(g), "{policy} allocated busy {g}");
-        assert!(seen.insert(g), "{policy} duplicated {g}");
+        assert!(!gpus[..i].contains(&g), "{policy} duplicated {g}");
     }
 }
 

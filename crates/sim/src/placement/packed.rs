@@ -4,7 +4,7 @@
 //! *Gandiva*.
 
 use super::{PlacementCtx, PlacementPolicy, PlacementRequest};
-use pal_cluster::{ClusterState, GpuId};
+use pal_cluster::{ClusterState, GpuId, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -66,45 +66,43 @@ impl PlacementPolicy for PackedPlacement {
         _ctx: &PlacementCtx,
         state: &ClusterState,
     ) -> Vec<GpuId> {
+        // Every packing decision below needs only the per-node free
+        // *counts* (maintained incrementally by the cluster state); the
+        // concrete free list of a node is materialized only for nodes the
+        // allocation actually touches.
         let demand = request.gpu_demand;
-        let by_node = state.free_gpus_by_node();
+        let counts = state.free_count_by_node();
 
         if demand <= state.topology().gpus_per_node {
             // Best fit: the smallest sufficient hole; ties among nodes with
             // equal free counts resolved per the tie-break mode.
-            let best_size = by_node
-                .iter()
-                .filter(|g| g.len() >= demand)
-                .map(|g| g.len())
-                .min();
+            let best_size = counts.iter().copied().filter(|&c| c >= demand).min();
             if let Some(size) = best_size {
-                let mut candidates: Vec<usize> = (0..by_node.len())
-                    .filter(|&n| by_node[n].len() == size)
-                    .collect();
+                let mut candidates: Vec<usize> =
+                    (0..counts.len()).filter(|&n| counts[n] == size).collect();
                 let node = match &mut self.rng {
                     Some(rng) => *candidates.choose(rng).expect("non-empty candidates"),
                     None => candidates.remove(0),
                 };
-                return self.take(by_node[node].clone(), demand);
+                return self.take(state.node_free_gpus(NodeId(node as u32)), demand);
             }
         }
         // Spanning allocation: fill from the nodes with the most free GPUs
         // first, touching as few nodes as possible. Equal-sized nodes are
-        // tie-broken per mode.
-        let mut nodes: Vec<usize> = (0..by_node.len())
-            .filter(|&n| !by_node[n].is_empty())
-            .collect();
+        // tie-broken per mode (the sort is stable, preserving the shuffled
+        // order among ties).
+        let mut nodes: Vec<usize> = (0..counts.len()).filter(|&n| counts[n] > 0).collect();
         if let Some(rng) = &mut self.rng {
             nodes.shuffle(rng);
         }
-        nodes.sort_by_key(|&n| std::cmp::Reverse(by_node[n].len()));
+        nodes.sort_by_key(|&n| std::cmp::Reverse(counts[n]));
         let mut alloc = Vec::with_capacity(demand);
         for &n in &nodes {
-            let take = (demand - alloc.len()).min(by_node[n].len());
+            let take = (demand - alloc.len()).min(counts[n]);
             if take == 0 {
                 break;
             }
-            alloc.extend(self.take(by_node[n].clone(), take));
+            alloc.extend(self.take(state.node_free_gpus(NodeId(n as u32)), take));
         }
         assert_eq!(
             alloc.len(),

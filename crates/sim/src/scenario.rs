@@ -29,7 +29,7 @@
 
 use crate::admission::{AdmissionPolicy, AdmitAll};
 use crate::config::SimConfig;
-use crate::engine::{simulate, EngineInputs};
+use crate::engine::{Simulation, SimulationParts};
 use crate::error::SimError;
 use crate::metrics::SimResult;
 use crate::placement::{PackedPlacement, PlacementPolicy};
@@ -176,8 +176,14 @@ impl Scenario {
         )
     }
 
-    /// Run the simulation to completion.
-    pub fn run(self) -> Result<SimResult, SimError> {
+    /// Validate the scenario and return a paused [`Simulation`] stepper
+    /// at `t = 0`, ready to be advanced round by round.
+    ///
+    /// The stepper lets callers pause, inspect
+    /// ([`Simulation::snapshot`]), and instrument a run mid-flight;
+    /// driving it to completion is bit-identical to
+    /// [`run`](Scenario::run), which is a thin wrapper over this method.
+    pub fn start(self) -> Result<Simulation, SimError> {
         let Scenario {
             trace,
             topology,
@@ -185,23 +191,29 @@ impl Scenario {
             truth,
             locality,
             scheduler,
-            mut placement,
+            placement,
             admission,
             config,
         } = self;
         let profile = profile.unwrap_or_else(|| flat_profile(&trace, &topology));
-        let truth_ref = truth.as_ref().unwrap_or(&profile);
-        simulate(EngineInputs {
-            trace: &trace,
+        let truth = truth.unwrap_or_else(|| profile.clone());
+        crate::engine::validate_inputs(&trace, &topology, Some(&profile), Some(&truth), &config)?;
+        Ok(Simulation::from_parts(SimulationParts {
+            trace,
             topology,
-            profile: &profile,
-            truth: truth_ref,
-            locality: &locality,
-            scheduler: scheduler.as_ref(),
-            placement: placement.as_mut(),
-            admission: admission.as_ref(),
-            config: &config,
-        })
+            profile,
+            truth,
+            locality,
+            scheduler,
+            placement,
+            admission,
+            config,
+        }))
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(self) -> Result<SimResult, SimError> {
+        self.start()?.run_to_completion()
     }
 }
 

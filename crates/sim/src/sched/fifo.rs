@@ -43,4 +43,24 @@ mod tests {
     fn empty_queue() {
         assert!(Fifo.order(&[]).is_empty());
     }
+
+    #[test]
+    fn order_into_reuses_buffers_and_matches_order() {
+        // The engine's allocation-free path: order a sub-queue of the job
+        // table through reused scratch, twice, against the convenience
+        // wrapper.
+        let jobs = vec![
+            job(0, 30.0, 1, 10),
+            job(1, 10.0, 1, 10),
+            job(2, 20.0, 1, 10),
+        ];
+        let mut keys = Vec::new();
+        let mut out = Vec::new();
+        Fifo.order_into(&jobs, &[0, 1, 2], &mut keys, &mut out);
+        assert_eq!(out, Fifo.order(&jobs));
+        // Same buffers, different (partial, reordered) queue.
+        Fifo.order_into(&jobs, &[2, 0], &mut keys, &mut out);
+        assert_eq!(out, vec![2, 0], "partial queue sorted by arrival");
+        assert_eq!(keys.len(), 2, "scratch reflects the last call only");
+    }
 }

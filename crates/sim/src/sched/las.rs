@@ -76,4 +76,20 @@ mod tests {
         below.attained_service = 99.9;
         assert_eq!(las.order(&[at, below]), vec![1, 0]);
     }
+
+    #[test]
+    fn order_into_is_queue_order_independent() {
+        // The (key, arrival, id) order is total, so the engine may feed
+        // the active queue in any order and get the same schedule.
+        let mut old = job(0, 0.0, 1, 1000);
+        old.attained_service = 10_000.0;
+        let fresh = job(1, 500.0, 1, 1000);
+        let jobs = vec![old, fresh];
+        let (mut keys, mut out) = (Vec::new(), Vec::new());
+        Las::default().order_into(&jobs, &[0, 1], &mut keys, &mut out);
+        let forward = out.clone();
+        Las::default().order_into(&jobs, &[1, 0], &mut keys, &mut out);
+        assert_eq!(forward, out);
+        assert_eq!(out, vec![1, 0]);
+    }
 }

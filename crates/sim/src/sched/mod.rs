@@ -17,6 +17,39 @@ pub use srsf::Srsf;
 pub use srtf::Srtf;
 
 use crate::job_state::ActiveJob;
+use pal_trace::JobId;
+
+/// The cached sort key of one queued job: the policy's primary key plus
+/// the universal tie-breakers (arrival time, then job id), computed once
+/// per round and sorted without re-invoking the policy — the cached-key
+/// sort the engine's hot loop relies on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedKey {
+    /// Policy priority (smaller = runs earlier).
+    pub key: f64,
+    /// Arrival-time tie-breaker.
+    pub arrival: f64,
+    /// Job-id tie-breaker, making the order total and deterministic.
+    pub id: JobId,
+    /// Index of the job in the caller's job table.
+    pub job: usize,
+}
+
+impl SchedKey {
+    /// Strict total order: key, then arrival, then id. Panics on NaN keys
+    /// (a policy bug) exactly like the seed engine's comparator did.
+    fn cmp_total(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .partial_cmp(&other.key)
+            .expect("NaN scheduling key")
+            .then(
+                self.arrival
+                    .partial_cmp(&other.arrival)
+                    .expect("NaN arrival"),
+            )
+            .then(self.id.cmp(&other.id))
+    }
+}
 
 /// A scheduling policy: produce a total priority order over active jobs.
 ///
@@ -24,6 +57,17 @@ use crate::job_state::ActiveJob;
 /// (smaller key = higher priority) with arrival time and job id as
 /// universal tie-breakers, so every policy yields a deterministic total
 /// order.
+///
+/// The engine calls [`order_into`](SchedulingPolicy::order_into) — and
+/// only it — with the *borrowed* job table and reusable scratch buffers:
+/// keys are computed exactly once per job (no closure re-evaluation
+/// inside the comparator) and nothing is cloned or allocated once the
+/// buffers have warmed up. Customize a policy by implementing
+/// [`key`](SchedulingPolicy::key); an ordering not expressible as a
+/// per-job scalar key must override `order_into` itself (the engine
+/// honors such overrides). [`order`](SchedulingPolicy::order) is an
+/// allocating convenience wrapper for tests and one-off callers — the
+/// engine never calls it, so overriding it has no effect on simulation.
 pub trait SchedulingPolicy {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
@@ -31,24 +75,43 @@ pub trait SchedulingPolicy {
     /// Primary sort key for one job (smaller = runs earlier).
     fn key(&self, job: &ActiveJob) -> f64;
 
+    /// Write the scheduling order of `queue` (indices into `jobs`) into
+    /// `out`, highest priority first. Each job's key is computed exactly
+    /// once; `keys` is scratch the caller reuses across rounds, so the
+    /// sort is allocation-free at steady state. Because the `(key,
+    /// arrival, id)` order is total and strict, the result is independent
+    /// of the order of `queue` itself.
+    fn order_into(
+        &self,
+        jobs: &[ActiveJob],
+        queue: &[usize],
+        keys: &mut Vec<SchedKey>,
+        out: &mut Vec<usize>,
+    ) {
+        keys.clear();
+        for &ji in queue {
+            let job = &jobs[ji];
+            keys.push(SchedKey {
+                key: self.key(job),
+                arrival: job.spec.arrival,
+                id: job.spec.id,
+                job: ji,
+            });
+        }
+        // Unstable sort allocates nothing; the unique job-id tie-breaker
+        // makes the order strict, so stability cannot matter.
+        keys.sort_unstable_by(SchedKey::cmp_total);
+        out.clear();
+        out.extend(keys.iter().map(|k| k.job));
+    }
+
     /// Order the given jobs by priority, returning indices into `jobs`.
     fn order(&self, jobs: &[ActiveJob]) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..jobs.len()).collect();
-        idx.sort_by(|&a, &b| {
-            let ka = self.key(&jobs[a]);
-            let kb = self.key(&jobs[b]);
-            ka.partial_cmp(&kb)
-                .expect("NaN scheduling key")
-                .then(
-                    jobs[a]
-                        .spec
-                        .arrival
-                        .partial_cmp(&jobs[b].spec.arrival)
-                        .expect("NaN arrival"),
-                )
-                .then(jobs[a].spec.id.cmp(&jobs[b].spec.id))
-        });
-        idx
+        let queue: Vec<usize> = (0..jobs.len()).collect();
+        let mut keys = Vec::with_capacity(jobs.len());
+        let mut out = Vec::with_capacity(jobs.len());
+        self.order_into(jobs, &queue, &mut keys, &mut out);
+        out
     }
 }
 

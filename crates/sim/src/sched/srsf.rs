@@ -49,4 +49,18 @@ mod tests {
         a.remaining_work = 10.0; // now 40 GPU-s
         assert_eq!(Srsf.order(&[a, b]), vec![0, 1]);
     }
+
+    #[test]
+    fn order_into_orders_sub_queues() {
+        // The engine only ever orders the *active* subset of the job
+        // table; indices in the result refer to the full table.
+        let jobs = vec![
+            job(0, 0.0, 8, 100), // 800 GPU-s
+            job(1, 0.0, 1, 300), // 300 GPU-s
+            job(2, 0.0, 1, 50),  // 50 GPU-s, not in queue
+        ];
+        let (mut keys, mut out) = (Vec::new(), Vec::new());
+        Srsf.order_into(&jobs, &[0, 1], &mut keys, &mut out);
+        assert_eq!(out, vec![1, 0], "job 2 excluded, table indices kept");
+    }
 }

@@ -47,4 +47,19 @@ mod tests {
         let b = job(1, 5.0, 1, 50);
         assert_eq!(Srtf.order(&[a, b]), vec![1, 0]);
     }
+
+    #[test]
+    fn order_into_caches_keys_per_call() {
+        // Keys are computed from the jobs at call time — mutating a job's
+        // progress between calls (as the engine does every round) is
+        // reflected on the next ordering.
+        let mut jobs = vec![job(0, 0.0, 1, 100), job(1, 0.0, 1, 50)];
+        let (mut keys, mut out) = (Vec::new(), Vec::new());
+        Srtf.order_into(&jobs, &[0, 1], &mut keys, &mut out);
+        assert_eq!(out, vec![1, 0]);
+        jobs[0].remaining_work = 10.0;
+        Srtf.order_into(&jobs, &[0, 1], &mut keys, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(keys[0].key, 10.0, "cached key reflects current state");
+    }
 }

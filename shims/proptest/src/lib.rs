@@ -2,8 +2,9 @@
 //! `shims/README.md`).
 //!
 //! Supports the subset the workspace uses: the [`proptest!`] macro with an
-//! optional `#![proptest_config(..)]` header, range / tuple / [`Just`] /
-//! [`collection::vec`] / [`prop_oneof!`] strategies, `prop_map` /
+//! optional `#![proptest_config(..)]` header, range / tuple /
+//! [`strategy::Just`] / [`collection::vec`] / [`prop_oneof!`] strategies,
+//! `prop_map` /
 //! `prop_flat_map` combinators, [`arbitrary::any`], and the
 //! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros.
 //!
