@@ -11,7 +11,7 @@
 //! are active at once, so per-round costs that scale with the active
 //! queue dominate.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_gpumodel::GpuSpec;
 use pal_sim::sched::Las;
@@ -91,4 +91,9 @@ fn bench_single_steps(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_full_run, bench_single_steps);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    pal_bench::bench_json::update_workspace("engine_rounds", &criterion::take_measurements())
+        .expect("update BENCH_engine.json");
+}

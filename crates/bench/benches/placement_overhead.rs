@@ -7,7 +7,7 @@ use pal::{PalPlacement, PmFirstPlacement};
 use pal_bench::{longhorn_profile, PROFILE_SEED};
 use pal_cluster::{ClusterState, ClusterTopology, JobClass, LocalityModel};
 use pal_sim::placement::PackedPlacement;
-use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest};
+use pal_sim::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest};
 use pal_trace::JobId;
 use std::hint::black_box;
 
@@ -43,18 +43,29 @@ fn bench_single_placement(c: &mut Criterion) {
         let ctx = PlacementCtx {
             profile: &profile,
             locality: &locality,
+            view: state.view(),
         };
+        let mut out: Allocation = Vec::new();
         let mut pal = PalPlacement::new(&profile);
         group.bench_with_input(BenchmarkId::new("PAL", n), &n, |b, _| {
-            b.iter(|| black_box(pal.place(&request(4), &ctx, &state)))
+            b.iter(|| {
+                pal.place_into(&request(4), &ctx, &state, &mut out);
+                black_box(out.len())
+            })
         });
         let mut pmf = PmFirstPlacement::new(&profile);
         group.bench_with_input(BenchmarkId::new("PM-First", n), &n, |b, _| {
-            b.iter(|| black_box(pmf.place(&request(4), &ctx, &state)))
+            b.iter(|| {
+                pmf.place_into(&request(4), &ctx, &state, &mut out);
+                black_box(out.len())
+            })
         });
         let mut packed = PackedPlacement::deterministic();
         group.bench_with_input(BenchmarkId::new("Packed", n), &n, |b, _| {
-            b.iter(|| black_box(packed.place(&request(4), &ctx, &state)))
+            b.iter(|| {
+                packed.place_into(&request(4), &ctx, &state, &mut out);
+                black_box(out.len())
+            })
         });
     }
     group.finish();
@@ -69,21 +80,25 @@ fn bench_epoch_allocation(c: &mut Criterion) {
         let topo = ClusterTopology::new(nodes, 4);
         let n = topo.total_gpus();
         let profile = longhorn_profile(n, PROFILE_SEED);
-        let ctx = PlacementCtx {
-            profile: &profile,
-            locality: &locality,
-        };
         let demands: Vec<usize> = (0..n / 2).map(|i| [1, 1, 2, 4][i % 4]).collect();
         group.bench_with_input(BenchmarkId::new("PAL", n), &n, |b, _| {
             let mut pal = PalPlacement::new(&profile);
+            let mut out: Allocation = Vec::new();
             b.iter(|| {
                 let mut state = ClusterState::new(topo);
                 for &d in &demands {
                     if state.free_count() < d {
                         break;
                     }
-                    let alloc = pal.place(&request(d), &ctx, &state);
-                    state.allocate(&alloc);
+                    // Re-borrow the view per decision, as the engine does:
+                    // it must reflect the allocations made so far.
+                    let ctx = PlacementCtx {
+                        profile: &profile,
+                        locality: &locality,
+                        view: state.view(),
+                    };
+                    pal.place_into(&request(d), &ctx, &state, &mut out);
+                    state.allocate(&out);
                 }
                 black_box(state.free_count())
             })

@@ -14,9 +14,9 @@
 
 use pal::PalPlacement;
 use pal_bench::{hours, longhorn_profile, PROFILE_SEED};
-use pal_cluster::{ClusterState, ClusterTopology, GpuId, JobClass, LocalityModel};
+use pal_cluster::{ClusterState, ClusterTopology, JobClass, LocalityModel};
 use pal_gpumodel::GpuSpec;
-use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest, Scenario};
+use pal_sim::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest, Scenario};
 use pal_trace::{ModelCatalog, SiaPhillyConfig};
 
 /// Wraps a placement policy, overriding the class it perceives for every
@@ -44,21 +44,32 @@ impl<P: PlacementPolicy> PlacementPolicy for ForcedClassView<P> {
         "PAL-forced-class"
     }
 
-    fn placement_order(&self, requests: &[PlacementRequest], ctx: &PlacementCtx) -> Vec<usize> {
-        self.inner.placement_order(&self.rewrite(requests), ctx)
+    fn observe(&mut self, obs: &pal_sim::RoundObservation) {
+        self.inner.observe(obs);
     }
 
-    fn place(
+    fn placement_order_into(
+        &self,
+        requests: &[PlacementRequest],
+        ctx: &PlacementCtx,
+        out: &mut Vec<usize>,
+    ) {
+        self.inner
+            .placement_order_into(&self.rewrite(requests), ctx, out);
+    }
+
+    fn place_into(
         &mut self,
         request: &PlacementRequest,
         ctx: &PlacementCtx,
         state: &ClusterState,
-    ) -> Vec<GpuId> {
+        out: &mut Allocation,
+    ) {
         let forced = PlacementRequest {
             class: self.class.unwrap_or(request.class),
             ..request.clone()
         };
-        self.inner.place(&forced, ctx, state)
+        self.inner.place_into(&forced, ctx, state, out);
     }
 }
 

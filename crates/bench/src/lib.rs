@@ -5,9 +5,14 @@
 //! has a binary under `src/bin/` that prints the figure's rows/series as
 //! CSV on stdout; Criterion benches cover the placement-overhead
 //! measurements of Figure 18.
+//!
+//! The engine-perf benches (`engine_rounds`, `placement_hot_path`) also
+//! merge their measurements into the repo-root `BENCH_engine.json` via
+//! [`bench_json`], so the hot-path trajectory is tracked across PRs.
 
 #![warn(missing_docs)]
 
+pub mod bench_json;
 pub mod experiment;
 
 pub use experiment::*;

@@ -12,6 +12,9 @@
 //!   iteration times — the PM penalties of Section IV-C), including the
 //!   paper's sample-without-repetition construction from measured profiles,
 //! - [`state`]: GPU occupancy tracking (free lists, allocate/release),
+//! - [`view`]: the incrementally maintained free-GPU view placement
+//!   policies borrow ([`ClusterView`]) plus the lazily rebuilt per-class
+//!   score orderings ([`ClassOrders`]),
 //! - [`ids`]: typed identifiers.
 
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@ pub mod profile;
 pub mod profile_io;
 pub mod state;
 pub mod topology;
+pub mod view;
 
 pub use ids::{GpuId, JobClass, NodeId};
 pub use locality::LocalityModel;
@@ -29,3 +33,4 @@ pub use profile::VariabilityProfile;
 pub use profile_io::{read_profile_csv, write_profile_csv, ProfileIoError};
 pub use state::ClusterState;
 pub use topology::ClusterTopology;
+pub use view::{ClassOrders, ClusterView};

@@ -3,19 +3,23 @@
 
 use crate::ids::{GpuId, NodeId};
 use crate::topology::ClusterTopology;
+use crate::view::ClusterView;
 use serde::{Deserialize, Serialize};
 
 /// Occupancy state of every GPU in a cluster.
 ///
-/// Free counts — total and per node — are maintained incrementally on
-/// every allocate/release, so the O(1)/O(nodes) count queries placement
-/// policies issue on each decision never rescan the GPU bitmap.
+/// Free counts — total and per node — and the per-node free-GPU *lists*
+/// (the [`ClusterView`]) are maintained incrementally on every
+/// allocate/release, so neither the O(1)/O(nodes) count queries nor the
+/// free-list reads placement policies issue on each decision ever rescan
+/// the GPU bitmap.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterState {
     topology: ClusterTopology,
     in_use: Vec<bool>,
     free_total: usize,
     free_per_node: Vec<usize>,
+    view: ClusterView,
 }
 
 impl ClusterState {
@@ -25,6 +29,7 @@ impl ClusterState {
             in_use: vec![false; topology.total_gpus()],
             free_total: topology.total_gpus(),
             free_per_node: vec![topology.gpus_per_node; topology.nodes],
+            view: ClusterView::all_free(&topology),
             topology,
         }
     }
@@ -32,6 +37,14 @@ impl ClusterState {
     /// The underlying topology.
     pub fn topology(&self) -> &ClusterTopology {
         &self.topology
+    }
+
+    /// The incrementally maintained free-GPU view: per-node free lists in
+    /// GPU-id order, kept up to date by every [`allocate`](Self::allocate)
+    /// and [`release`](Self::release). This is what placement policies
+    /// should read instead of materializing free lists per decision.
+    pub fn view(&self) -> &ClusterView {
+        &self.view
     }
 
     /// Whether a GPU is currently free.
@@ -50,13 +63,10 @@ impl ClusterState {
         &self.free_per_node
     }
 
-    /// The free GPUs of one node, in GPU-id order.
+    /// The free GPUs of one node, in GPU-id order. Allocates; prefer the
+    /// borrowed [`ClusterView::node_free`] via [`view`](Self::view).
     pub fn node_free_gpus(&self, node: NodeId) -> Vec<GpuId> {
-        let base = node.index() * self.topology.gpus_per_node;
-        (base..base + self.topology.gpus_per_node)
-            .filter(|&i| !self.in_use[i])
-            .map(|i| GpuId(i as u32))
-            .collect()
+        self.view.node_free(node).to_vec()
     }
 
     /// Number of busy GPUs.
@@ -76,12 +86,13 @@ impl ClusterState {
 
     /// Free GPUs grouped by node, in node order (nodes with none are
     /// included as empty vectors so indices align with node ids).
+    #[deprecated(
+        since = "0.3.0",
+        note = "materializes a fresh Vec<Vec<GpuId>> per call; borrow the \
+                incrementally maintained `ClusterState::view()` instead"
+    )]
     pub fn free_gpus_by_node(&self) -> Vec<Vec<GpuId>> {
-        let mut by_node = vec![Vec::new(); self.topology.nodes];
-        for gpu in self.free_gpus() {
-            by_node[self.topology.node_of(gpu).index()].push(gpu);
-        }
-        by_node
+        self.view.per_node().map(<[GpuId]>::to_vec).collect()
     }
 
     /// Nodes that currently have at least `want` free GPUs.
@@ -103,9 +114,11 @@ impl ClusterState {
                 !self.in_use[g.index()],
                 "double allocation of {g}: already in use"
             );
+            let node = self.topology.node_of(g);
             self.in_use[g.index()] = true;
             self.free_total -= 1;
-            self.free_per_node[self.topology.node_of(g).index()] -= 1;
+            self.free_per_node[node.index()] -= 1;
+            self.view.on_allocate(node, g);
         }
     }
 
@@ -113,14 +126,17 @@ impl ClusterState {
     pub fn release(&mut self, gpus: &[GpuId]) {
         for &g in gpus {
             assert!(self.in_use[g.index()], "releasing free GPU {g}");
+            let node = self.topology.node_of(g);
             self.in_use[g.index()] = false;
             self.free_total += 1;
-            self.free_per_node[self.topology.node_of(g).index()] += 1;
+            self.free_per_node[node.index()] += 1;
+            self.view.on_release(node, g);
         }
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // free_gpus_by_node stays test-only; see ClusterView
 mod tests {
     use super::*;
 

@@ -1,0 +1,234 @@
+//! [`ClusterView`]: the long-lived, incrementally maintained free-GPU view
+//! placement policies consume.
+//!
+//! The seed policies rebuilt cluster state per decision —
+//! `free_gpus_by_node()` materialized a fresh `Vec<Vec<GpuId>>` on every
+//! `place` call, the dominant cost of the paper's own overhead experiment
+//! (Figure 18) once the engine round loop itself became allocation-free.
+//! The view inverts that: [`ClusterState`](crate::ClusterState) keeps
+//! per-node free lists up to date on every `allocate`/`release` (exactly
+//! like its incremental free *counters*), and policies borrow them for the
+//! lifetime of a simulation instead of re-deriving them per decision.
+//!
+//! [`ClassOrders`] is the companion cache for score-driven policies: one
+//! lazily built, per-class ordering of *all* GPUs by ascending score.
+//! Selecting the best free GPUs then degenerates to walking the ordering
+//! and skipping busy devices — no per-call sort, no per-call allocation.
+//! Policies whose scores drift (online PM-score updates) invalidate the
+//! affected class and the ordering is rebuilt on next use.
+
+use crate::ids::{GpuId, NodeId};
+use crate::topology::ClusterTopology;
+use serde::{Deserialize, Serialize};
+
+/// Per-node free-GPU lists, each sorted ascending by GPU id, maintained
+/// incrementally by [`ClusterState`](crate::ClusterState) on every
+/// allocate/release.
+///
+/// Obtained via [`ClusterState::view`](crate::ClusterState::view); nodes
+/// with no free GPUs are present as empty slices so indices align with
+/// node ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterView {
+    free_by_node: Vec<Vec<GpuId>>,
+}
+
+impl ClusterView {
+    /// All-free view for a topology.
+    pub(crate) fn all_free(topology: &ClusterTopology) -> Self {
+        ClusterView {
+            free_by_node: (0..topology.nodes)
+                .map(|n| {
+                    let base = n * topology.gpus_per_node;
+                    (base..base + topology.gpus_per_node)
+                        .map(|i| GpuId(i as u32))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of nodes in the view.
+    pub fn nodes(&self) -> usize {
+        self.free_by_node.len()
+    }
+
+    /// The free GPUs of one node, ascending by GPU id. O(1), borrowed.
+    pub fn node_free(&self, node: NodeId) -> &[GpuId] {
+        &self.free_by_node[node.index()]
+    }
+
+    /// Per-node free lists in node order (empty slices included so indices
+    /// align with node ids).
+    pub fn per_node(&self) -> impl Iterator<Item = &[GpuId]> {
+        self.free_by_node.iter().map(Vec::as_slice)
+    }
+
+    /// Every free GPU, ascending by GPU id (node-major happens to *be*
+    /// id-ascending because nodes own contiguous id ranges).
+    pub fn free_iter(&self) -> impl Iterator<Item = GpuId> + '_ {
+        self.free_by_node.iter().flatten().copied()
+    }
+
+    /// Remove `gpu` from its node's free list. Panics if absent — the
+    /// caller ([`ClusterState`](crate::ClusterState)) has already ruled
+    /// out double allocation.
+    pub(crate) fn on_allocate(&mut self, node: NodeId, gpu: GpuId) {
+        let list = &mut self.free_by_node[node.index()];
+        let pos = list.binary_search(&gpu).expect("view missing free GPU");
+        list.remove(pos);
+    }
+
+    /// Insert `gpu` back into its node's free list, keeping id order.
+    pub(crate) fn on_release(&mut self, node: NodeId, gpu: GpuId) {
+        let list = &mut self.free_by_node[node.index()];
+        let pos = list
+            .binary_search(&gpu)
+            .expect_err("view already holds released GPU");
+        list.insert(pos, gpu);
+    }
+}
+
+/// Lazily built per-class orderings of all GPUs by ascending score (ties
+/// broken by GPU id, so every ordering is total and deterministic).
+///
+/// Score-driven placement policies (PM-First, PAL's spread arm) own one of
+/// these next to their score table: [`ensure`](ClassOrders::ensure) builds
+/// a class's ordering on first use, [`get`](ClassOrders::get) borrows it
+/// allocation-free afterwards, and adaptive policies whose scores change
+/// at runtime call [`invalidate_all`](ClassOrders::invalidate_all) (or
+/// [`invalidate`](ClassOrders::invalidate) for one class) to trigger a
+/// rebuild on next use.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClassOrders {
+    orders: Vec<Vec<GpuId>>,
+}
+
+impl ClassOrders {
+    /// Empty cache for `num_classes` classes (orderings build on demand).
+    pub fn new(num_classes: usize) -> Self {
+        ClassOrders {
+            orders: vec![Vec::new(); num_classes],
+        }
+    }
+
+    /// Build `class`'s ordering if it is missing or invalidated: all
+    /// `num_gpus` GPUs sorted ascending by `score`, ties by GPU id.
+    /// Panics on NaN scores (a policy bug).
+    pub fn ensure(&mut self, class: usize, num_gpus: usize, score: impl Fn(GpuId) -> f64) {
+        let order = &mut self.orders[class];
+        if !order.is_empty() {
+            return;
+        }
+        order.extend((0..num_gpus).map(|i| GpuId(i as u32)));
+        order.sort_by(|&a, &b| {
+            score(a)
+                .partial_cmp(&score(b))
+                .expect("NaN GPU score")
+                .then(a.cmp(&b))
+        });
+    }
+
+    /// Borrow `class`'s ordering. Empty until [`ensure`](Self::ensure) has
+    /// built it.
+    pub fn get(&self, class: usize) -> &[GpuId] {
+        &self.orders[class]
+    }
+
+    /// Drop one class's ordering (rebuilt on next `ensure`).
+    pub fn invalidate(&mut self, class: usize) {
+        self.orders[class].clear();
+    }
+
+    /// Drop every class's ordering (e.g. after an online re-bin changed
+    /// the score table).
+    pub fn invalidate_all(&mut self) {
+        for order in &mut self.orders {
+            order.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ClusterState;
+
+    fn state() -> ClusterState {
+        ClusterState::new(ClusterTopology::new(2, 4))
+    }
+
+    #[test]
+    fn fresh_view_lists_every_gpu_in_order() {
+        let s = state();
+        assert_eq!(s.view().nodes(), 2);
+        assert_eq!(
+            s.view().node_free(NodeId(1)),
+            &[GpuId(4), GpuId(5), GpuId(6), GpuId(7)]
+        );
+        let all: Vec<GpuId> = s.view().free_iter().collect();
+        assert_eq!(all, s.free_gpus());
+    }
+
+    #[test]
+    fn view_tracks_allocate_and_release_incrementally() {
+        let mut s = state();
+        s.allocate(&[GpuId(1), GpuId(5), GpuId(6)]);
+        assert_eq!(
+            s.view().node_free(NodeId(0)),
+            &[GpuId(0), GpuId(2), GpuId(3)]
+        );
+        assert_eq!(s.view().node_free(NodeId(1)), &[GpuId(4), GpuId(7)]);
+        s.release(&[GpuId(5)]);
+        assert_eq!(
+            s.view().node_free(NodeId(1)),
+            &[GpuId(4), GpuId(5), GpuId(7)]
+        );
+        // Release order must not matter: lists stay id-sorted.
+        s.allocate(&[GpuId(4), GpuId(7)]);
+        s.release(&[GpuId(7)]);
+        s.release(&[GpuId(4)]);
+        assert_eq!(
+            s.view().node_free(NodeId(1)),
+            &[GpuId(4), GpuId(5), GpuId(7)]
+        );
+    }
+
+    #[test]
+    fn per_node_aligns_with_node_ids() {
+        let mut s = state();
+        s.allocate(&[GpuId(0), GpuId(1), GpuId(2), GpuId(3)]); // node 0 full
+        let lens: Vec<usize> = s.view().per_node().map(<[GpuId]>::len).collect();
+        assert_eq!(lens, vec![0, 4]);
+    }
+
+    #[test]
+    fn class_orders_sort_by_score_then_id() {
+        let scores = [1.5, 0.9, 1.5, 0.7];
+        let mut orders = ClassOrders::new(1);
+        orders.ensure(0, 4, |g| scores[g.index()]);
+        assert_eq!(
+            orders.get(0),
+            &[GpuId(3), GpuId(1), GpuId(0), GpuId(2)],
+            "ascending score, ties by id"
+        );
+    }
+
+    #[test]
+    fn class_orders_rebuild_after_invalidation() {
+        let mut orders = ClassOrders::new(2);
+        orders.ensure(0, 3, |g| g.index() as f64);
+        assert_eq!(orders.get(0), &[GpuId(0), GpuId(1), GpuId(2)]);
+        // ensure() with new scores is a no-op until invalidated…
+        orders.ensure(0, 3, |g| -(g.index() as f64));
+        assert_eq!(orders.get(0), &[GpuId(0), GpuId(1), GpuId(2)]);
+        // …and rebuilds afterwards.
+        orders.invalidate(0);
+        orders.ensure(0, 3, |g| -(g.index() as f64));
+        assert_eq!(orders.get(0), &[GpuId(2), GpuId(1), GpuId(0)]);
+        // Untouched classes stay lazily empty.
+        assert!(orders.get(1).is_empty());
+        orders.invalidate_all();
+        assert!(orders.get(0).is_empty());
+    }
+}

@@ -70,8 +70,8 @@ fn state_and_topology_agree_on_shape() {
     let topo = ClusterTopology::new(6, 4);
     let state = pal_cluster::ClusterState::new(topo);
     assert_eq!(state.free_gpus().len(), topo.total_gpus());
-    assert_eq!(state.free_gpus_by_node().len(), topo.nodes);
-    for (n, gpus) in state.free_gpus_by_node().iter().enumerate() {
+    assert_eq!(state.view().nodes(), topo.nodes);
+    for (n, gpus) in state.view().per_node().enumerate() {
         for g in gpus {
             assert_eq!(topo.node_of(*g).index(), n);
         }

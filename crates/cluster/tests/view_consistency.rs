@@ -1,0 +1,104 @@
+//! Property tests for [`pal_cluster::ClusterView`]: the per-node free
+//! lists that `ClusterState` maintains incrementally on every
+//! allocate/release must stay equal to a from-scratch rebuild from the
+//! occupancy bitmap, under arbitrary operation sequences.
+
+use pal_cluster::{ClusterState, ClusterTopology, GpuId};
+use proptest::prelude::*;
+
+/// Rebuild the per-node free lists the slow way, straight from `is_free`.
+fn rebuilt_free_by_node(state: &ClusterState) -> Vec<Vec<GpuId>> {
+    let topo = state.topology();
+    (0..topo.nodes)
+        .map(|n| {
+            let base = n * topo.gpus_per_node;
+            (base..base + topo.gpus_per_node)
+                .map(|i| GpuId(i as u32))
+                .filter(|&g| state.is_free(g))
+                .collect()
+        })
+        .collect()
+}
+
+/// Assert the incrementally maintained view matches the rebuild (lists,
+/// counts, and the flat free iterator).
+fn assert_view_consistent(state: &ClusterState) {
+    let want = rebuilt_free_by_node(state);
+    let got: Vec<Vec<GpuId>> = state.view().per_node().map(<[GpuId]>::to_vec).collect();
+    assert_eq!(got, want, "view free lists diverged from bitmap rebuild");
+    let counts: Vec<usize> = want.iter().map(Vec::len).collect();
+    assert_eq!(
+        state.free_count_by_node(),
+        &counts[..],
+        "free counters diverged from free lists"
+    );
+    let flat: Vec<GpuId> = state.view().free_iter().collect();
+    assert_eq!(flat, state.free_gpus(), "free_iter diverged from free_gpus");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary toggle sequences: each step allocates the GPU if free,
+    /// releases it otherwise. After every single step the view must equal
+    /// a from-scratch rebuild.
+    #[test]
+    fn incremental_view_equals_rebuild_under_arbitrary_ops(
+        nodes in 1usize..=6,
+        gpn in 1usize..=8,
+        ops in proptest::collection::vec(0usize..48, 1..200),
+    ) {
+        let topo = ClusterTopology::new(nodes, gpn);
+        let mut state = ClusterState::new(topo);
+        for op in ops {
+            let g = GpuId((op % topo.total_gpus()) as u32);
+            if state.is_free(g) {
+                state.allocate(&[g]);
+            } else {
+                state.release(&[g]);
+            }
+            assert_view_consistent(&state);
+        }
+    }
+
+    /// Batched variant: allocate a random subset, release a sub-subset,
+    /// repeat — exercising the multi-GPU allocate/release paths the
+    /// engine actually uses (whole-job allocations).
+    #[test]
+    fn batched_allocate_release_keeps_view_consistent(
+        nodes in 1usize..=5,
+        gpn in 2usize..=6,
+        picks in proptest::collection::vec(any::<bool>(), 30),
+        keep in proptest::collection::vec(any::<bool>(), 30),
+    ) {
+        let topo = ClusterTopology::new(nodes, gpn);
+        let mut state = ClusterState::new(topo);
+        let n = topo.total_gpus();
+        let batch: Vec<GpuId> = picks
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| p && i < n)
+            .map(|(i, _)| GpuId(i as u32))
+            .collect();
+        state.allocate(&batch);
+        assert_view_consistent(&state);
+        let released: Vec<GpuId> = batch
+            .iter()
+            .zip(&keep)
+            .filter(|&(_, &k)| !k)
+            .map(|(&g, _)| g)
+            .collect();
+        state.release(&released);
+        assert_view_consistent(&state);
+        // Round-trip the remainder so the state ends all-free.
+        let rest: Vec<GpuId> = batch
+            .iter()
+            .zip(&keep)
+            .filter(|&(_, &k)| k)
+            .map(|(&g, _)| g)
+            .collect();
+        state.release(&rest);
+        assert_view_consistent(&state);
+        prop_assert_eq!(state.free_count(), n);
+    }
+}

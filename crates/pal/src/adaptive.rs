@@ -18,7 +18,7 @@ use crate::pal_policy::PalPlacement;
 use crate::pm_scores::PmScoreTable;
 use pal_cluster::{ClusterState, GpuId, JobClass, VariabilityProfile};
 use pal_kmeans::ScoreBinning;
-use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation};
+use pal_sim::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation};
 
 /// Configuration for the online estimator.
 #[derive(Debug, Clone)]
@@ -86,7 +86,11 @@ impl AdaptivePal {
         self.inner.table()
     }
 
-    /// Force an immediate re-bin of the current estimates.
+    /// Force an immediate re-bin of the current estimates. Replacing the
+    /// inner PAL policy also drops its per-class score orderings
+    /// (`pal_cluster::ClassOrders`) — the lazy invalidation that keeps
+    /// spread/PM-First selection consistent with the new table; they
+    /// rebuild on the next placement that needs them.
     pub fn rebin(&mut self) {
         let profile = VariabilityProfile::from_raw(self.estimates.clone());
         self.inner = PalPlacement::with_binning(&profile, &self.config.binning);
@@ -116,17 +120,23 @@ impl PlacementPolicy for AdaptivePal {
         }
     }
 
-    fn placement_order(&self, requests: &[PlacementRequest], ctx: &PlacementCtx) -> Vec<usize> {
-        self.inner.placement_order(requests, ctx)
+    fn placement_order_into(
+        &self,
+        requests: &[PlacementRequest],
+        ctx: &PlacementCtx,
+        out: &mut Vec<usize>,
+    ) {
+        self.inner.placement_order_into(requests, ctx, out);
     }
 
-    fn place(
+    fn place_into(
         &mut self,
         request: &PlacementRequest,
         ctx: &PlacementCtx,
         state: &ClusterState,
-    ) -> Vec<GpuId> {
-        self.inner.place(request, ctx, state)
+        out: &mut Allocation,
+    ) {
+        self.inner.place_into(request, ctx, state, out);
     }
 }
 
@@ -189,6 +199,7 @@ mod tests {
         let ctx = PlacementCtx {
             profile: &profile,
             locality: &locality,
+            view: state.view(),
         };
         let req = PlacementRequest {
             job: JobId(1),
@@ -214,6 +225,7 @@ mod tests {
         let ctx = PlacementCtx {
             profile: &profile,
             locality: &locality,
+            view: state.view(),
         };
         let req = PlacementRequest {
             job: JobId(0),

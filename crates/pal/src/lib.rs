@@ -30,7 +30,7 @@
 //! use pal::PalPlacement;
 //! use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 //! use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, Workload};
-//! use pal_sim::{sched::Fifo, SimConfig, Simulator};
+//! use pal_sim::Scenario;
 //! use pal_trace::{ModelCatalog, SiaPhillyConfig};
 //!
 //! // Offline: model a 16-node cluster and profile each class representative.
@@ -45,10 +45,12 @@
 //! let mut cfg = SiaPhillyConfig::default();
 //! cfg.num_jobs = 20;
 //! let trace = cfg.generate(1, &catalog);
-//! let result = Simulator::new(SimConfig::non_sticky()).run(
-//!     &trace, topo, &profile, &LocalityModel::uniform(1.5),
-//!     &Fifo, &mut PalPlacement::new(&profile),
-//! );
+//! let result = Scenario::new(trace, topo)
+//!     .profile(profile.clone())
+//!     .locality(LocalityModel::uniform(1.5))
+//!     .placement(PalPlacement::new(&profile))
+//!     .run()
+//!     .expect("valid scenario");
 //! assert_eq!(result.records.len(), 20);
 //! assert!(result.avg_jct() > 0.0);
 //! ```

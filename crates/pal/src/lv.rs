@@ -46,18 +46,34 @@ impl LvMatrix {
     /// construction; ties resolve Within before Across (packing is free to
     /// prefer when products are equal), then lower V first.
     pub fn new(levels: &[f64], l_within: f64, l_across: f64) -> Self {
+        let mut m = LvMatrix {
+            entries: Vec::with_capacity(levels.len() * 2),
+        };
+        m.rebuild(levels, l_within, l_across);
+        m
+    }
+
+    /// Rebuild this matrix in place for new levels/multipliers, reusing
+    /// the entry buffer — the allocation-free path PAL uses to keep a
+    /// cached per-class matrix current inside `place_into`.
+    ///
+    /// The `(product, locality-rank, v)` sort key is a strict total order
+    /// (levels are distinct, so equal products within a row are
+    /// impossible and equal products across rows pin identical `v`), so
+    /// the allocation-free unstable sort is deterministic.
+    pub fn rebuild(&mut self, levels: &[f64], l_within: f64, l_across: f64) {
         assert!(!levels.is_empty(), "L×V matrix needs at least one V level");
         assert!(
             l_within > 0.0 && l_across >= l_within,
             "bad locality values"
         );
-        let mut entries = Vec::with_capacity(levels.len() * 2);
+        self.entries.clear();
         for &(locality, l) in &[
             (LocalityLevel::Within, l_within),
             (LocalityLevel::Across, l_across),
         ] {
             for &v in levels {
-                entries.push(LvEntry {
+                self.entries.push(LvEntry {
                     locality,
                     l_value: l,
                     v_value: v,
@@ -65,7 +81,7 @@ impl LvMatrix {
                 });
             }
         }
-        entries.sort_by(|a, b| {
+        self.entries.sort_unstable_by(|a, b| {
             a.product
                 .partial_cmp(&b.product)
                 .expect("NaN LV product")
@@ -78,7 +94,6 @@ impl LvMatrix {
                 })
                 .then(a.v_value.partial_cmp(&b.v_value).expect("NaN V"))
         });
-        LvMatrix { entries }
     }
 
     /// Entries in ascending LV-product (traversal) order.

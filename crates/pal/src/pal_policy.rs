@@ -12,13 +12,21 @@
 //! Because traversal is ordered by LV-product, the first feasible entry
 //! yields the globally minimal combined slowdown for the job (over the
 //! binned scores) — the property `tests` verify against exhaustive search.
+//!
+//! Every arm works off long-lived state instead of rebuilding the free
+//! lists per decision: the packed arm iterates the simulation-owned
+//! [`pal_cluster::ClusterView`] (per-node free lists maintained
+//! incrementally on allocate/release), and the spread/PM-First arms walk
+//! the policy's lazily built per-class score orderings
+//! ([`pal_cluster::ClassOrders`]). One `place_into` call allocates
+//! nothing once the scratch buffers have warmed up.
 
 use crate::lv::{LocalityLevel, LvMatrix};
 use crate::pm_scores::PmScoreTable;
-use crate::pmfirst::{class_priority_order, pmfirst_gpus};
-use pal_cluster::{ClusterState, GpuId, JobClass, VariabilityProfile};
+use crate::pmfirst::{class_priority_order_into, ensure_class_order, pmfirst_into};
+use pal_cluster::{ClassOrders, ClusterState, ClusterView, GpuId, JobClass, VariabilityProfile};
 use pal_kmeans::ScoreBinning;
-use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest};
+use pal_sim::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest};
 
 /// Score-filter tolerance for "PM-score ≤ V_i" comparisons.
 const EPS: f64 = 1e-9;
@@ -27,20 +35,42 @@ const EPS: f64 = 1e-9;
 #[derive(Debug, Clone)]
 pub struct PalPlacement {
     table: PmScoreTable,
+    orders: ClassOrders,
+    /// Scratch: one node's filtered free list in the packed arm.
+    filt: Vec<GpuId>,
+    /// Cached per-class L×V matrices, keyed by the locality multipliers
+    /// they were built with (one model's `l_across` at a time; rebuilt in
+    /// place when a request's model maps to different multipliers).
+    lv_cache: Vec<Option<LvSlot>>,
+}
+
+/// One cached L×V matrix plus the locality multipliers it encodes.
+#[derive(Debug, Clone)]
+struct LvSlot {
+    l_within: f64,
+    l_across: f64,
+    matrix: LvMatrix,
 }
 
 impl PalPlacement {
     /// Build from a variability profile using the paper's default binning.
     pub fn new(profile: &VariabilityProfile) -> Self {
-        PalPlacement {
-            table: PmScoreTable::build_default(profile),
-        }
+        PalPlacement::from_table(PmScoreTable::build_default(profile))
     }
 
     /// Build with a custom binning configuration.
     pub fn with_binning(profile: &VariabilityProfile, binning: &ScoreBinning) -> Self {
+        PalPlacement::from_table(PmScoreTable::build(profile, binning))
+    }
+
+    fn from_table(table: PmScoreTable) -> Self {
+        let orders = ClassOrders::new(table.num_classes());
+        let lv_cache = vec![None; table.num_classes()];
         PalPlacement {
-            table: PmScoreTable::build(profile, binning),
+            table,
+            orders,
+            filt: Vec::new(),
+            lv_cache,
         }
     }
 
@@ -48,81 +78,124 @@ impl PalPlacement {
     pub fn table(&self) -> &PmScoreTable {
         &self.table
     }
+}
 
-    /// The `(L_within, V_i)` arm: among nodes whose filtered (score ≤ v)
-    /// free GPUs can hold the whole job, pick the allocation with the
-    /// lowest maximum PM-score (`GenerateCombos` + `GetMinV`; taking the
-    /// best `n` scores per node is exactly the min-max combo, so no
-    /// explicit combination enumeration is needed). Ties break on total
-    /// score, then node id.
-    fn packed_candidate(
-        &self,
-        class: JobClass,
-        demand: usize,
-        v_cap: f64,
-        state: &ClusterState,
-    ) -> Option<Vec<GpuId>> {
-        let mut best: Option<(f64, f64, Vec<GpuId>)> = None;
-        for node_gpus in state.free_gpus_by_node() {
-            let mut filt: Vec<GpuId> = node_gpus
-                .into_iter()
-                .filter(|&g| self.table.score(class, g) <= v_cap + EPS)
-                .collect();
-            if filt.len() < demand {
-                continue;
-            }
-            filt.sort_by(|&a, &b| {
-                self.table
-                    .score(class, a)
-                    .partial_cmp(&self.table.score(class, b))
-                    .expect("NaN PM-score")
-                    .then(a.cmp(&b))
+/// The class's L×V matrix for the request's locality multipliers, from
+/// the policy's cache — rebuilt in place (no allocation once warm) only
+/// when the multipliers change (e.g. per-model `l_across`). A free
+/// function over the individual fields so callers can keep borrowing the
+/// table/orders/scratch alongside the returned matrix.
+fn lv_matrix<'a>(
+    cache: &'a mut [Option<LvSlot>],
+    table: &PmScoreTable,
+    class: JobClass,
+    l_within: f64,
+    l_across: f64,
+) -> &'a LvMatrix {
+    let slot = &mut cache[class.0];
+    match slot {
+        Some(s) if s.l_within == l_within && s.l_across == l_across => {}
+        Some(s) => {
+            s.matrix.rebuild(table.levels(class), l_within, l_across);
+            s.l_within = l_within;
+            s.l_across = l_across;
+        }
+        None => {
+            *slot = Some(LvSlot {
+                l_within,
+                l_across,
+                matrix: LvMatrix::new(table.levels(class), l_within, l_across),
             });
-            filt.truncate(demand);
-            let max_s = filt
-                .iter()
-                .map(|&g| self.table.score(class, g))
-                .fold(0.0f64, f64::max);
-            let sum_s: f64 = filt.iter().map(|&g| self.table.score(class, g)).sum();
-            let better = match &best {
-                None => true,
-                Some((bm, bs, _)) => {
-                    max_s < bm - EPS || ((max_s - bm).abs() <= EPS && sum_s < bs - EPS)
-                }
-            };
-            if better {
-                best = Some((max_s, sum_s, filt));
-            }
         }
-        best.map(|(_, _, alloc)| alloc)
     }
+    &slot.as_ref().expect("slot just filled").matrix
+}
 
-    /// The `(L_across, V_i)` arm: PM-First over the filtered free list.
-    fn spread_candidate(
-        &self,
-        class: JobClass,
-        demand: usize,
-        v_cap: f64,
-        state: &ClusterState,
-    ) -> Option<Vec<GpuId>> {
-        let mut filt: Vec<GpuId> = state
-            .free_gpus()
-            .into_iter()
-            .filter(|&g| self.table.score(class, g) <= v_cap + EPS)
-            .collect();
+/// The `(L_within, V_i)` arm: among nodes whose filtered (score ≤ v) free
+/// GPUs can hold the whole job, leave in `out` the allocation with the
+/// lowest maximum PM-score (`GenerateCombos` + `GetMinV`; taking the best
+/// `n` scores per node is exactly the min-max combo, so no explicit
+/// combination enumeration is needed). Ties break on total score, then
+/// node id. Returns whether any node qualified; `out` is left empty
+/// otherwise.
+fn packed_candidate_into(
+    table: &PmScoreTable,
+    filt: &mut Vec<GpuId>,
+    class: JobClass,
+    demand: usize,
+    v_cap: f64,
+    view: &ClusterView,
+    out: &mut Allocation,
+) -> bool {
+    out.clear();
+    let mut best: Option<(f64, f64)> = None;
+    for node_gpus in view.per_node() {
+        filt.clear();
+        filt.extend(
+            node_gpus
+                .iter()
+                .copied()
+                .filter(|&g| table.score(class, g) <= v_cap + EPS),
+        );
         if filt.len() < demand {
-            return None;
+            continue;
         }
-        filt.sort_by(|&a, &b| {
-            self.table
+        // (score, id) is a strict total order (ids unique), so the
+        // allocation-free unstable sort is deterministic.
+        filt.sort_unstable_by(|&a, &b| {
+            table
                 .score(class, a)
-                .partial_cmp(&self.table.score(class, b))
+                .partial_cmp(&table.score(class, b))
                 .expect("NaN PM-score")
                 .then(a.cmp(&b))
         });
         filt.truncate(demand);
-        Some(filt)
+        let max_s = filt
+            .iter()
+            .map(|&g| table.score(class, g))
+            .fold(0.0f64, f64::max);
+        let sum_s: f64 = filt.iter().map(|&g| table.score(class, g)).sum();
+        let better = match &best {
+            None => true,
+            Some((bm, bs)) => max_s < bm - EPS || ((max_s - bm).abs() <= EPS && sum_s < bs - EPS),
+        };
+        if better {
+            best = Some((max_s, sum_s));
+            out.clear();
+            out.extend_from_slice(filt);
+        }
     }
+    best.is_some()
+}
+
+/// The `(L_across, V_i)` arm: PM-First over the score-capped free list.
+/// Walks the class's ascending score ordering, so the first `demand` free
+/// GPUs under the cap *are* the best-scoring ones; once a score exceeds
+/// the cap no later entry can pass it. Returns whether enough GPUs
+/// qualified; `out` is left empty otherwise.
+fn spread_candidate_into(
+    table: &PmScoreTable,
+    order: &[GpuId],
+    class: JobClass,
+    demand: usize,
+    v_cap: f64,
+    state: &ClusterState,
+    out: &mut Allocation,
+) -> bool {
+    out.clear();
+    for &g in order {
+        if table.score(class, g) > v_cap + EPS {
+            break;
+        }
+        if state.is_free(g) {
+            out.push(g);
+            if out.len() == demand {
+                return true;
+            }
+        }
+    }
+    out.clear();
+    false
 }
 
 impl PlacementPolicy for PalPlacement {
@@ -130,42 +203,64 @@ impl PlacementPolicy for PalPlacement {
         "PAL"
     }
 
-    fn placement_order(&self, requests: &[PlacementRequest], _ctx: &PlacementCtx) -> Vec<usize> {
-        class_priority_order(requests)
+    fn placement_order_into(
+        &self,
+        requests: &[PlacementRequest],
+        _ctx: &PlacementCtx,
+        out: &mut Vec<usize>,
+    ) {
+        class_priority_order_into(requests, out);
     }
 
-    fn place(
+    fn place_into(
         &mut self,
         request: &PlacementRequest,
         ctx: &PlacementCtx,
         state: &ClusterState,
-    ) -> Vec<GpuId> {
+        out: &mut Allocation,
+    ) {
         let demand = request.gpu_demand;
         let per_node = state.topology().gpus_per_node;
+        ensure_class_order(&self.table, &mut self.orders, request.class);
+        let order = self.orders.get(request.class.0);
 
         if demand > 1 && demand <= per_node {
-            let matrix = LvMatrix::new(
-                self.table.levels(request.class),
+            let matrix = lv_matrix(
+                &mut self.lv_cache,
+                &self.table,
+                request.class,
                 ctx.locality.l_within,
                 ctx.locality.l_across_for(request.model),
             );
             for entry in matrix.traverse() {
-                let candidate = match entry.locality {
-                    LocalityLevel::Within => {
-                        self.packed_candidate(request.class, demand, entry.v_value, state)
-                    }
-                    LocalityLevel::Across => {
-                        self.spread_candidate(request.class, demand, entry.v_value, state)
-                    }
+                let found = match entry.locality {
+                    LocalityLevel::Within => packed_candidate_into(
+                        &self.table,
+                        &mut self.filt,
+                        request.class,
+                        demand,
+                        entry.v_value,
+                        ctx.view,
+                        out,
+                    ),
+                    LocalityLevel::Across => spread_candidate_into(
+                        &self.table,
+                        order,
+                        request.class,
+                        demand,
+                        entry.v_value,
+                        state,
+                        out,
+                    ),
                 };
-                if let Some(alloc) = candidate {
-                    return alloc;
+                if found {
+                    return;
                 }
             }
         }
         // N_j == 1, N_j > GPUS_PER_NODE, or (defensively) an exhausted
         // traversal: PM-First selection.
-        pmfirst_gpus(&self.table, request.class, demand, state)
+        pmfirst_into(order, demand, state, out);
     }
 }
 
@@ -194,8 +289,13 @@ mod tests {
     fn ctx_with<'a>(
         profile: &'a VariabilityProfile,
         locality: &'a LocalityModel,
+        state: &'a ClusterState,
     ) -> PlacementCtx<'a> {
-        PlacementCtx { profile, locality }
+        PlacementCtx {
+            profile,
+            locality,
+            view: state.view(),
+        }
     }
 
     #[test]
@@ -208,7 +308,7 @@ mod tests {
         let mut pal = PalPlacement::new(&profile);
         let alloc = pal.place(
             &req(0, JobClass::A, 2),
-            &ctx_with(&profile, &locality),
+            &ctx_with(&profile, &locality, &state),
             &state,
         );
         assert_eq!(alloc, vec![GpuId(0), GpuId(1)]);
@@ -229,7 +329,7 @@ mod tests {
         let mut pal = PalPlacement::new(&profile);
         let alloc = pal.place(
             &req(0, JobClass::A, 3),
-            &ctx_with(&profile, &locality),
+            &ctx_with(&profile, &locality, &state),
             &state,
         );
         assert!(state.topology().spans_nodes(&alloc));
@@ -251,7 +351,7 @@ mod tests {
         let mut pal = PalPlacement::new(&profile);
         let alloc = pal.place(
             &req(0, JobClass::A, 3),
-            &ctx_with(&profile, &locality),
+            &ctx_with(&profile, &locality, &state),
             &state,
         );
         assert!(!state.topology().spans_nodes(&alloc));
@@ -266,7 +366,7 @@ mod tests {
         let mut pal = PalPlacement::new(&profile);
         let alloc = pal.place(
             &req(0, JobClass::A, 1),
-            &ctx_with(&profile, &locality),
+            &ctx_with(&profile, &locality, &state),
             &state,
         );
         assert_eq!(alloc, vec![GpuId(0)]); // globally best score
@@ -279,7 +379,7 @@ mod tests {
         let locality = LocalityModel::uniform(1.5);
         let mut pal = PalPlacement::new(&profile);
         let mut pmf = crate::pmfirst::PmFirstPlacement::new(&profile);
-        let ctx = ctx_with(&profile, &locality);
+        let ctx = ctx_with(&profile, &locality, &state);
         let a = pal.place(&req(0, JobClass::A, 6), &ctx, &state);
         let b = pmf.place(&req(0, JobClass::A, 6), &ctx, &state);
         assert_eq!(a, b);
@@ -296,7 +396,7 @@ mod tests {
         let mut pal = PalPlacement::new(&profile);
         let alloc = pal.place(
             &req(0, JobClass::C, 4),
-            &ctx_with(&profile, &locality),
+            &ctx_with(&profile, &locality, &state),
             &state,
         );
         assert!(!state.topology().spans_nodes(&alloc));
@@ -305,6 +405,7 @@ mod tests {
     #[test]
     fn placement_order_is_class_priority() {
         let profile = split_profile();
+        let state = ClusterState::new(ClusterTopology::new(2, 4));
         let locality = LocalityModel::uniform(1.5);
         let pal = PalPlacement::new(&profile);
         let reqs = vec![
@@ -313,7 +414,7 @@ mod tests {
             req(2, JobClass::B, 1),
         ];
         assert_eq!(
-            pal.placement_order(&reqs, &ctx_with(&profile, &locality)),
+            pal.placement_order(&reqs, &ctx_with(&profile, &locality, &state)),
             vec![1, 2, 0]
         );
     }
@@ -353,7 +454,7 @@ mod tests {
             state.allocate(&busy);
             let locality = LocalityModel::uniform(l_across);
             let mut pal = PalPlacement::new(&profile);
-            let ctx = ctx_with(&profile, &locality);
+            let ctx = ctx_with(&profile, &locality, &state);
             let alloc = pal.place(&req(0, JobClass::A, demand), &ctx, &state);
 
             let product_of = |gpus: &[GpuId]| {

@@ -4,31 +4,38 @@
 //! the schedulable prefix, class A jobs pick GPUs first (placement
 //! priority), and each job greedily takes the free GPUs with the best
 //! (lowest) binned PM-scores for its class.
+//!
+//! Selection is allocation-free: next to its score table the policy keeps
+//! lazily built per-class orderings of *all* GPUs by ascending binned
+//! score ([`ClassOrders`]) — static while the table is static — and each
+//! `place_into` just walks the job's class ordering, skipping busy GPUs.
 
 use crate::pm_scores::PmScoreTable;
-use pal_cluster::{ClusterState, GpuId, JobClass, VariabilityProfile};
+use pal_cluster::{ClassOrders, ClusterState, GpuId, JobClass, VariabilityProfile};
 use pal_kmeans::ScoreBinning;
-use pal_sim::{PlacementCtx, PlacementPolicy, PlacementRequest};
+use pal_sim::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest};
 
 /// PM-First placement.
 #[derive(Debug, Clone)]
 pub struct PmFirstPlacement {
     table: PmScoreTable,
+    orders: ClassOrders,
 }
 
 impl PmFirstPlacement {
     /// Build from a variability profile using the paper's default binning.
     pub fn new(profile: &VariabilityProfile) -> Self {
-        PmFirstPlacement {
-            table: PmScoreTable::build_default(profile),
-        }
+        PmFirstPlacement::from_table(PmScoreTable::build_default(profile))
     }
 
     /// Build with a custom binning configuration (K-sweep ablations).
     pub fn with_binning(profile: &VariabilityProfile, binning: &ScoreBinning) -> Self {
-        PmFirstPlacement {
-            table: PmScoreTable::build(profile, binning),
-        }
+        PmFirstPlacement::from_table(PmScoreTable::build(profile, binning))
+    }
+
+    fn from_table(table: PmScoreTable) -> Self {
+        let orders = ClassOrders::new(table.num_classes());
+        PmFirstPlacement { table, orders }
     }
 
     /// The precomputed PM-score table.
@@ -37,34 +44,42 @@ impl PmFirstPlacement {
     }
 }
 
-/// Stable class-priority reorder of the schedulable prefix: class A first,
-/// preserving scheduling order within a class (Figure 4's "sort by class,
-/// up to cluster size").
-pub(crate) fn class_priority_order(requests: &[PlacementRequest]) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..requests.len()).collect();
-    idx.sort_by_key(|&i| (requests[i].class, i));
-    idx
+/// Stable class-priority reorder of the schedulable prefix, written into
+/// `out`: class A first, preserving scheduling order within a class
+/// (Figure 4's "sort by class, up to cluster size").
+pub(crate) fn class_priority_order_into(requests: &[PlacementRequest], out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(0..requests.len());
+    // The index tie-breaker makes the key a strict total order, so the
+    // allocation-free unstable sort reproduces the stable partition.
+    out.sort_unstable_by_key(|&i| (requests[i].class, i));
 }
 
-/// Greedy best-scores-first selection (`GET_PMFIRST_GPUS`): sort the free
-/// list by the class's binned PM-score (best first) and take the first
-/// `demand`. Ties break on GPU id for determinism.
-pub(crate) fn pmfirst_gpus(
-    table: &PmScoreTable,
-    class: JobClass,
+/// Build (if stale) the class's all-GPU ordering by ascending binned
+/// PM-score, ties by GPU id — the walk order of `GET_PMFIRST_GPUS`.
+pub(crate) fn ensure_class_order(table: &PmScoreTable, orders: &mut ClassOrders, class: JobClass) {
+    orders.ensure(class.0, table.num_gpus(), |g| table.score(class, g));
+}
+
+/// Greedy best-scores-first selection (`GET_PMFIRST_GPUS`): walk the
+/// class's score ordering and take the first `demand` free GPUs.
+/// Equivalent to sorting the free list by (binned score, GPU id) and
+/// truncating — without the per-call sort or allocation.
+pub(crate) fn pmfirst_into(
+    order: &[GpuId],
     demand: usize,
     state: &ClusterState,
-) -> Vec<GpuId> {
-    let mut free = state.free_gpus();
-    free.sort_by(|&a, &b| {
-        table
-            .score(class, a)
-            .partial_cmp(&table.score(class, b))
-            .expect("NaN PM-score")
-            .then(a.cmp(&b))
-    });
-    free.truncate(demand);
-    free
+    out: &mut Allocation,
+) {
+    out.clear();
+    for &g in order {
+        if state.is_free(g) {
+            out.push(g);
+            if out.len() == demand {
+                return;
+            }
+        }
+    }
 }
 
 impl PlacementPolicy for PmFirstPlacement {
@@ -72,17 +87,29 @@ impl PlacementPolicy for PmFirstPlacement {
         "PM-First"
     }
 
-    fn placement_order(&self, requests: &[PlacementRequest], _ctx: &PlacementCtx) -> Vec<usize> {
-        class_priority_order(requests)
+    fn placement_order_into(
+        &self,
+        requests: &[PlacementRequest],
+        _ctx: &PlacementCtx,
+        out: &mut Vec<usize>,
+    ) {
+        class_priority_order_into(requests, out);
     }
 
-    fn place(
+    fn place_into(
         &mut self,
         request: &PlacementRequest,
         _ctx: &PlacementCtx,
         state: &ClusterState,
-    ) -> Vec<GpuId> {
-        pmfirst_gpus(&self.table, request.class, request.gpu_demand, state)
+        out: &mut Allocation,
+    ) {
+        ensure_class_order(&self.table, &mut self.orders, request.class);
+        pmfirst_into(
+            self.orders.get(request.class.0),
+            request.gpu_demand,
+            state,
+            out,
+        );
     }
 }
 
@@ -119,6 +146,7 @@ mod tests {
         let ctx = PlacementCtx {
             profile: &profile,
             locality: &locality,
+            view: state.view(),
         };
         let alloc = p.place(&req(0, JobClass::A, 2), &ctx, &state);
         // The two best class-A GPUs are 4 and 5 (score 0.9).
@@ -137,6 +165,7 @@ mod tests {
         let ctx = PlacementCtx {
             profile: &profile,
             locality: &locality,
+            view: state.view(),
         };
         let alloc = p.place(&req(0, JobClass::A, 3), &ctx, &state);
         assert!(state.topology().spans_nodes(&alloc));
@@ -152,6 +181,7 @@ mod tests {
         let ctx = PlacementCtx {
             profile: &profile,
             locality: &locality,
+            view: state.view(),
         };
         let alloc = p.place(&req(0, JobClass::A, 2), &ctx, &state);
         // Next best after 4,5: 6 and 7 (score 1.0).
@@ -160,11 +190,12 @@ mod tests {
 
     #[test]
     fn placement_order_sorts_by_class_stably() {
-        let (profile, _, locality) = fixture();
+        let (profile, state, locality) = fixture();
         let p = PmFirstPlacement::new(&profile);
         let ctx = PlacementCtx {
             profile: &profile,
             locality: &locality,
+            view: state.view(),
         };
         let reqs = vec![
             req(0, JobClass::B, 1),
@@ -184,6 +215,7 @@ mod tests {
         let ctx = PlacementCtx {
             profile: &profile,
             locality: &locality,
+            view: state.view(),
         };
         let alloc = p.place(&req(0, JobClass::C, 3), &ctx, &state);
         assert_eq!(alloc, vec![GpuId(0), GpuId(1), GpuId(2)]);
@@ -196,6 +228,7 @@ mod tests {
         let ctx = PlacementCtx {
             profile: &profile,
             locality: &locality,
+            view: state.view(),
         };
         let alloc = p.place(&req(0, JobClass::A, 8), &ctx, &state);
         assert_eq!(alloc.len(), 8);

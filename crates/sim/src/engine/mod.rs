@@ -12,15 +12,14 @@
 //!   `EngineState` by one epoch.
 //! - `telemetry`: the `Telemetry` accumulators (GPUs-in-use series,
 //!   busy GPU-seconds, per-round policy compute time) and the final
-//!   [`SimResult`] assembly.
+//!   [`SimResult`](crate::SimResult) assembly.
 //! - `stepper`: [`Simulation`], the public pause-inspect-resume driver
 //!   returned by [`Scenario::start`](crate::Scenario::start).
 //!
 //! [`crate::Scenario::run`] and [`crate::Campaign`] are thin drivers over
-//! the stepper; the former positional
-//! [`Simulator::run*`](Simulator::run_full) entry points remain as
-//! deprecated shims that panic on configuration errors exactly like the
-//! seed engine did.
+//! the stepper. (The former positional `Simulator::run*` entry points,
+//! deprecated in 0.2, have been removed — build a [`crate::Scenario`]
+//! instead.)
 
 mod round;
 mod state;
@@ -30,18 +29,11 @@ mod telemetry;
 pub use round::StepOutcome;
 pub use stepper::{SimSnapshot, Simulation};
 
-pub(crate) use round::{step_round, RoundCtx};
-pub(crate) use state::EngineState;
 pub(crate) use stepper::SimulationParts;
-pub(crate) use telemetry::{build_result, Telemetry};
 
-use crate::admission::{AdmissionPolicy, AdmitAll};
 use crate::config::SimConfig;
 use crate::error::{ProfileRole, SimError};
-use crate::metrics::SimResult;
-use crate::placement::PlacementPolicy;
-use crate::sched::SchedulingPolicy;
-use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
+use pal_cluster::{ClusterTopology, VariabilityProfile};
 use pal_trace::Trace;
 
 /// Completion tolerance: a job whose computed finish lands within this many
@@ -49,26 +41,12 @@ use pal_trace::Trace;
 /// (floating-point slack).
 pub(crate) const EPS: f64 = 1e-9;
 
-/// Borrowed inputs of one simulation run (built by the [`Simulator`]
-/// shims; [`crate::Scenario`] drives the owned [`Simulation`] instead).
-pub(crate) struct EngineInputs<'a> {
-    pub trace: &'a Trace,
-    pub topology: ClusterTopology,
-    pub profile: &'a VariabilityProfile,
-    pub truth: &'a VariabilityProfile,
-    pub locality: &'a LocalityModel,
-    pub scheduler: &'a dyn SchedulingPolicy,
-    pub placement: &'a mut dyn PlacementPolicy,
-    pub admission: &'a dyn AdmissionPolicy,
-    pub config: &'a SimConfig,
-}
-
 /// The static configuration checks shared by [`crate::Scenario::validate`]
-/// (where profile/truth may still be unset) and [`simulate`] (where both
-/// are resolved). `None` profiles are exempt from the GPU-count check —
-/// the flat default always matches — and a `(None, None)` pair places no
-/// bound on job classes, since the default profile sizes itself to the
-/// trace.
+/// (where profile/truth may still be unset) and
+/// [`crate::Scenario::start`] (where both are resolved). `None` profiles
+/// are exempt from the GPU-count check — the flat default always matches
+/// — and a `(None, None)` pair places no bound on job classes, since the
+/// default profile sizes itself to the trace.
 pub(crate) fn validate_inputs(
     trace: &Trace,
     topology: &ClusterTopology,
@@ -115,173 +93,14 @@ pub(crate) fn validate_inputs(
     Ok(())
 }
 
-/// Validate inputs, then run one simulation to completion over borrowed
-/// policies (the deprecated [`Simulator`] shims' entry point).
-///
-/// The ground-truth execution model applies Equation 1: a running job's
-/// progress rate is `1 / (L × max_g V_g)` of nominal, where `V` comes from
-/// `truth` — normally the same profile the placement policy sees, but the
-/// testbed experiment (Section V-A) passes a perturbed copy to model stale
-/// profiling data.
-pub(crate) fn simulate(inputs: EngineInputs<'_>) -> Result<SimResult, SimError> {
-    let EngineInputs {
-        trace,
-        topology,
-        profile,
-        truth,
-        locality,
-        scheduler,
-        placement,
-        admission,
-        config,
-    } = inputs;
-
-    validate_inputs(trace, &topology, Some(profile), Some(truth), config)?;
-    let ctx = RoundCtx {
-        profile,
-        truth,
-        locality,
-        config,
-        total_gpus: topology.total_gpus(),
-    };
-    let mut state = EngineState::new(trace, topology);
-    let mut tel = Telemetry::new();
-    while let StepOutcome::Running =
-        step_round(&mut state, &mut tel, &ctx, scheduler, placement, admission)?
-    {}
-    Ok(build_result(
-        &state,
-        &tel,
-        &trace.name,
-        trace.total_ideal_gpu_service(),
-        scheduler.name(),
-        placement.name(),
-        config.sticky,
-    ))
-}
-
-/// The legacy positional-argument front end to the simulator.
-///
-/// Superseded by [`crate::Scenario`] (builder, typed errors) and
-/// [`crate::Campaign`] (sweeps); the `run*` methods below survive as thin
-/// deprecated shims for one release and panic on configuration errors
-/// exactly like the seed engine did.
-#[derive(Debug, Clone)]
-pub struct Simulator {
-    config: SimConfig,
-}
-
-impl Simulator {
-    /// Simulator with the given configuration.
-    pub fn new(config: SimConfig) -> Self {
-        Simulator { config }
-    }
-
-    /// Convenience: simulator with default (non-sticky, 300 s) config.
-    pub fn default_sim() -> Self {
-        Simulator::new(SimConfig::default())
-    }
-
-    /// Run with the policy-visible profile as ground truth (the common
-    /// simulation path).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Scenario::new(trace, topology).profile(..).run() instead"
-    )]
-    pub fn run(
-        &self,
-        trace: &Trace,
-        topology: ClusterTopology,
-        profile: &VariabilityProfile,
-        locality: &LocalityModel,
-        scheduler: &dyn SchedulingPolicy,
-        placement: &mut dyn PlacementPolicy,
-    ) -> SimResult {
-        self.shim_run(
-            trace, topology, profile, profile, locality, scheduler, placement, &AdmitAll,
-        )
-    }
-
-    /// Run with a distinct ground-truth profile (Section V-A's stale-profile
-    /// experiments).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Scenario::new(trace, topology).profile(..).truth(..).run() instead"
-    )]
-    pub fn run_with_truth(
-        &self,
-        trace: &Trace,
-        topology: ClusterTopology,
-        profile: &VariabilityProfile,
-        truth: &VariabilityProfile,
-        locality: &LocalityModel,
-        scheduler: &dyn SchedulingPolicy,
-        placement: &mut dyn PlacementPolicy,
-    ) -> SimResult {
-        self.shim_run(
-            trace, topology, profile, truth, locality, scheduler, placement, &AdmitAll,
-        )
-    }
-
-    /// Run with every knob exposed: a distinct ground-truth profile *and*
-    /// an admission-control policy.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Scenario::new(trace, topology).profile(..).truth(..).admission(..).run() instead"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_full(
-        &self,
-        trace: &Trace,
-        topology: ClusterTopology,
-        profile: &VariabilityProfile,
-        truth: &VariabilityProfile,
-        locality: &LocalityModel,
-        scheduler: &dyn SchedulingPolicy,
-        placement: &mut dyn PlacementPolicy,
-        admission: &dyn AdmissionPolicy,
-    ) -> SimResult {
-        self.shim_run(
-            trace, topology, profile, truth, locality, scheduler, placement, admission,
-        )
-    }
-
-    /// Shared shim body: run the engine, panic on configuration errors
-    /// (the seed's assert-based contract).
-    #[allow(clippy::too_many_arguments)]
-    fn shim_run(
-        &self,
-        trace: &Trace,
-        topology: ClusterTopology,
-        profile: &VariabilityProfile,
-        truth: &VariabilityProfile,
-        locality: &LocalityModel,
-        scheduler: &dyn SchedulingPolicy,
-        placement: &mut dyn PlacementPolicy,
-        admission: &dyn AdmissionPolicy,
-    ) -> SimResult {
-        simulate(EngineInputs {
-            trace,
-            topology,
-            profile,
-            truth,
-            locality,
-            scheduler,
-            placement,
-            admission,
-            config: &self.config,
-        })
-        .unwrap_or_else(|e| panic!("{e}"))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::SimResult;
     use crate::placement::{PackedPlacement, RandomPlacement};
     use crate::scenario::Scenario;
     use crate::sched::{Fifo, Las, Srtf};
-    use pal_cluster::{GpuId, JobClass};
+    use pal_cluster::{GpuId, JobClass, LocalityModel};
     use pal_gpumodel::Workload;
     use pal_trace::{JobId, JobSpec};
 
@@ -522,21 +341,6 @@ mod tests {
                 demand: 64,
                 total_gpus: 4
             }
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "demands")]
-    fn deprecated_shim_preserves_oversized_panic() {
-        let topo = ClusterTopology::new(1, 4);
-        Simulator::default_sim().run(
-            &Trace::new("t", vec![spec(0, 0.0, 64, 100.0)]),
-            topo,
-            &flat_profile(4),
-            &LocalityModel::uniform(1.5),
-            &Fifo,
-            &mut PackedPlacement::deterministic(),
         );
     }
 

@@ -155,14 +155,16 @@ pub(crate) fn step_round(
     }
 
     // 4a. Preempt running jobs that fell out of the prefix (O(active) via
-    // the membership flags). The GPU vector is moved out of the phase,
-    // not cloned.
+    // the membership flags). The GPU vector is moved out of the phase —
+    // not cloned — and recycled into the allocation pool.
     for qi in 0..st.active_queue.len() {
         let ji = st.active_queue[qi];
         if st.jobs[ji].is_running() && !st.scratch.in_prefix[ji] {
             let phase = std::mem::replace(&mut st.jobs[ji].phase, JobPhase::Waiting);
-            if let JobPhase::Running { gpus } = phase {
+            if let JobPhase::Running { mut gpus } = phase {
                 st.cluster.release(&gpus);
+                gpus.clear();
+                st.scratch.gpu_pool.push(gpus);
             }
             st.jobs[ji].preemptions += 1;
         }
@@ -200,19 +202,29 @@ pub(crate) fn step_round(
         }
     }
 
-    // 4d. Place. Only the policy's own work — `placement_order` and each
-    // `place` call — is inside the timed window (Figure 18 reports this);
-    // the engine-side validity checks and bookkeeping are excluded.
-    let pctx = PlacementCtx {
-        profile: ctx.profile,
-        locality: ctx.locality,
-    };
+    // 4d. Place. Only the policy's own work — `placement_order_into` and
+    // each `place_into` call — is inside the timed window (Figure 18
+    // reports this); the engine-side validity checks and bookkeeping are
+    // excluded. The `PlacementCtx` is re-assembled per decision because
+    // the borrowed `ClusterView` must reflect the allocations of earlier
+    // placements in the same round — it is three pointers, so this costs
+    // nothing.
     let mut policy_time = Duration::ZERO;
     let clock = Instant::now();
-    let place_order = placement.placement_order(&st.scratch.requests, &pctx);
+    placement.placement_order_into(
+        &st.scratch.requests,
+        &PlacementCtx {
+            profile: ctx.profile,
+            locality: ctx.locality,
+            view: st.cluster.view(),
+        },
+        &mut st.scratch.place_order,
+    );
     policy_time += clock.elapsed();
     st.scratch.perm_check.clear();
-    st.scratch.perm_check.extend_from_slice(&place_order);
+    st.scratch
+        .perm_check
+        .extend_from_slice(&st.scratch.place_order);
     st.scratch.perm_check.sort_unstable();
     assert!(
         st.scratch
@@ -223,10 +235,17 @@ pub(crate) fn step_round(
         "{} returned an invalid placement order",
         placement.name()
     );
-    for &ri in &place_order {
+    for oi in 0..st.scratch.place_order.len() {
+        let ri = st.scratch.place_order[oi];
+        let mut alloc = st.scratch.gpu_pool.pop().unwrap_or_default();
         let req = &st.scratch.requests[ri];
+        let pctx = PlacementCtx {
+            profile: ctx.profile,
+            locality: ctx.locality,
+            view: st.cluster.view(),
+        };
         let clock = Instant::now();
-        let alloc = placement.place(req, &pctx, &st.cluster);
+        placement.place_into(req, &pctx, &st.cluster, &mut alloc);
         policy_time += clock.elapsed();
         validate_allocation(placement.name(), req, &st.cluster, &alloc);
         st.cluster.allocate(&alloc);
@@ -252,6 +271,15 @@ pub(crate) fn step_round(
             }
         }
         st.jobs[ji].phase = JobPhase::Running { gpus: alloc };
+    }
+    // The old allocations kept for migration detection are spent; recycle
+    // their vectors into the pool for future placements.
+    {
+        let scratch = &mut st.scratch;
+        for (_, mut gpus) in scratch.old_allocs.drain(..) {
+            gpus.clear();
+            scratch.gpu_pool.push(gpus);
+        }
     }
     tel.placement_compute_times.push(policy_time.as_secs_f64());
 
@@ -313,8 +341,10 @@ pub(crate) fn step_round(
             job.attained_service += demand as f64 * run;
             job.remaining_work = 0.0;
             let phase = std::mem::replace(&mut job.phase, JobPhase::Finished { at: finish_t });
-            if let JobPhase::Running { gpus } = phase {
+            if let JobPhase::Running { mut gpus } = phase {
                 st.cluster.release(&gpus);
+                gpus.clear();
+                st.scratch.gpu_pool.push(gpus);
             }
             st.finished += 1;
             finished_this_round += 1;

@@ -60,6 +60,14 @@ pub(crate) struct RoundScratch {
     pub(crate) needs: Vec<usize>,
     /// Placement requests, parallel to `needs`.
     pub(crate) requests: Vec<PlacementRequest>,
+    /// Allocation order over `requests` (the policy's placement
+    /// priority), reused across rounds.
+    pub(crate) place_order: Vec<usize>,
+    /// Recycled GPU-allocation vectors: emptied when jobs release GPUs
+    /// (preemption, completion, non-sticky re-placement) and handed back
+    /// to `PlacementPolicy::place_into`, so the round loop moves GPU ids
+    /// without collecting a fresh `Vec` per placement.
+    pub(crate) gpu_pool: Vec<Vec<GpuId>>,
     /// Allocations released for non-sticky re-placement (the GPU vectors
     /// are *moved* out of the job phase, not cloned).
     pub(crate) old_allocs: Vec<(usize, Vec<GpuId>)>,

@@ -2,9 +2,7 @@
 //!
 //! The seed engine `assert!`ed on misconfiguration; the [`crate::Scenario`]
 //! API returns these instead so callers (sweep runners, services, tests)
-//! can handle bad configurations without catching panics. The deprecated
-//! `Simulator::run*` shims preserve the old behavior by panicking with the
-//! error's `Display` message.
+//! can handle bad configurations without catching panics.
 
 use pal_cluster::JobClass;
 use pal_trace::JobId;

@@ -37,8 +37,12 @@
 //!   `run_to_completion()`.
 //! - [`Campaign`]: a sweep of M scenarios × N [`PolicySpec`]s run in
 //!   parallel with deterministic per-cell seeds and tagged results.
-//! - [`Simulator`]: the legacy positional API, kept as deprecated shims
-//!   for one release.
+//!
+//! Placement policies implement [`PlacementPolicy`] against the
+//! incrementally maintained `ClusterView` (`pal_cluster::ClusterView`,
+//! borrowed via [`PlacementCtx::view`]): the engine hands each decision
+//! reusable buffers (`placement_order_into`, `place_into`), so policies —
+//! like the round loop driving them — allocate nothing at steady state.
 
 #![warn(missing_docs)]
 
@@ -56,9 +60,11 @@ pub mod sched;
 pub use admission::{AdmissionCtx, AdmissionPolicy, AdmitAll};
 pub use campaign::{Campaign, CampaignResult, PolicySpec};
 pub use config::SimConfig;
-pub use engine::{SimSnapshot, Simulation, Simulator, StepOutcome};
+pub use engine::{SimSnapshot, Simulation, StepOutcome};
 pub use error::{ProfileRole, SimError};
 pub use metrics::{JobRecord, SimResult};
-pub use placement::{PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation};
+pub use placement::{
+    Allocation, PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation,
+};
 pub use scenario::Scenario;
 pub use sched::{SchedKey, SchedulingPolicy};

@@ -12,17 +12,28 @@ mod random;
 pub use packed::PackedPlacement;
 pub use random::RandomPlacement;
 
-use pal_cluster::{ClusterState, GpuId, JobClass, LocalityModel, VariabilityProfile};
+use pal_cluster::{ClusterState, ClusterView, GpuId, JobClass, LocalityModel, VariabilityProfile};
 use pal_trace::JobId;
 
-/// Everything a placement policy may consult: the variability profile and
-/// the locality model (baselines ignore both — that is exactly the paper's
-/// point).
+/// The GPUs chosen for one request. Policies *fill* a caller-owned buffer
+/// ([`PlacementPolicy::place_into`]) so the engine can recycle allocation
+/// vectors round over round instead of collecting a fresh `Vec` per
+/// placement.
+pub type Allocation = Vec<GpuId>;
+
+/// Everything a placement policy may consult: the variability profile, the
+/// locality model (baselines ignore both — that is exactly the paper's
+/// point), and the simulation-owned [`ClusterView`] — per-node free-GPU
+/// lists maintained incrementally by the cluster state, so policies read
+/// free lists without rebuilding them per decision.
 pub struct PlacementCtx<'a> {
     /// Per-class per-GPU PM penalties.
     pub profile: &'a VariabilityProfile,
     /// Locality penalty model.
     pub locality: &'a LocalityModel,
+    /// Incrementally maintained per-node free-GPU lists (always current:
+    /// the engine re-borrows the view for every placement decision).
+    pub view: &'a ClusterView,
 }
 
 /// One job awaiting GPUs this round.
@@ -61,6 +72,21 @@ pub struct RoundObservation<'a> {
 }
 
 /// A GPU placement policy.
+///
+/// The engine calls [`placement_order_into`] and [`place_into`] — and only
+/// them — with reusable buffers, so a policy that fills the buffers from
+/// the borrowed [`PlacementCtx::view`] performs no allocation per
+/// decision (the property `benches/placement_hot_path.rs` pins).
+/// [`placement_order`] and [`place`] are allocating convenience wrappers
+/// for tests and one-off callers, mirroring
+/// [`SchedulingPolicy::order`](crate::sched::SchedulingPolicy::order) —
+/// the engine never calls them, so overriding them has no effect on
+/// simulation.
+///
+/// [`placement_order_into`]: PlacementPolicy::placement_order_into
+/// [`place_into`]: PlacementPolicy::place_into
+/// [`placement_order`]: PlacementPolicy::placement_order
+/// [`place`]: PlacementPolicy::place
 pub trait PlacementPolicy {
     /// Policy name for reports (e.g. `Tiresias`, `PAL`).
     fn name(&self) -> &str;
@@ -69,25 +95,53 @@ pub trait PlacementPolicy {
     /// it; adaptive policies fold it into their PM-score estimates.
     fn observe(&mut self, _obs: &RoundObservation) {}
 
-    /// Reorder the schedulable prefix for allocation purposes, returning
-    /// indices into `requests`. The default keeps scheduling order; PAL and
-    /// PM-First sort by class (placement priority) *within* the prefix,
-    /// which is legal because every prefix job is guaranteed to be
-    /// scheduled this round (Figure 4).
-    fn placement_order(&self, requests: &[PlacementRequest], _ctx: &PlacementCtx) -> Vec<usize> {
-        (0..requests.len()).collect()
+    /// Write the allocation order of the schedulable prefix — indices into
+    /// `requests` — into `out` (cleared first). The default keeps
+    /// scheduling order; PAL and PM-First sort by class (placement
+    /// priority) *within* the prefix, which is legal because every prefix
+    /// job is guaranteed to be scheduled this round (Figure 4).
+    fn placement_order_into(
+        &self,
+        requests: &[PlacementRequest],
+        _ctx: &PlacementCtx,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.extend(0..requests.len());
     }
 
-    /// Choose exactly `request.gpu_demand` GPUs from the free pool of
-    /// `state`. The simulator guarantees `state.free_count() >=
-    /// request.gpu_demand`; returning any other number of GPUs, or busy
-    /// GPUs, is a policy bug and panics in the engine.
+    /// Choose exactly `request.gpu_demand` free GPUs and push them into
+    /// `out` (handed over cleared by the engine, with its previous
+    /// capacity intact). The simulator guarantees `state.free_count() >=
+    /// request.gpu_demand`; leaving any other number of GPUs in `out`, or
+    /// busy GPUs, is a policy bug and panics in the engine.
+    fn place_into(
+        &mut self,
+        request: &PlacementRequest,
+        ctx: &PlacementCtx,
+        state: &ClusterState,
+        out: &mut Allocation,
+    );
+
+    /// Allocating convenience wrapper over
+    /// [`placement_order_into`](Self::placement_order_into).
+    fn placement_order(&self, requests: &[PlacementRequest], ctx: &PlacementCtx) -> Vec<usize> {
+        let mut out = Vec::with_capacity(requests.len());
+        self.placement_order_into(requests, ctx, &mut out);
+        out
+    }
+
+    /// Allocating convenience wrapper over [`place_into`](Self::place_into).
     fn place(
         &mut self,
         request: &PlacementRequest,
         ctx: &PlacementCtx,
         state: &ClusterState,
-    ) -> Vec<GpuId>;
+    ) -> Allocation {
+        let mut out = Vec::with_capacity(request.gpu_demand);
+        self.place_into(request, ctx, state, &mut out);
+        out
+    }
 }
 
 /// Validate a policy's answer: right count, all free, no duplicates.

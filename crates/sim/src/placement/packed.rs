@@ -3,7 +3,7 @@
 //! sticky mode this is the paper's *Tiresias* baseline; non-sticky it is
 //! *Gandiva*.
 
-use super::{PlacementCtx, PlacementPolicy, PlacementRequest};
+use super::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest};
 use pal_cluster::{ClusterState, GpuId, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -28,12 +28,27 @@ use rand::SeedableRng;
 #[derive(Debug, Clone)]
 pub struct PackedPlacement {
     rng: Option<StdRng>,
+    /// Scratch: candidate node indices of one decision (best-fit ties or
+    /// the spanning fill order before ranking).
+    nodes: Vec<usize>,
+    /// Scratch: `(tie-break position, node)` pairs of the spanning path —
+    /// the explicit position key lets an allocation-free unstable sort
+    /// reproduce the stable fullest-first ranking.
+    span: Vec<(usize, usize)>,
+    /// Scratch: one node's free list, copied out of the view for
+    /// shuffling in randomized mode.
+    gpus: Vec<GpuId>,
 }
 
 impl PackedPlacement {
     /// Packing with GPU-id tie-breaking (stable, test-friendly).
     pub fn deterministic() -> Self {
-        PackedPlacement { rng: None }
+        PackedPlacement {
+            rng: None,
+            nodes: Vec::new(),
+            span: Vec::new(),
+            gpus: Vec::new(),
+        }
     }
 
     /// Packing with uniform-random tie-breaking among equally packed
@@ -41,17 +56,26 @@ impl PackedPlacement {
     pub fn randomized(seed: u64) -> Self {
         PackedPlacement {
             rng: Some(StdRng::seed_from_u64(seed)),
+            nodes: Vec::new(),
+            span: Vec::new(),
+            gpus: Vec::new(),
         }
     }
 
-    /// Pick `demand` GPUs from a node's free list, honoring the tie-break
-    /// mode.
-    fn take(&mut self, mut gpus: Vec<GpuId>, demand: usize) -> Vec<GpuId> {
-        if let Some(rng) = &mut self.rng {
-            gpus.shuffle(rng);
+    /// Append `demand` GPUs from a node's free list to `out`, honoring the
+    /// tie-break mode. In randomized mode the *whole* free list is
+    /// shuffled before truncation (via the `gpus` scratch buffer),
+    /// preserving the seed policy's exact RNG call sequence.
+    fn take(&mut self, free: &[GpuId], demand: usize, out: &mut Allocation) {
+        match &mut self.rng {
+            Some(rng) => {
+                self.gpus.clear();
+                self.gpus.extend_from_slice(free);
+                self.gpus.shuffle(rng);
+                out.extend_from_slice(&self.gpus[..demand]);
+            }
+            None => out.extend_from_slice(&free[..demand]),
         }
-        gpus.truncate(demand);
-        gpus
     }
 }
 
@@ -60,16 +84,18 @@ impl PlacementPolicy for PackedPlacement {
         "Packed"
     }
 
-    fn place(
+    fn place_into(
         &mut self,
         request: &PlacementRequest,
-        _ctx: &PlacementCtx,
+        ctx: &PlacementCtx,
         state: &ClusterState,
-    ) -> Vec<GpuId> {
+        out: &mut Allocation,
+    ) {
         // Every packing decision below needs only the per-node free
         // *counts* (maintained incrementally by the cluster state); the
-        // concrete free list of a node is materialized only for nodes the
-        // allocation actually touches.
+        // concrete free list of a node is borrowed from the view only for
+        // nodes the allocation actually touches.
+        out.clear();
         let demand = request.gpu_demand;
         let counts = state.free_count_by_node();
 
@@ -78,39 +104,46 @@ impl PlacementPolicy for PackedPlacement {
             // equal free counts resolved per the tie-break mode.
             let best_size = counts.iter().copied().filter(|&c| c >= demand).min();
             if let Some(size) = best_size {
-                let mut candidates: Vec<usize> =
-                    (0..counts.len()).filter(|&n| counts[n] == size).collect();
+                self.nodes.clear();
+                self.nodes
+                    .extend((0..counts.len()).filter(|&n| counts[n] == size));
                 let node = match &mut self.rng {
-                    Some(rng) => *candidates.choose(rng).expect("non-empty candidates"),
-                    None => candidates.remove(0),
+                    Some(rng) => *self.nodes.choose(rng).expect("non-empty candidates"),
+                    None => self.nodes[0],
                 };
-                return self.take(state.node_free_gpus(NodeId(node as u32)), demand);
+                self.take(ctx.view.node_free(NodeId(node as u32)), demand, out);
+                return;
             }
         }
         // Spanning allocation: fill from the nodes with the most free GPUs
-        // first, touching as few nodes as possible. Equal-sized nodes are
-        // tie-broken per mode (the sort is stable, preserving the shuffled
-        // order among ties).
-        let mut nodes: Vec<usize> = (0..counts.len()).filter(|&n| counts[n] > 0).collect();
+        // first, touching as few nodes as possible. Equal-sized nodes keep
+        // their (possibly shuffled) relative order: the explicit position
+        // in the sort key makes the order strict and total, so the
+        // allocation-free unstable sort reproduces the stable ranking.
+        self.nodes.clear();
+        self.nodes
+            .extend((0..counts.len()).filter(|&n| counts[n] > 0));
         if let Some(rng) = &mut self.rng {
-            nodes.shuffle(rng);
+            self.nodes.shuffle(rng);
         }
-        nodes.sort_by_key(|&n| std::cmp::Reverse(counts[n]));
-        let mut alloc = Vec::with_capacity(demand);
-        for &n in &nodes {
-            let take = (demand - alloc.len()).min(counts[n]);
+        self.span.clear();
+        self.span.extend(self.nodes.iter().copied().enumerate());
+        self.span
+            .sort_unstable_by_key(|&(pos, n)| (std::cmp::Reverse(counts[n]), pos));
+        for i in 0..self.span.len() {
+            let n = self.span[i].1;
+            let take = (demand - out.len()).min(counts[n]);
             if take == 0 {
                 break;
             }
-            alloc.extend(self.take(state.node_free_gpus(NodeId(n as u32)), take));
+            self.take(ctx.view.node_free(NodeId(n as u32)), take, out);
         }
         assert_eq!(
-            alloc.len(),
+            out.len(),
             demand,
             "Packed placement given insufficient free GPUs for {}",
             request.job
         );
-        alloc
     }
 }
 
@@ -123,8 +156,13 @@ mod tests {
     fn ctx<'a>(
         profile: &'a pal_cluster::VariabilityProfile,
         locality: &'a LocalityModel,
+        state: &'a ClusterState,
     ) -> PlacementCtx<'a> {
-        PlacementCtx { profile, locality }
+        PlacementCtx {
+            profile,
+            locality,
+            view: state.view(),
+        }
     }
 
     #[test]
@@ -132,7 +170,7 @@ mod tests {
         let s = state(4);
         let p = flat_profile(16);
         let l = LocalityModel::uniform(1.5);
-        let alloc = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l), &s);
+        let alloc = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l, &s), &s);
         assert_eq!(alloc.len(), 3);
         assert!(!s.topology().spans_nodes(&alloc));
     }
@@ -144,7 +182,7 @@ mod tests {
         s.allocate(&[GpuId(0), GpuId(1)]);
         let p = flat_profile(8);
         let l = LocalityModel::uniform(1.5);
-        let alloc = PackedPlacement::deterministic().place(&request(0, 2), &ctx(&p, &l), &s);
+        let alloc = PackedPlacement::deterministic().place(&request(0, 2), &ctx(&p, &l, &s), &s);
         // Should take node 0's remaining pair, leaving node 1 whole.
         assert_eq!(alloc, vec![GpuId(2), GpuId(3)]);
     }
@@ -154,7 +192,7 @@ mod tests {
         let s = state(4); // 16 GPUs
         let p = flat_profile(16);
         let l = LocalityModel::uniform(1.5);
-        let alloc = PackedPlacement::deterministic().place(&request(0, 8), &ctx(&p, &l), &s);
+        let alloc = PackedPlacement::deterministic().place(&request(0, 8), &ctx(&p, &l, &s), &s);
         assert_eq!(alloc.len(), 8);
         assert_eq!(s.topology().nodes_spanned(&alloc), 2);
     }
@@ -166,7 +204,7 @@ mod tests {
         s.allocate(&[GpuId(0), GpuId(1), GpuId(2), GpuId(4), GpuId(5)]);
         let p = flat_profile(8);
         let l = LocalityModel::uniform(1.5);
-        let alloc = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l), &s);
+        let alloc = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l, &s), &s);
         assert_eq!(alloc.len(), 3);
         assert!(s.topology().spans_nodes(&alloc));
     }
@@ -178,7 +216,7 @@ mod tests {
         let l = LocalityModel::uniform(1.5);
         let mut pol = PackedPlacement::randomized(17);
         for _ in 0..16 {
-            let alloc = pol.place(&request(0, 4), &ctx(&p, &l), &s);
+            let alloc = pol.place(&request(0, 4), &ctx(&p, &l, &s), &s);
             assert_eq!(alloc.len(), 4);
             assert!(
                 !s.topology().spans_nodes(&alloc),
@@ -195,7 +233,7 @@ mod tests {
         let mut pol = PackedPlacement::randomized(17);
         let draws: std::collections::HashSet<Vec<GpuId>> = (0..24)
             .map(|_| {
-                let mut a = pol.place(&request(0, 2), &ctx(&p, &l), &s);
+                let mut a = pol.place(&request(0, 2), &ctx(&p, &l, &s), &s);
                 a.sort_unstable();
                 a
             })
@@ -208,18 +246,19 @@ mod tests {
         let s = state(4);
         let p = flat_profile(16);
         let l = LocalityModel::uniform(1.5);
-        let a = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l), &s);
-        let b = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l), &s);
+        let a = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l, &s), &s);
+        let b = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l, &s), &s);
         assert_eq!(a, b);
     }
 
     #[test]
     fn default_placement_order_is_identity() {
+        let s = state(2);
         let p = flat_profile(8);
         let l = LocalityModel::uniform(1.5);
         let reqs = vec![request(0, 1), request(1, 2)];
         assert_eq!(
-            PackedPlacement::deterministic().placement_order(&reqs, &ctx(&p, &l)),
+            PackedPlacement::deterministic().placement_order(&reqs, &ctx(&p, &l, &s)),
             vec![0, 1]
         );
     }

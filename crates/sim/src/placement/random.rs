@@ -3,7 +3,7 @@
 //! performance of CPU-to-GPU communication", at the cost of GPU-to-GPU
 //! locality (Section IV-A1).
 
-use super::{PlacementCtx, PlacementPolicy, PlacementRequest};
+use super::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest};
 use pal_cluster::{ClusterState, GpuId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -13,6 +13,10 @@ use rand::SeedableRng;
 #[derive(Debug, Clone)]
 pub struct RandomPlacement {
     rng: StdRng,
+    /// Scratch: the free list of one decision, copied from the view for
+    /// shuffling (reused across calls, so steady-state placement is
+    /// allocation-free).
+    free: Vec<GpuId>,
 }
 
 impl RandomPlacement {
@@ -20,6 +24,7 @@ impl RandomPlacement {
     pub fn new(seed: u64) -> Self {
         RandomPlacement {
             rng: StdRng::seed_from_u64(seed),
+            free: Vec::new(),
         }
     }
 }
@@ -29,21 +34,26 @@ impl PlacementPolicy for RandomPlacement {
         "Random"
     }
 
-    fn place(
+    fn place_into(
         &mut self,
         request: &PlacementRequest,
-        _ctx: &PlacementCtx,
-        state: &ClusterState,
-    ) -> Vec<GpuId> {
-        let mut free = state.free_gpus();
+        ctx: &PlacementCtx,
+        _state: &ClusterState,
+        out: &mut Allocation,
+    ) {
+        // The view yields free GPUs in id order — the same order the seed
+        // policy's `free_gpus()` scan produced — so the shuffle below
+        // consumes the RNG identically.
+        self.free.clear();
+        self.free.extend(ctx.view.free_iter());
         assert!(
-            free.len() >= request.gpu_demand,
+            self.free.len() >= request.gpu_demand,
             "Random placement given insufficient free GPUs for {}",
             request.job
         );
-        free.shuffle(&mut self.rng);
-        free.truncate(request.gpu_demand);
-        free
+        self.free.shuffle(&mut self.rng);
+        out.clear();
+        out.extend_from_slice(&self.free[..request.gpu_demand]);
     }
 }
 
@@ -62,6 +72,7 @@ mod tests {
         let ctx = PlacementCtx {
             profile: &p,
             locality: &l,
+            view: s.view(),
         };
         let mut pol = RandomPlacement::new(1);
         let alloc = pol.place(&request(0, 5), &ctx, &s);
@@ -81,6 +92,7 @@ mod tests {
         let ctx = PlacementCtx {
             profile: &p,
             locality: &l,
+            view: s.view(),
         };
         let a = RandomPlacement::new(9).place(&request(0, 4), &ctx, &s);
         let b = RandomPlacement::new(9).place(&request(0, 4), &ctx, &s);
@@ -96,6 +108,7 @@ mod tests {
         let ctx = PlacementCtx {
             profile: &p,
             locality: &l,
+            view: s.view(),
         };
         let mut pol = RandomPlacement::new(3);
         let spans = (0..32)

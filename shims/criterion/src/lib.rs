@@ -12,7 +12,21 @@
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Measurements recorded by every reported benchmark of this process, as
+/// `(label, mean ns/iter)` pairs, in execution order.
+static MEASUREMENTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Drain the measurements recorded so far (label → mean ns/iter).
+///
+/// Extension over upstream criterion: benches with a custom `main` call
+/// this after running their groups to emit machine-readable results (e.g.
+/// the workspace's `BENCH_engine.json`).
+pub fn take_measurements() -> Vec<(String, f64)> {
+    std::mem::take(&mut *MEASUREMENTS.lock().expect("measurement registry poisoned"))
+}
 
 /// Opaque-to-the-optimizer identity (re-export of `std::hint::black_box`).
 pub fn black_box<T>(x: T) -> T {
@@ -87,6 +101,10 @@ impl Bencher {
         }
         let per_iter = self.total.as_nanos() as f64 / self.samples as f64;
         println!("{label}: {per_iter:.0} ns/iter ({} iters)", self.samples);
+        MEASUREMENTS
+            .lock()
+            .expect("measurement registry poisoned")
+            .push((label.to_string(), per_iter));
     }
 }
 

@@ -75,7 +75,11 @@ proptest! {
         state.allocate(&busy);
         prop_assume!(state.free_count() >= demand);
         let locality = LocalityModel::uniform(1.7);
-        let ctx = PlacementCtx { profile: &profile, locality: &locality };
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+            view: state.view(),
+        };
         let req = request(JobClass(class), demand);
 
         let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
@@ -103,7 +107,11 @@ proptest! {
         state.allocate(&busy);
         prop_assume!(state.free_count() >= demand);
         let locality = LocalityModel::uniform(l_across);
-        let ctx = PlacementCtx { profile: &profile, locality: &locality };
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+            view: state.view(),
+        };
         let mut pal = PalPlacement::new(&profile);
         let alloc = pal.place(&request(JobClass::A, demand), &ctx, &state);
 
@@ -161,7 +169,11 @@ proptest! {
         state.allocate(&busy);
         prop_assume!(state.free_count() >= demand);
         let locality = LocalityModel::uniform(1.7);
-        let ctx = PlacementCtx { profile: &profile, locality: &locality };
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+            view: state.view(),
+        };
         let req = request(JobClass::A, demand);
 
         let mut pmf = PmFirstPlacement::new(&profile);
@@ -183,8 +195,13 @@ proptest! {
         classes in proptest::collection::vec(0usize..3, 1..20),
     ) {
         let profile = VariabilityProfile::from_raw(vec![vec![1.0; 8]; 3]);
+        let state = ClusterState::new(ClusterTopology::new(2, 4));
         let locality = LocalityModel::uniform(1.5);
-        let ctx = PlacementCtx { profile: &profile, locality: &locality };
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+            view: state.view(),
+        };
         let requests: Vec<PlacementRequest> = classes
             .iter()
             .enumerate()

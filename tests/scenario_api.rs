@@ -1,18 +1,25 @@
 //! Contract tests for the `Scenario`/`Campaign` API:
 //!
 //! - misconfiguration returns typed `SimError`s instead of panicking,
-//! - the builder with explicit arguments reproduces the deprecated
-//!   positional `Simulator::run` exactly,
+//! - the builder's implicit defaults equal the same dimensions spelled
+//!   out explicitly,
+//! - the allocating `PlacementPolicy` convenience wrappers (`place`,
+//!   `placement_order`) agree with the buffer-reusing `place_into` /
+//!   `placement_order_into` path the engine drives,
 //! - campaigns are deterministic across thread interleavings and match
 //!   sequential per-policy runs byte-for-byte (modulo wall-clock placement
 //!   timing, which `SimResult::same_outcome` excludes by definition).
 
 use pal::PalPlacement;
-use pal_cluster::{ClusterTopology, JobClass, LocalityModel, VariabilityProfile};
+use pal_cluster::{ClusterState, ClusterTopology, JobClass, LocalityModel, VariabilityProfile};
 use pal_gpumodel::{GpuSpec, Workload};
+use pal_sim::admission::AdmitAll;
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
-use pal_sim::sched::Las;
-use pal_sim::{Campaign, PolicySpec, ProfileRole, Scenario, SimError, Simulator};
+use pal_sim::sched::Fifo;
+use pal_sim::{
+    Campaign, PlacementCtx, PlacementPolicy, PlacementRequest, PolicySpec, ProfileRole, Scenario,
+    SimConfig, SimError,
+};
 use pal_trace::{JobId, JobSpec, ModelCatalog, SiaPhillyConfig, Trace};
 
 fn job(id: u32, arrival: f64, demand: usize, iters: u64) -> JobSpec {
@@ -25,15 +32,6 @@ fn job(id: u32, arrival: f64, demand: usize, iters: u64) -> JobSpec {
         iterations: iters,
         base_iter_time: 1.0,
     }
-}
-
-fn sia_trace() -> Trace {
-    let catalog = ModelCatalog::table2(&GpuSpec::v100());
-    SiaPhillyConfig {
-        num_jobs: 40,
-        ..Default::default()
-    }
-    .generate(2, &catalog)
 }
 
 fn varied_profile(n: usize) -> VariabilityProfile {
@@ -129,42 +127,13 @@ fn sim_error_is_std_error() {
     assert!(err.to_string().contains("demands 64 GPUs"));
 }
 
-// ----------------------------------------------- builder/shim equivalence
+// -------------------------------------------------- builder/API contracts
 
 #[test]
-#[allow(deprecated)]
-fn builder_matches_deprecated_positional_run() {
-    let trace = sia_trace();
-    let topo = ClusterTopology::sia_64();
-    let profile = varied_profile(64);
-    let locality = LocalityModel::uniform(1.5);
-
-    let old = Simulator::default_sim().run(
-        &trace,
-        topo,
-        &profile,
-        &locality,
-        &Las::default(),
-        &mut RandomPlacement::new(17),
-    );
-    let new = Scenario::new(trace, topo)
-        .profile(profile)
-        .locality(locality)
-        .scheduler(Las::default())
-        .placement(RandomPlacement::new(17))
-        .run()
-        .expect("scenario misconfigured");
-    assert!(
-        new.same_outcome(&old),
-        "builder and positional API diverged"
-    );
-}
-
-#[test]
-#[allow(deprecated)]
-fn builder_defaults_match_flat_profile_run() {
-    // Scenario's defaults are a flat profile, L = 1.0, FIFO, packed
-    // placement: spelling those out through the old API must agree.
+fn builder_defaults_equal_explicit_dimensions() {
+    // Scenario's documented defaults — flat profile, L = 1.0, FIFO,
+    // deterministic packed placement, admit-all, default config — must be
+    // exactly what an explicit spelling of those dimensions produces.
     let trace = Trace::new(
         "defaults",
         vec![
@@ -176,19 +145,71 @@ fn builder_defaults_match_flat_profile_run() {
     let topo = ClusterTopology::new(2, 4);
     let flat = VariabilityProfile::from_raw(vec![vec![1.0; 8]; 3]);
 
-    let old = Simulator::default_sim().run(
-        &trace,
-        topo,
-        &flat,
-        &LocalityModel::uniform(1.0),
-        &pal_sim::sched::Fifo,
-        &mut PackedPlacement::deterministic(),
-    );
-    let new = Scenario::new(trace, topo).run().expect("defaults run");
+    let implicit = Scenario::new(trace.clone(), topo).run().expect("defaults");
+    let explicit = Scenario::new(trace, topo)
+        .profile(flat)
+        .locality(LocalityModel::uniform(1.0))
+        .scheduler(Fifo)
+        .placement(PackedPlacement::deterministic())
+        .admission(AdmitAll)
+        .config(SimConfig::default())
+        .run()
+        .expect("explicit run");
     assert!(
-        new.same_outcome(&old),
-        "builder defaults diverged from seed behavior"
+        implicit.same_outcome(&explicit),
+        "builder defaults diverged from their explicit spelling"
     );
+}
+
+#[test]
+fn allocating_wrappers_agree_with_buffered_path() {
+    // `place`/`placement_order` are documented as thin wrappers over the
+    // engine-facing `place_into`/`placement_order_into`; both entry points
+    // must make identical decisions (RNG state included).
+    let profile = varied_profile(64);
+    let topo = ClusterTopology::sia_64();
+    let mut state = ClusterState::new(topo);
+    state.allocate(&[pal_cluster::GpuId(0), pal_cluster::GpuId(7)]);
+    let locality = LocalityModel::uniform(1.7);
+    let request = PlacementRequest {
+        job: JobId(0),
+        model: "resnet50",
+        class: JobClass::A,
+        gpu_demand: 4,
+    };
+    let requests = vec![request.clone(), {
+        let mut r = request.clone();
+        r.class = JobClass::C;
+        r
+    }];
+
+    let policies: Vec<Box<dyn Fn() -> Box<dyn PlacementPolicy>>> = vec![
+        Box::new(|| Box::new(RandomPlacement::new(11))),
+        Box::new(|| Box::new(PackedPlacement::randomized(11))),
+        Box::new(|| Box::new(PackedPlacement::deterministic())),
+        {
+            let profile = profile.clone();
+            Box::new(move || Box::new(PalPlacement::new(&profile)))
+        },
+    ];
+    for build in &policies {
+        let ctx = PlacementCtx {
+            profile: &profile,
+            locality: &locality,
+            view: state.view(),
+        };
+        let mut wrapper = build();
+        let mut buffered = build();
+        let a = wrapper.place(&request, &ctx, &state);
+        let mut b = Vec::new();
+        buffered.place_into(&request, &ctx, &state, &mut b);
+        assert_eq!(a, b, "{}: place != place_into", wrapper.name());
+
+        let oa = wrapper.placement_order(&requests, &ctx);
+        let mut ob = Vec::new();
+        buffered.placement_order_into(&requests, &ctx, &mut ob);
+        assert_eq!(oa, ob, "{}: order wrappers diverged", wrapper.name());
+    }
 }
 
 // ------------------------------------------------------------- campaigns

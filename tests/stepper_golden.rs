@@ -9,7 +9,7 @@
 //! except wall-clock placement timings). Both `Scenario::run` and the
 //! stepped `Scenario::start()` → `Simulation` path must reproduce them.
 
-use pal::{PalPlacement, PmFirstPlacement};
+use pal::{AdaptivePal, PalPlacement, PmFirstPlacement};
 use pal_cluster::{ClusterTopology, GpuId, JobClass, LocalityModel, VariabilityProfile};
 use pal_gpumodel::GpuSpec;
 use pal_sim::admission::{DemandBackpressure, MaxActiveJobs};
@@ -189,6 +189,56 @@ fn refactored_engine_matches_seed_engine_across_policy_grid() {
              (scheduler {sp}, placement {pp}, sticky {sticky}): {} {}",
             r.scheduler,
             r.placement,
+        );
+    }
+}
+
+#[test]
+fn adaptive_pal_matches_pal_goldens_when_truth_equals_profile() {
+    // With truth == profile, every `RoundObservation` reports exactly the
+    // raw scores Adaptive-PAL already estimates: the EWMA sits at its
+    // fixpoint, no re-bin ever fires, and the policy must reproduce the
+    // PAL golden digests bit-for-bit — driving the full
+    // observe → placement_order_into → place_into delegation path (and,
+    // run twice per cell below, both the `run()` and the stepped
+    // `start()` drivers) through the seed-engine goldens.
+    for &((sp, pp, sticky), want) in &GOLDEN {
+        if pp != 4 || sp >= 2 {
+            continue; // the PAL column, FIFO + LAS schedulers
+        }
+        let profile = golden_profile();
+        let scenario = || {
+            Scenario::new(golden_trace(), ClusterTopology::new(8, 4))
+                .profile(profile.clone())
+                .locality(LocalityModel::uniform(1.5))
+                .scheduler_boxed(scheduler(sp))
+                .placement(AdaptivePal::new(&profile))
+                .sticky(sticky)
+        };
+        let relabel = |mut r: SimResult| {
+            // The digest hashes the policy label; map "Adaptive-PAL" onto
+            // the golden column's "PAL" so only behavior can differ.
+            r.placement = r.placement.replace("Adaptive-PAL", "PAL");
+            r
+        };
+        let run = relabel(scenario().run().expect("adaptive cell runs"));
+        assert_eq!(
+            digest(&run),
+            want,
+            "Adaptive-PAL diverged from the PAL golden on cell \
+             (scheduler {sp}, sticky {sticky})"
+        );
+        let stepped = relabel(
+            scenario()
+                .start()
+                .expect("starts")
+                .run_to_completion()
+                .expect("adaptive cell steps"),
+        );
+        assert_eq!(
+            digest(&stepped),
+            want,
+            "stepped Adaptive-PAL diverged on cell (scheduler {sp}, sticky {sticky})"
         );
     }
 }
