@@ -10,6 +10,13 @@
 //! here. The high-rate case is the interesting one — hundreds of jobs
 //! are active at once, so per-round costs that scale with the active
 //! queue dominate.
+//!
+//! The `engine_sticky_drain` group covers event-driven round skipping
+//! (PR 4) on the workload it exists for — a burst of long jobs draining
+//! under sticky placement — in both modes. Beyond wall time, `main`
+//! records the simulated and *executed* round counts of both modes into
+//! `BENCH_engine.json` (`rounds/sticky_drain/...`), where the CI bench
+//! gate watches the skip win.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
@@ -47,6 +54,32 @@ fn scenario(trace: &Trace, topo: ClusterTopology) -> Scenario {
         .profile(profile(topo.total_gpus()))
         .locality(LocalityModel::uniform(1.5))
         .scheduler(Las::default())
+}
+
+/// The event-driven skip's home turf: 48 long jobs arriving in a burst
+/// (~3 rounds), then draining for thousands of rounds under sticky
+/// placement with no queue changes between completions.
+fn sticky_drain_trace() -> Trace {
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    SynergyConfig {
+        num_jobs: 48,
+        jobs_per_hour: 240.0,
+        median_duration_s: 250_000.0,
+        ..Default::default()
+    }
+    .generate(&catalog)
+}
+
+/// Topology for the drain workload: small enough that the burst
+/// oversubscribes it into several waves.
+fn drain_topology() -> ClusterTopology {
+    ClusterTopology::new(8, 4)
+}
+
+fn drain_scenario(trace: &Trace, event_driven: bool) -> Scenario {
+    scenario(trace, drain_topology())
+        .sticky(true)
+        .event_driven(event_driven)
 }
 
 fn bench_full_run(c: &mut Criterion) {
@@ -90,10 +123,55 @@ fn bench_single_steps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_run, bench_single_steps);
+fn bench_sticky_drain(c: &mut Criterion) {
+    let trace = sticky_drain_trace();
+    let mut group = c.benchmark_group("engine_sticky_drain");
+    group.sample_size(10);
+    for (label, event_driven) in [("event_on", true), ("event_off", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("drain_48jobs", label),
+            &event_driven,
+            |b, &event_driven| {
+                b.iter(|| {
+                    let r = drain_scenario(&trace, event_driven)
+                        .run()
+                        .expect("bench run");
+                    black_box(r.executed_rounds)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_run,
+    bench_single_steps,
+    bench_sticky_drain
+);
 
 fn main() {
     benches();
-    pal_bench::bench_json::update_workspace("engine_rounds", &criterion::take_measurements())
+    let mut entries = criterion::take_measurements();
+    // Beyond wall time, record the round counts of both stepping modes:
+    // the skip win is `executed_event_off / executed_event_on` (simulated
+    // counts are bit-identical by construction), and the CI bench gate
+    // fails the build if the executed count regresses.
+    let trace = sticky_drain_trace();
+    for (label, event_driven) in [("event_on", true), ("event_off", false)] {
+        let r = drain_scenario(&trace, event_driven)
+            .run()
+            .expect("rounds-accounting run");
+        entries.push((
+            format!("rounds/sticky_drain/simulated_{label}"),
+            r.rounds as f64,
+        ));
+        entries.push((
+            format!("rounds/sticky_drain/executed_{label}"),
+            r.executed_rounds as f64,
+        ));
+    }
+    pal_bench::bench_json::update_workspace("engine_rounds", &entries)
         .expect("update BENCH_engine.json");
 }

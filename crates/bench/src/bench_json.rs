@@ -56,8 +56,29 @@ pub fn update(path: &Path, section: &str, entries: &[(String, f64)]) -> io::Resu
 /// [`update`] against the workspace root's `BENCH_engine.json` (the file
 /// CI's bench-smoke job refreshes).
 pub fn update_workspace(section: &str, entries: &[(String, f64)]) -> io::Result<()> {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
-    update(&path, section, entries)
+    update(&workspace_path(), section, entries)
+}
+
+/// The workspace root's `BENCH_engine.json`.
+pub fn workspace_path() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
+}
+
+/// Read and parse a bench file in the canonical two-level shape.
+pub fn load(path: &Path) -> io::Result<BenchSections> {
+    let text = std::fs::read_to_string(path)?;
+    parse_text(&text).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} is not in bench_json's canonical shape", path.display()),
+        )
+    })
+}
+
+/// Parse bench-file text in the canonical two-level shape (e.g. a
+/// committed baseline read out of `git show`); `None` when malformed.
+pub fn parse_text(text: &str) -> Option<BenchSections> {
+    parse(text)
 }
 
 /// Render the canonical form: sorted sections, sorted keys, one per line.

@@ -1,0 +1,310 @@
+//! The CI perf-regression gate over `BENCH_engine.json`.
+//!
+//! [`check`] compares a freshly measured bench file against the committed
+//! baseline and reports hard failures:
+//!
+//! - any deterministic `engine_rounds` metric (the `rounds/*` counts —
+//!   bit-exact and machine-independent by construction) more than
+//!   [`ROUNDS_TOLERANCE`] (1.05×) over its baseline — these need no
+//!   noise allowance, so even a small skip-efficiency regression fails;
+//!   intentional changes to the bench scenario or engine re-commit the
+//!   refreshed baseline instead;
+//! - any `engine_rounds` *wall-time* metric more than `tolerance ×` the
+//!   run's **median** wall-time ratio: the baseline is usually committed
+//!   from a different machine than the CI runner, so the common-mode
+//!   speed difference shows up in every metric equally and the median
+//!   cancels it, while a real regression — an accidentally quadratic
+//!   round loop, skipping silently disabled on one path — is
+//!   differential and sticks out (a backstop still fails any wall-time
+//!   metric beyond `tolerance × `[`MACHINE_SPEED_ALLOWANCE`]` ×`
+//!   baseline absolutely, so a uniform global slowdown cannot hide in
+//!   the median);
+//! - any `placement_hot_path` `allocs_per_place/*` metric above zero —
+//!   the zero-allocation hot-path contract is absolute.
+//!
+//! The tolerance defaults to [`DEFAULT_TOLERANCE`] (2×): generous enough
+//! that shared-runner noise never trips it, tight enough that a real
+//! regression fails the build. Metrics present on only one side are
+//! reported but never fail the gate, so adding or retiring a bench
+//! doesn't require lockstep baseline edits.
+
+use crate::bench_json::BenchSections;
+
+/// Default regression tolerance: fail when a metric exceeds 2× its
+/// reference (baseline for deterministic counts, median-normalized
+/// baseline for wall times).
+pub const DEFAULT_TOLERANCE: f64 = 2.0;
+
+/// How much *uniform* machine-speed difference between the baseline's
+/// machine and the current runner is tolerated before the absolute
+/// wall-time backstop fires (`tolerance × this × baseline`).
+pub const MACHINE_SPEED_ALLOWANCE: f64 = 4.0;
+
+/// Tolerance for the deterministic `rounds/*` counts: they are bit-exact
+/// re-runs of the same simulation, so anything beyond a rounding hair is
+/// a real skip-efficiency regression and fails regardless of the
+/// wall-time `--tolerance`.
+pub const ROUNDS_TOLERANCE: f64 = 1.05;
+
+/// The section gated relative to the baseline.
+const GATED_SECTION: &str = "engine_rounds";
+/// Key prefix of the deterministic (machine-independent) round-count
+/// metrics within [`GATED_SECTION`].
+const ROUNDS_PREFIX: &str = "rounds/";
+/// The section holding the absolute zero-allocation contract.
+const ALLOC_SECTION: &str = "placement_hot_path";
+/// Key prefix of the allocation-count metrics within [`ALLOC_SECTION`].
+const ALLOC_PREFIX: &str = "allocs_per_place/";
+
+/// Outcome of one gate run: every comparison made, and the failures.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Human-readable line per metric compared (pass and fail alike).
+    pub lines: Vec<String>,
+    /// Human-readable description of each hard failure.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The lower median of the wall-time ratios: robust against a minority
+/// of regressed metrics inflating their own reference, and exact for the
+/// common case of a uniform machine-speed factor.
+fn median_ratio(ratios: &mut [f64]) -> Option<f64> {
+    if ratios.is_empty() {
+        return None;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("NaN bench ratio"));
+    Some(ratios[(ratios.len() - 1) / 2])
+}
+
+/// Compare `current` against `baseline` under the given tolerance.
+pub fn check(baseline: &BenchSections, current: &BenchSections, tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let empty = Default::default();
+
+    let base = baseline.get(GATED_SECTION).unwrap_or(&empty);
+    let cur = current.get(GATED_SECTION).unwrap_or(&empty);
+    let mut wall_ratios: Vec<f64> = cur
+        .iter()
+        .filter(|(key, _)| !key.starts_with(ROUNDS_PREFIX))
+        .filter_map(|(key, &now)| {
+            base.get(key)
+                .filter(|&&was| was > 0.0)
+                .map(|&was| now / was)
+        })
+        .collect();
+    let median = median_ratio(&mut wall_ratios);
+    if let Some(m) = median {
+        report.lines.push(format!(
+            "{GATED_SECTION}: median wall-time ratio {m:.2}x (machine-speed common mode)"
+        ));
+    }
+    for (key, &now) in cur {
+        match base.get(key) {
+            Some(&was) if was > 0.0 => {
+                let ratio = now / was;
+                if key.starts_with(ROUNDS_PREFIX) {
+                    // Deterministic counts: gate near-exactly — no noise
+                    // allowance applies to a bit-exact re-run.
+                    if ratio > ROUNDS_TOLERANCE {
+                        report.failures.push(format!(
+                            "{GATED_SECTION}/{key}: {now:.1} is {ratio:.2}x baseline {was:.1} \
+                             (deterministic count, tolerance {ROUNDS_TOLERANCE}x)"
+                        ));
+                    } else {
+                        report
+                            .lines
+                            .push(format!("{GATED_SECTION}/{key}: {ratio:.2}x baseline — ok"));
+                    }
+                } else {
+                    // Wall times: gate against the median-normalized ratio
+                    // (cancels cross-machine speed), with an absolute
+                    // backstop so a uniform slowdown can't hide in it.
+                    let median = median.expect("key contributed a ratio");
+                    let normalized = ratio / median;
+                    if normalized > tolerance {
+                        report.failures.push(format!(
+                            "{GATED_SECTION}/{key}: {now:.1} is {ratio:.2}x baseline {was:.1}, \
+                             {normalized:.2}x this run's median ratio (tolerance {tolerance}x)"
+                        ));
+                    } else if ratio > tolerance * MACHINE_SPEED_ALLOWANCE {
+                        report.failures.push(format!(
+                            "{GATED_SECTION}/{key}: {now:.1} is {ratio:.2}x baseline {was:.1}, \
+                             past the absolute backstop ({tolerance}x tolerance × \
+                             {MACHINE_SPEED_ALLOWANCE}x machine allowance)"
+                        ));
+                    } else {
+                        report.lines.push(format!(
+                            "{GATED_SECTION}/{key}: {normalized:.2}x median-normalized — ok"
+                        ));
+                    }
+                }
+            }
+            Some(_) => report
+                .lines
+                .push(format!("{GATED_SECTION}/{key}: baseline is zero — skipped")),
+            None => report.lines.push(format!(
+                "{GATED_SECTION}/{key}: no baseline (new metric) — skipped"
+            )),
+        }
+    }
+    for key in base.keys().filter(|k| !cur.contains_key(*k)) {
+        report.lines.push(format!(
+            "{GATED_SECTION}/{key}: missing from current run — skipped"
+        ));
+    }
+
+    let allocs = current.get(ALLOC_SECTION).unwrap_or(&empty);
+    for (key, &now) in allocs.iter().filter(|(k, _)| k.starts_with(ALLOC_PREFIX)) {
+        if now > 0.0 {
+            report.failures.push(format!(
+                "{ALLOC_SECTION}/{key}: {now} allocations per placement (must be 0)"
+            ));
+        } else {
+            report
+                .lines
+                .push(format!("{ALLOC_SECTION}/{key}: 0 allocations — ok"));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sections(entries: &[(&str, &[(&str, f64)])]) -> BenchSections {
+        entries
+            .iter()
+            .map(|(section, kvs)| {
+                (
+                    section.to_string(),
+                    kvs.iter()
+                        .map(|&(k, v)| (k.to_string(), v))
+                        .collect::<BTreeMap<_, _>>(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_numbers_pass() {
+        let s = sections(&[
+            ("engine_rounds", &[("engine_step/saturated_round", 1e5)]),
+            ("placement_hot_path", &[("allocs_per_place/PAL", 0.0)]),
+        ]);
+        let r = check(&s, &s, DEFAULT_TOLERANCE);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert_eq!(r.lines.len(), 3, "median line + 2 metrics: {:?}", r.lines);
+    }
+
+    #[test]
+    fn uniform_machine_speed_difference_passes() {
+        // Baseline committed on a machine 2.5x faster than the runner:
+        // every wall-time ratio shares the factor, the median cancels it.
+        let base = sections(&[(
+            "engine_rounds",
+            &[("a/b", 100.0), ("a/c", 40.0), ("a/d", 70.0)],
+        )]);
+        let cur = sections(&[(
+            "engine_rounds",
+            &[("a/b", 250.0), ("a/c", 100.0), ("a/d", 175.0)],
+        )]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(r.passed(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn uniform_catastrophic_slowdown_hits_the_backstop() {
+        // A 10x-across-the-board regression cannot hide in the median.
+        let base = sections(&[("engine_rounds", &[("a/b", 100.0), ("a/c", 40.0)])]);
+        let cur = sections(&[("engine_rounds", &[("a/b", 1000.0), ("a/c", 400.0)])]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!r.passed());
+        assert_eq!(r.failures.len(), 2);
+        assert!(r.failures[0].contains("backstop"), "{}", r.failures[0]);
+    }
+
+    #[test]
+    fn noise_within_tolerance_passes() {
+        let base = sections(&[("engine_rounds", &[("a/b", 100.0)])]);
+        let cur = sections(&[("engine_rounds", &[("a/b", 199.0)])]);
+        assert!(check(&base, &cur, DEFAULT_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn synthetic_2x_regression_fails() {
+        let base = sections(&[("engine_rounds", &[("a/b", 100.0), ("a/c", 50.0)])]);
+        let cur = sections(&[("engine_rounds", &[("a/b", 201.0), ("a/c", 50.0)])]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!r.passed());
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("a/b"), "{}", r.failures[0]);
+    }
+
+    #[test]
+    fn executed_rounds_regression_fails_like_throughput() {
+        // Event-driven skipping silently disabled: executed rounds jump
+        // back to the simulated count.
+        let base = sections(&[(
+            "engine_rounds",
+            &[("rounds/sticky_drain/executed_event_on", 150.0)],
+        )]);
+        let cur = sections(&[(
+            "engine_rounds",
+            &[("rounds/sticky_drain/executed_event_on", 3000.0)],
+        )]);
+        assert!(!check(&base, &cur, DEFAULT_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn even_small_executed_rounds_regressions_fail() {
+        // The counts are bit-exact, so the wall-time noise tolerance does
+        // not apply: eroding the skip win by 1.5x must fail.
+        let base = sections(&[(
+            "engine_rounds",
+            &[("rounds/sticky_drain/executed_event_on", 100.0)],
+        )]);
+        let cur = sections(&[(
+            "engine_rounds",
+            &[("rounds/sticky_drain/executed_event_on", 150.0)],
+        )]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("deterministic count"));
+    }
+
+    #[test]
+    fn any_nonzero_alloc_count_fails() {
+        let s = sections(&[("placement_hot_path", &[("allocs_per_place/PAL", 0.5)])]);
+        let r = check(&s, &s, DEFAULT_TOLERANCE);
+        assert!(!r.passed());
+        assert!(r.failures[0].contains("allocations per placement"));
+    }
+
+    #[test]
+    fn new_and_retired_metrics_are_reported_not_failed() {
+        let base = sections(&[("engine_rounds", &[("old/metric", 10.0)])]);
+        let cur = sections(&[("engine_rounds", &[("new/metric", 10.0)])]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(r.passed());
+        assert_eq!(r.lines.len(), 2);
+    }
+
+    #[test]
+    fn non_alloc_hot_path_metrics_are_not_gated() {
+        // single_place wall times live in placement_hot_path but are not
+        // under the alloc prefix; they may drift with runner noise.
+        let base = sections(&[("placement_hot_path", &[("single_place/PAL/64", 100.0)])]);
+        let cur = sections(&[("placement_hot_path", &[("single_place/PAL/64", 900.0)])]);
+        assert!(check(&base, &cur, DEFAULT_TOLERANCE).passed());
+    }
+}

@@ -8,11 +8,15 @@
 //!
 //! The engine-perf benches (`engine_rounds`, `placement_hot_path`) also
 //! merge their measurements into the repo-root `BENCH_engine.json` via
-//! [`bench_json`], so the hot-path trajectory is tracked across PRs.
+//! [`bench_json`], so the hot-path trajectory is tracked across PRs —
+//! and [`gate`] (driven by the `bench_gate` binary) turns that tracking
+//! into a CI failure when the freshly measured numbers regress past
+//! tolerance against the committed baseline.
 
 #![warn(missing_docs)]
 
 pub mod bench_json;
 pub mod experiment;
+pub mod gate;
 
 pub use experiment::*;

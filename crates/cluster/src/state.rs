@@ -84,17 +84,6 @@ impl ClusterState {
             .collect()
     }
 
-    /// Free GPUs grouped by node, in node order (nodes with none are
-    /// included as empty vectors so indices align with node ids).
-    #[deprecated(
-        since = "0.3.0",
-        note = "materializes a fresh Vec<Vec<GpuId>> per call; borrow the \
-                incrementally maintained `ClusterState::view()` instead"
-    )]
-    pub fn free_gpus_by_node(&self) -> Vec<Vec<GpuId>> {
-        self.view.per_node().map(<[GpuId]>::to_vec).collect()
-    }
-
     /// Nodes that currently have at least `want` free GPUs.
     pub fn nodes_with_free(&self, want: usize) -> Vec<NodeId> {
         self.free_per_node
@@ -136,7 +125,6 @@ impl ClusterState {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // free_gpus_by_node stays test-only; see ClusterView
 mod tests {
     use super::*;
 
@@ -190,9 +178,9 @@ mod tests {
     fn free_by_node_respects_topology() {
         let mut s = state();
         s.allocate(&[GpuId(0), GpuId(1), GpuId(2), GpuId(3)]); // node 0 full
-        let by_node = s.free_gpus_by_node();
-        assert!(by_node[0].is_empty());
-        assert_eq!(by_node[1].len(), 4);
+        let view = s.view();
+        assert!(view.node_free(NodeId(0)).is_empty());
+        assert_eq!(view.node_free(NodeId(1)).len(), 4);
     }
 
     #[test]
@@ -205,13 +193,10 @@ mod tests {
         s.release(&[GpuId(1)]);
         assert_eq!(s.free_count(), 6);
         assert_eq!(s.free_count_by_node(), &[3, 3]);
-        // Counts must agree with a fresh bitmap scan at all times.
-        let scanned: Vec<usize> = s
-            .free_gpus_by_node()
-            .iter()
-            .map(|gpus| gpus.len())
-            .collect();
-        assert_eq!(s.free_count_by_node(), &scanned[..]);
+        // Counts must agree with the incrementally maintained free lists
+        // at all times.
+        let from_view: Vec<usize> = s.view().per_node().map(<[GpuId]>::len).collect();
+        assert_eq!(s.free_count_by_node(), &from_view[..]);
     }
 
     #[test]

@@ -203,6 +203,10 @@ impl PlacementPolicy for PalPlacement {
         "PAL"
     }
 
+    fn wants_observations(&self) -> bool {
+        false // offline scores; inherits the no-op `observe`
+    }
+
     fn placement_order_into(
         &self,
         requests: &[PlacementRequest],

@@ -87,6 +87,10 @@ impl PlacementPolicy for PmFirstPlacement {
         "PM-First"
     }
 
+    fn wants_observations(&self) -> bool {
+        false // offline scores; inherits the no-op `observe`
+    }
+
     fn placement_order_into(
         &self,
         requests: &[PlacementRequest],

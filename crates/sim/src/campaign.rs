@@ -416,6 +416,46 @@ mod tests {
     }
 
     #[test]
+    fn event_driven_sweeps_match_fixed_round_sweeps() {
+        // A campaign sweeping both stepping modes (the scenario rows
+        // differ only in `event_driven`) must produce pairwise-identical
+        // outcomes per policy column: the mode is a perf knob, not a
+        // semantic one.
+        let sweep = |event_driven: bool| {
+            Campaign::new()
+                .seed(7)
+                .scenario("drain", move || {
+                    Scenario::new(small_trace(9), ClusterTopology::new(2, 4))
+                        .profile(VariabilityProfile::from_raw(vec![vec![1.2; 8]; 3]))
+                        .scheduler(Fifo)
+                        .sticky(true)
+                        .event_driven(event_driven)
+                })
+                .policy(PolicySpec::new("Packed", |_, seed| {
+                    Box::new(PackedPlacement::randomized(seed))
+                }))
+                .policy(PolicySpec::new("Random", |_, seed| {
+                    Box::new(RandomPlacement::new(seed))
+                }))
+                .run()
+                .unwrap()
+        };
+        let on = sweep(true);
+        let off = sweep(false);
+        assert_eq!(on.len(), off.len());
+        for (a, b) in on.iter().zip(&off) {
+            assert_eq!(a.policy, b.policy);
+            assert!(
+                a.result.same_outcome(&b.result),
+                "event-driven sweep diverged on {}",
+                a.policy
+            );
+            assert!(a.result.executed_rounds <= b.result.executed_rounds);
+            assert_eq!(b.result.executed_rounds, b.result.rounds);
+        }
+    }
+
+    #[test]
     fn cell_seeds_are_unique_and_stable() {
         let c = test_campaign();
         let seeds: Vec<u64> = (0..2)

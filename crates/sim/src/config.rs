@@ -24,6 +24,15 @@ pub struct SimConfig {
     /// Safety cap on simulated rounds; exceeding it is a simulator bug or a
     /// pathological configuration and panics rather than spinning forever.
     pub max_rounds: usize,
+    /// Event-driven round skipping: after a sticky round in which every
+    /// prefix job keeps running, the engine fast-replays the rounds up to
+    /// the next *event* — arrival, completion, or scheduler priority
+    /// crossing — executing only the bookkeeping (progress accrual,
+    /// telemetry, policy observations) those rounds would have produced.
+    /// Outcomes are bit-identical to fixed-round stepping; only
+    /// [`executed_rounds`](crate::SimResult::executed_rounds) drops.
+    /// Defaults to on.
+    pub event_driven: bool,
 }
 
 impl Default for SimConfig {
@@ -33,6 +42,7 @@ impl Default for SimConfig {
             sticky: false,
             migration_overhead: 30.0,
             max_rounds: 2_000_000,
+            event_driven: true,
         }
     }
 }
@@ -67,5 +77,11 @@ mod tests {
     fn sticky_helpers() {
         assert!(SimConfig::sticky().sticky);
         assert!(!SimConfig::non_sticky().sticky);
+    }
+
+    #[test]
+    fn event_driven_defaults_on() {
+        assert!(SimConfig::default().event_driven);
+        assert!(SimConfig::sticky().event_driven);
     }
 }

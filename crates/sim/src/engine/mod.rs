@@ -9,7 +9,11 @@
 //!   allocation.
 //! - `round`: `step_round` — one scheduling round (admission → ordering
 //!   → prefix marking → placement → execution → telemetry), advancing an
-//!   `EngineState` by one epoch.
+//!   `EngineState` by one epoch — and, with event-driven stepping on
+//!   (the default), `skip_stable_rounds`, which fast-replays the rounds
+//!   between a sticky round and the next event (arrival, completion, or
+//!   scheduler priority crossing) in one hop, bit-identically to
+//!   stepping them; only `executed_rounds` records the difference.
 //! - `telemetry`: the `Telemetry` accumulators (GPUs-in-use series,
 //!   busy GPU-seconds, per-round policy compute time) and the final
 //!   [`SimResult`](crate::SimResult) assembly.

@@ -81,6 +81,7 @@ pub(crate) fn step_round(
         });
     }
     st.rounds += 1;
+    st.executed_rounds += 1;
     let dt = ctx.config.round_duration;
     let total_gpus = ctx.total_gpus;
     let t = st.t;
@@ -101,6 +102,7 @@ pub(crate) fn step_round(
             st.finished += 1;
         } else if spec.gpu_demand > total_gpus {
             st.rounds -= 1; // un-count the aborted round: errors are stable
+            st.executed_rounds -= 1;
             return Err(SimError::OversizedJob {
                 job: spec.id,
                 demand: spec.gpu_demand,
@@ -167,6 +169,7 @@ pub(crate) fn step_round(
                 st.scratch.gpu_pool.push(gpus);
             }
             st.jobs[ji].preemptions += 1;
+            st.scratch.progress_per_round[ji] = 0.0; // no longer accruing
         }
     }
 
@@ -314,6 +317,14 @@ pub(crate) fn step_round(
         let v = st.scratch.per_gpu.iter().copied().fold(0.0f64, f64::max);
         let slowdown = l * v;
         debug_assert!(slowdown > 0.0);
+        // Cache the allocation-derived rates for event-driven skipping:
+        // they stay constant exactly as long as the allocation does, which
+        // is the window the skip replays. `dt / slowdown` is bit-identical
+        // to the `(dt - overhead) / slowdown` an overhead-free round
+        // computes.
+        st.scratch.slowdown[ji] = slowdown;
+        st.scratch.locality_penalty[ji] = l;
+        st.scratch.progress_per_round[ji] = dt / slowdown;
         // A migrated job spends the restore overhead re-loading its
         // checkpoint before making progress; its GPUs are occupied but
         // idle during that window.
@@ -380,9 +391,148 @@ pub(crate) fn step_round(
     }
 
     st.t = t + dt;
+
+    // Event-driven round skipping: a sticky round in which every prefix
+    // job kept running leaves nothing for the next rounds to decide until
+    // an event — arrival, completion, or a scheduler priority crossing —
+    // so fast-replay those rounds' bookkeeping in one hop. Non-sticky
+    // rounds re-place (and so re-randomize, for seeded policies) every
+    // running job each round and are never skipped.
+    if ctx.config.event_driven
+        && ctx.config.sticky
+        && finished_this_round == 0
+        && !st.active_queue.is_empty()
+    {
+        skip_stable_rounds(st, tel, ctx, scheduler, placement);
+    }
+
     Ok(if st.is_complete() {
         StepOutcome::Complete
     } else {
         StepOutcome::Running
     })
+}
+
+/// Re-derive every cached key from the current job state and check the
+/// cached sequence is still sorted under the strict `(key, arrival, id)`
+/// order — which, the order being total, holds exactly when
+/// [`SchedulingPolicy::order_into`] would reproduce the sequence.
+fn order_still_holds(
+    scheduler: &dyn SchedulingPolicy,
+    jobs: &[crate::job_state::ActiveJob],
+    sorted: &mut [crate::sched::SchedKey],
+) -> bool {
+    for k in sorted.iter_mut() {
+        k.key = scheduler.key(&jobs[k.job]);
+    }
+    sorted
+        .windows(2)
+        .all(|w| w[0].cmp_total(&w[1]) != std::cmp::Ordering::Greater)
+}
+
+/// Fast-replay the rounds between here and the next *event* — arrival,
+/// running-job completion, scheduler priority crossing, or the
+/// `max_rounds` cap — executing exactly (and only) the bookkeeping those
+/// rounds would have produced: the round counter, per-job progress and
+/// service accrual, the telemetry accumulators, and the placement
+/// policy's per-job observations. Every arithmetic operation replays the
+/// fixed-round code path value for value (the allocation, and therefore
+/// each job's slowdown and per-round progress, is constant across the
+/// hop), and the scheduling order is re-verified from re-derived keys at
+/// every skipped boundary, so a skipped run is bit-identical to a
+/// fixed-round run everywhere except [`EngineState::executed_rounds`].
+///
+/// Call this only after an executed sticky round in which no job finished
+/// (so the running set equals the schedulable prefix and the next round
+/// would issue no placement requests). `placement_order_into` is *not*
+/// replayed: it takes `&self` on an empty request list, so skipping the
+/// call is unobservable; the per-round policy-compute series therefore
+/// keeps one entry per executed round only.
+fn skip_stable_rounds(
+    st: &mut EngineState,
+    tel: &mut Telemetry,
+    ctx: &RoundCtx<'_>,
+    scheduler: &dyn SchedulingPolicy,
+    placement: &mut dyn PlacementPolicy,
+) {
+    let dt = ctx.config.round_duration;
+    // The keys moved while the round executed; the cached order survives
+    // into the upcoming boundary only if it re-derives identically now.
+    if !order_still_holds(scheduler, &st.jobs, &mut st.scratch.sched_keys) {
+        return;
+    }
+    // The scheduler's skip horizon: boundaries reached after `m` further
+    // rounds of accrual keep this order while m < horizon. The default
+    // (0) disables skipping — mandatory for policies whose ordering is
+    // not the key-based sort `order_still_holds` re-checks.
+    let horizon = scheduler.order_stable_rounds(
+        &st.jobs,
+        &st.scratch.sched_keys,
+        &st.scratch.progress_per_round,
+        dt,
+    );
+    let running_demand: usize = st
+        .scratch
+        .prefix
+        .iter()
+        .map(|&ji| st.jobs[ji].spec.gpu_demand)
+        .sum();
+    // Observation replay is the hop's only O(GPUs) work; elide it for
+    // policies whose `observe` is a no-op (bit-identical either way).
+    let deliver_observations = placement.wants_observations();
+    let mut skipped = 0usize;
+    'boundary: while skipped < horizon {
+        let t = st.t;
+        // Livelock cap: stop here; the next executed step re-derives the
+        // identical error at the identical round count.
+        if st.rounds >= ctx.config.max_rounds {
+            break;
+        }
+        // Admission would pick up an arrival at this boundary.
+        if st.next_admit < st.jobs.len() && st.jobs[st.next_admit].spec.arrival <= t + EPS {
+            break;
+        }
+        // A running job completes within this round (same closed-form
+        // finish time, and the same tolerance, the executed round uses).
+        for i in 0..st.scratch.prefix.len() {
+            let ji = st.scratch.prefix[i];
+            let finish_t = t + st.jobs[ji].remaining_work * st.scratch.slowdown[ji];
+            if finish_t <= t + dt + EPS {
+                break 'boundary;
+            }
+        }
+        // The accrual replayed so far may have moved the keys.
+        if skipped > 0 && !order_still_holds(scheduler, &st.jobs, &mut st.scratch.sched_keys) {
+            break;
+        }
+
+        // Commit: replay the bookkeeping of one unchanged round.
+        st.rounds += 1;
+        tel.gpus_in_use.push(t, running_demand as f64);
+        for i in 0..st.scratch.prefix.len() {
+            let ji = st.scratch.prefix[i];
+            if deliver_observations {
+                let job = &st.jobs[ji];
+                let gpus = job.allocation().expect("prefix job running");
+                st.scratch.per_gpu.clear();
+                st.scratch
+                    .per_gpu
+                    .extend(gpus.iter().map(|&g| ctx.truth.score(job.spec.class, g)));
+                placement.observe(&RoundObservation {
+                    job: job.spec.id,
+                    class: job.spec.class,
+                    gpus,
+                    per_gpu_slowdown: &st.scratch.per_gpu,
+                    locality_penalty: st.scratch.locality_penalty[ji],
+                });
+            }
+            let job = &mut st.jobs[ji];
+            let demand = job.spec.gpu_demand;
+            tel.busy_gpu_seconds += demand as f64 * dt;
+            job.attained_service += demand as f64 * dt;
+            job.remaining_work -= st.scratch.progress_per_round[ji];
+        }
+        st.t = t + dt;
+        skipped += 1;
+    }
 }

@@ -29,8 +29,15 @@ pub(crate) struct EngineState {
     pub(crate) finished: usize,
     /// Jobs processed by admission so far (arrival order).
     pub(crate) next_admit: usize,
-    /// Rounds executed (including idle fast-forward rounds).
+    /// Simulated scheduling rounds elapsed, exactly as fixed-round
+    /// stepping would count them (event-driven skipping replays the
+    /// counter for every round it hops over, so results stay
+    /// bit-identical).
     pub(crate) rounds: usize,
+    /// Rounds the engine actually *executed* — full decision rounds plus
+    /// idle fast-forwards. Event-driven skipping advances `rounds` without
+    /// advancing this; the gap is the skip win.
+    pub(crate) executed_rounds: usize,
     /// Indices of admitted, unfinished jobs, ascending. Maintained
     /// incrementally: push on admission, compact when jobs finish.
     pub(crate) active_queue: Vec<usize>,
@@ -79,6 +86,20 @@ pub(crate) struct RoundScratch {
     pub(crate) alloc_sorted: Vec<GpuId>,
     /// Sorted copy of a placement order, for the permutation check.
     pub(crate) perm_check: Vec<usize>,
+    /// Per-job slowdown (locality × straggler) of the current allocation,
+    /// cached by the round loop for event-driven skipping; indexed by job,
+    /// meaningful only for jobs in the last round's prefix.
+    pub(crate) slowdown: Vec<f64>,
+    /// Per-job locality penalty of the current allocation (cached for
+    /// replaying telemetry observations); indexed like `slowdown`.
+    pub(crate) locality_penalty: Vec<f64>,
+    /// Per-job ideal seconds retired per full round at the current
+    /// allocation (`round_duration / slowdown`); 0.0 for jobs not running.
+    /// Input to [`SchedulingPolicy::order_stable_rounds`].
+    ///
+    /// [`SchedulingPolicy::order_stable_rounds`]:
+    ///     crate::sched::SchedulingPolicy::order_stable_rounds
+    pub(crate) progress_per_round: Vec<f64>,
 }
 
 impl EngineState {
@@ -93,11 +114,15 @@ impl EngineState {
             finished: 0,
             next_admit: 0,
             rounds: 0,
+            executed_rounds: 0,
             active_queue: Vec::new(),
             active_demand: 0,
             scratch: RoundScratch {
                 in_prefix: vec![false; n],
                 migrated: vec![false; n],
+                slowdown: vec![0.0; n],
+                locality_penalty: vec![0.0; n],
+                progress_per_round: vec![0.0; n],
                 ..Default::default()
             },
             jobs,

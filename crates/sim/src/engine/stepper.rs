@@ -65,8 +65,14 @@ pub struct Simulation {
 pub struct SimSnapshot {
     /// Simulated seconds at the start of the next round.
     pub time: f64,
-    /// Rounds executed so far (including idle fast-forward rounds).
+    /// Simulated scheduling rounds elapsed so far (event-driven skipping
+    /// counts every round it hops over, so this matches fixed-round
+    /// stepping exactly).
     pub rounds: usize,
+    /// Rounds the engine actually executed: full decision rounds plus
+    /// idle fast-forwards. `rounds - executed_rounds` is the event-driven
+    /// skip win; the two are equal with `event_driven` off.
+    pub executed_rounds: usize,
     /// Jobs out of the system (completed or rejected).
     pub finished: usize,
     /// Runtime state of every job, in trace order.
@@ -137,9 +143,20 @@ impl Simulation {
         self.state.t
     }
 
-    /// Scheduling rounds executed so far (including idle fast-forwards).
+    /// Simulated scheduling rounds elapsed so far, exactly as fixed-round
+    /// stepping counts them: event-driven skipping replays the counter for
+    /// every round it hops over (idle fast-forwards still count as one).
     pub fn rounds(&self) -> usize {
         self.state.rounds
+    }
+
+    /// Rounds the engine actually executed — full decision rounds plus
+    /// idle fast-forward hops. With
+    /// [`SimConfig::event_driven`](crate::SimConfig::event_driven) on,
+    /// sticky runs execute far fewer rounds than they simulate; with it
+    /// off this equals [`rounds`](Simulation::rounds).
+    pub fn executed_rounds(&self) -> usize {
+        self.state.executed_rounds
     }
 
     /// Total jobs in the trace.
@@ -167,6 +184,7 @@ impl Simulation {
         SimSnapshot {
             time: self.state.t,
             rounds: self.state.rounds,
+            executed_rounds: self.state.executed_rounds,
             finished: self.state.finished,
             jobs: self.state.jobs.clone(),
             rejected: self
@@ -345,6 +363,43 @@ mod tests {
         assert_eq!(e1, e2);
         assert_eq!(e2, e3);
         assert_eq!(sim.rounds(), 1, "failed steps must not count rounds");
+    }
+
+    #[test]
+    fn event_driven_sticky_step_hops_to_next_event() {
+        use crate::config::SimConfig;
+        // One 10-round job under sticky FIFO: after the round that starts
+        // it, nothing can change until its completion, so the first step
+        // hops straight to the round before it finishes.
+        let trace = Trace::new("hop", vec![spec(0, 0.0, 2, 3000.0)]);
+        let mut sim = Scenario::new(trace, ClusterTopology::new(1, 4))
+            .config(SimConfig::sticky())
+            .start()
+            .unwrap();
+        assert_eq!(sim.step().unwrap(), StepOutcome::Running);
+        assert_eq!(sim.executed_rounds(), 1);
+        assert_eq!(sim.rounds(), 9, "8 decision-free rounds hopped");
+        assert_eq!(sim.step().unwrap(), StepOutcome::Complete);
+        assert_eq!(sim.rounds(), 10);
+        assert_eq!(sim.executed_rounds(), 2);
+        let r = sim.result().unwrap();
+        assert_eq!(r.rounds, 10);
+        assert_eq!(r.executed_rounds, 2);
+        assert!((r.records[0].finish - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_round_mode_executes_every_round() {
+        use crate::config::SimConfig;
+        let trace = Trace::new("fixed", vec![spec(0, 0.0, 2, 3000.0)]);
+        let mut sim = Scenario::new(trace, ClusterTopology::new(1, 4))
+            .config(SimConfig::sticky())
+            .event_driven(false)
+            .start()
+            .unwrap();
+        while sim.step().unwrap() == StepOutcome::Running {}
+        assert_eq!(sim.rounds(), 10);
+        assert_eq!(sim.executed_rounds(), 10);
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub(crate) fn build_result(
         ideal_gpu_seconds,
         total_gpus: st.cluster.topology().total_gpus(),
         rounds: st.rounds,
+        executed_rounds: st.executed_rounds,
         placement_compute_times: tel.placement_compute_times.clone(),
     }
 }

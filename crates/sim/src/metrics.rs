@@ -64,9 +64,18 @@ pub struct SimResult {
     pub ideal_gpu_seconds: f64,
     /// Cluster GPU count.
     pub total_gpus: usize,
-    /// Number of scheduling rounds executed.
+    /// Simulated scheduling rounds elapsed, as fixed-round stepping counts
+    /// them (event-driven skipping replays this counter bit-identically).
     pub rounds: usize,
-    /// Wall-clock seconds the placement policy spent per round (Figure 18).
+    /// Rounds the engine actually executed (decision rounds plus idle
+    /// fast-forwards). Equals `rounds` with event-driven skipping off;
+    /// far lower on sticky runs with it on. Excluded from
+    /// [`same_outcome`](SimResult::same_outcome), which compares what a
+    /// run *produced*, not how it was driven.
+    pub executed_rounds: usize,
+    /// Wall-clock seconds the placement policy spent per executed round
+    /// (Figure 18; skipped rounds invoke no placement code and add no
+    /// entry).
     pub placement_compute_times: Vec<f64>,
 }
 
@@ -201,6 +210,7 @@ mod tests {
             records,
             rejected: vec![],
             gpus_in_use: StepSeries::new(0.0),
+            executed_rounds: 1,
             busy_gpu_seconds: 100.0,
             ideal_gpu_seconds: 80.0,
             total_gpus: 4,

@@ -95,6 +95,17 @@ pub trait PlacementPolicy {
     /// it; adaptive policies fold it into their PM-score estimates.
     fn observe(&mut self, _obs: &RoundObservation) {}
 
+    /// Whether this policy consumes [`observe`](PlacementPolicy::observe)
+    /// callbacks. The engine's event-driven skip path replays one
+    /// observation per running job per skipped round; a policy whose
+    /// `observe` is a no-op returns `false` here so the skip can elide
+    /// assembling them (the built-in non-adaptive policies do). The
+    /// default is `true` — always safe, and required whenever `observe`
+    /// is overridden with a non-trivial body.
+    fn wants_observations(&self) -> bool {
+        true
+    }
+
     /// Write the allocation order of the schedulable prefix — indices into
     /// `requests` — into `out` (cleared first). The default keeps
     /// scheduling order; PAL and PM-First sort by class (placement

@@ -84,6 +84,10 @@ impl PlacementPolicy for PackedPlacement {
         "Packed"
     }
 
+    fn wants_observations(&self) -> bool {
+        false // inherits the no-op `observe`
+    }
+
     fn place_into(
         &mut self,
         request: &PlacementRequest,

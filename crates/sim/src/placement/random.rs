@@ -34,6 +34,10 @@ impl PlacementPolicy for RandomPlacement {
         "Random"
     }
 
+    fn wants_observations(&self) -> bool {
+        false // inherits the no-op `observe`
+    }
+
     fn place_into(
         &mut self,
         request: &PlacementRequest,

@@ -147,6 +147,17 @@ impl Scenario {
         self
     }
 
+    /// Enable or disable event-driven round skipping without touching the
+    /// other knobs (defaults to on). Skipping changes *only* how many
+    /// rounds the engine executes ([`SimResult::executed_rounds`]); every
+    /// simulated outcome is bit-identical either way.
+    ///
+    /// [`SimResult::executed_rounds`]: crate::SimResult::executed_rounds
+    pub fn event_driven(mut self, enabled: bool) -> Self {
+        self.config.event_driven = enabled;
+        self
+    }
+
     /// The effective policy-visible profile: the one set via
     /// [`profile`](Scenario::profile), or the flat default.
     pub fn effective_profile(&self) -> VariabilityProfile {

@@ -16,6 +16,17 @@ impl SchedulingPolicy for Fifo {
     fn key(&self, job: &ActiveJob) -> f64 {
         job.spec.arrival
     }
+
+    fn order_stable_rounds(
+        &self,
+        _jobs: &[ActiveJob],
+        _sorted: &[super::SchedKey],
+        _progress_per_round: &[f64],
+        _round_duration: f64,
+    ) -> usize {
+        // Arrival times never change: the order holds until the queue does.
+        usize::MAX
+    }
 }
 
 #[cfg(test)]

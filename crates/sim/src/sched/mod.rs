@@ -37,8 +37,10 @@ pub struct SchedKey {
 
 impl SchedKey {
     /// Strict total order: key, then arrival, then id. Panics on NaN keys
-    /// (a policy bug) exactly like the seed engine's comparator did.
-    fn cmp_total(&self, other: &Self) -> std::cmp::Ordering {
+    /// (a policy bug) exactly like the seed engine's comparator did. Public
+    /// because the engine re-derives keys at skipped round boundaries and
+    /// checks the cached sequence is still sorted under this order.
+    pub fn cmp_total(&self, other: &Self) -> std::cmp::Ordering {
         self.key
             .partial_cmp(&other.key)
             .expect("NaN scheduling key")
@@ -113,6 +115,80 @@ pub trait SchedulingPolicy {
         self.order_into(jobs, &queue, &mut keys, &mut out);
         out
     }
+
+    /// How many consecutive upcoming round boundaries — counting the one
+    /// the engine is about to process, whose keys equal the state in
+    /// `jobs` — the ordering in `sorted` (the current queue order,
+    /// ascending) provably survives, assuming the active queue does not
+    /// change and each job retires `progress_per_round[job]` seconds of
+    /// ideal work per round (zero for jobs not running). The boundary
+    /// reached after `m` further rounds of accrual is covered when the
+    /// returned value exceeds `m`.
+    ///
+    /// This is the scheduler's half of event-driven round skipping: the
+    /// engine skips a round only while (a) no job arrives, (b) no running
+    /// job completes, and (c) the priority order cannot change — this hook
+    /// answers (c). Return `usize::MAX` when the order can never change on
+    /// its own (e.g. FIFO), or the number of rounds until the next
+    /// *priority crossing* (e.g. a LAS job reaching its demotion
+    /// threshold). The estimate only has to be a best effort: the engine
+    /// re-derives every key at each skipped boundary and stops the moment
+    /// the order actually shifts, so an optimistic answer costs nothing
+    /// but a shorter skip — however, returning nonzero asserts that the
+    /// policy's ordering is the default `(key, arrival, id)` cached-key
+    /// sort, which is what the engine's per-boundary re-check validates. A
+    /// policy that overrides [`order_into`](SchedulingPolicy::order_into)
+    /// with an ordering not derived from [`key`](SchedulingPolicy::key)
+    /// must keep the conservative default of `0` ("may change every
+    /// round"), which disables skipping under that policy.
+    fn order_stable_rounds(
+        &self,
+        jobs: &[ActiveJob],
+        sorted: &[SchedKey],
+        progress_per_round: &[f64],
+        round_duration: f64,
+    ) -> usize {
+        let _ = (jobs, sorted, progress_per_round, round_duration);
+        0
+    }
+}
+
+/// Rounds until two adjacent linearly-decaying keys cross: the shared
+/// analysis behind [`SchedulingPolicy::order_stable_rounds`] for policies
+/// whose key shrinks at a constant per-round rate while a job runs (SRTF,
+/// SRSF). For each adjacent pair in `sorted`, the gap `key[i+1] - key[i]`
+/// closes by `drop(i+1) - drop(i)` per round (`drop` = the key's per-round
+/// decrement); the order is safe strictly before the earliest gap reaches
+/// zero. Ties in the primary key are ordered by the universal tie-breakers
+/// and stay stable unless the later entry decays strictly faster.
+pub fn stable_rounds_linear_keys(
+    sorted: &[SchedKey],
+    drop_per_round: impl Fn(usize) -> f64,
+) -> usize {
+    let mut stable = usize::MAX;
+    for pair in sorted.windows(2) {
+        let (lo, hi) = (&pair[0], &pair[1]);
+        let closing = drop_per_round(hi.job) - drop_per_round(lo.job);
+        if closing <= 0.0 {
+            continue; // the gap never shrinks
+        }
+        let gap = hi.key - lo.key;
+        let rounds = if gap <= 0.0 {
+            // Tied now (ordered by the tie-breakers); `hi` decays strictly
+            // faster, so the pair flips after one round of accrual.
+            1
+        } else {
+            // Boundaries reached after m rounds stay ordered while
+            // m < gap/closing; the engine's exact per-boundary re-check
+            // makes any floating-point optimism here harmless.
+            (gap / closing).ceil() as usize
+        };
+        stable = stable.min(rounds);
+        if stable == 0 {
+            break;
+        }
+    }
+    stable
 }
 
 #[cfg(test)]
