@@ -24,11 +24,13 @@ use pal_gpumodel::GpuSpec;
 use pal_sim::sched::Las;
 use pal_sim::{Scenario, StepOutcome};
 use pal_trace::{ModelCatalog, SynergyConfig, Trace};
+use std::sync::Arc;
 
 /// Deterministic non-flat 3-class profile sized to the cluster (profile
-/// synthesis is not what this bench measures, so keep it cheap).
-fn profile(gpus: usize) -> VariabilityProfile {
-    VariabilityProfile::from_raw(
+/// synthesis is not what this bench measures, so keep it cheap) — built
+/// once per bench and shared by `Arc` handle.
+fn profile(gpus: usize) -> Arc<VariabilityProfile> {
+    Arc::new(VariabilityProfile::from_raw(
         (0..3)
             .map(|c| {
                 (0..gpus)
@@ -36,22 +38,31 @@ fn profile(gpus: usize) -> VariabilityProfile {
                     .collect()
             })
             .collect(),
+    ))
+}
+
+fn synergy_trace(jobs_per_hour: f64) -> Arc<Trace> {
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    Arc::new(
+        SynergyConfig {
+            num_jobs: 300,
+            jobs_per_hour,
+            ..Default::default()
+        }
+        .generate(&catalog),
     )
 }
 
-fn synergy_trace(jobs_per_hour: f64) -> Trace {
-    let catalog = ModelCatalog::table2(&GpuSpec::v100());
-    SynergyConfig {
-        num_jobs: 300,
-        jobs_per_hour,
-        ..Default::default()
-    }
-    .generate(&catalog)
-}
-
-fn scenario(trace: &Trace, topo: ClusterTopology) -> Scenario {
-    Scenario::new(trace.clone(), topo)
-        .profile(profile(topo.total_gpus()))
+/// Scenarios share the trace and profile by `Arc` handle, so the
+/// measured loop starts each run without re-copying the 300-job trace or
+/// re-synthesizing the profile.
+fn scenario(
+    trace: &Arc<Trace>,
+    profile: &Arc<VariabilityProfile>,
+    topo: ClusterTopology,
+) -> Scenario {
+    Scenario::new(Arc::clone(trace), topo)
+        .profile(Arc::clone(profile))
         .locality(LocalityModel::uniform(1.5))
         .scheduler(Las::default())
 }
@@ -59,15 +70,17 @@ fn scenario(trace: &Trace, topo: ClusterTopology) -> Scenario {
 /// The event-driven skip's home turf: 48 long jobs arriving in a burst
 /// (~3 rounds), then draining for thousands of rounds under sticky
 /// placement with no queue changes between completions.
-fn sticky_drain_trace() -> Trace {
+fn sticky_drain_trace() -> Arc<Trace> {
     let catalog = ModelCatalog::table2(&GpuSpec::v100());
-    SynergyConfig {
-        num_jobs: 48,
-        jobs_per_hour: 240.0,
-        median_duration_s: 250_000.0,
-        ..Default::default()
-    }
-    .generate(&catalog)
+    Arc::new(
+        SynergyConfig {
+            num_jobs: 48,
+            jobs_per_hour: 240.0,
+            median_duration_s: 250_000.0,
+            ..Default::default()
+        }
+        .generate(&catalog),
+    )
 }
 
 /// Topology for the drain workload: small enough that the burst
@@ -76,21 +89,26 @@ fn drain_topology() -> ClusterTopology {
     ClusterTopology::new(8, 4)
 }
 
-fn drain_scenario(trace: &Trace, event_driven: bool) -> Scenario {
-    scenario(trace, drain_topology())
+fn drain_scenario(
+    trace: &Arc<Trace>,
+    profile: &Arc<VariabilityProfile>,
+    event_driven: bool,
+) -> Scenario {
+    scenario(trace, profile, drain_topology())
         .sticky(true)
         .event_driven(event_driven)
 }
 
 fn bench_full_run(c: &mut Criterion) {
     let topo = ClusterTopology::new(64, 4);
+    let prof = profile(topo.total_gpus());
     let mut group = c.benchmark_group("engine_full_run");
     group.sample_size(10);
     for (label, rate) in [("low_4jph", 4.0), ("high_14jph", 14.0)] {
         let trace = synergy_trace(rate);
         group.bench_with_input(BenchmarkId::new("synergy_300jobs", label), &rate, |b, _| {
             b.iter(|| {
-                let r = scenario(&trace, topo).run().expect("bench run");
+                let r = scenario(&trace, &prof, topo).run().expect("bench run");
                 black_box(r.rounds)
             })
         });
@@ -103,16 +121,21 @@ fn bench_single_steps(c: &mut Criterion) {
     // regime once, then measure individual `step()` calls (restarting
     // when the run completes). This is the allocation-free hot path.
     let topo = ClusterTopology::new(64, 4);
+    let prof = profile(topo.total_gpus());
     let trace = synergy_trace(14.0);
     let mut group = c.benchmark_group("engine_step");
-    let mut sim = scenario(&trace, topo).start().expect("bench scenario");
+    let mut sim = scenario(&trace, &prof, topo)
+        .start()
+        .expect("bench scenario");
     for _ in 0..200 {
         sim.step().expect("warmup step");
     }
     group.bench_function("saturated_round", |b| {
         b.iter(|| {
             if sim.step().expect("bench step") == StepOutcome::Complete {
-                sim = scenario(&trace, topo).start().expect("bench scenario");
+                sim = scenario(&trace, &prof, topo)
+                    .start()
+                    .expect("bench scenario");
                 for _ in 0..200 {
                     sim.step().expect("warmup step");
                 }
@@ -125,6 +148,7 @@ fn bench_single_steps(c: &mut Criterion) {
 
 fn bench_sticky_drain(c: &mut Criterion) {
     let trace = sticky_drain_trace();
+    let prof = profile(drain_topology().total_gpus());
     let mut group = c.benchmark_group("engine_sticky_drain");
     group.sample_size(10);
     for (label, event_driven) in [("event_on", true), ("event_off", false)] {
@@ -133,7 +157,7 @@ fn bench_sticky_drain(c: &mut Criterion) {
             &event_driven,
             |b, &event_driven| {
                 b.iter(|| {
-                    let r = drain_scenario(&trace, event_driven)
+                    let r = drain_scenario(&trace, &prof, event_driven)
                         .run()
                         .expect("bench run");
                     black_box(r.executed_rounds)
@@ -159,8 +183,9 @@ fn main() {
     // counts are bit-identical by construction), and the CI bench gate
     // fails the build if the executed count regresses.
     let trace = sticky_drain_trace();
+    let prof = profile(drain_topology().total_gpus());
     for (label, event_driven) in [("event_on", true), ("event_off", false)] {
-        let r = drain_scenario(&trace, event_driven)
+        let r = drain_scenario(&trace, &prof, event_driven)
             .run()
             .expect("rounds-accounting run");
         entries.push((

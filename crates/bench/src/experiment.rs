@@ -9,12 +9,13 @@
 //! [`paper_campaign`] builds the raw `Campaign` for binaries that sweep
 //! several scenarios at once.
 
-use pal::{PalPlacement, PmFirstPlacement};
+use pal::{PalPlacement, PmFirstPlacement, PmTableCache};
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_gpumodel::{profiler, ClusterFlavor, GpuSpec, ProfiledApp, Workload};
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
 use pal_sim::{Campaign, PlacementPolicy, PolicySpec, Scenario, SchedulingPolicy, SimResult};
 use pal_trace::Trace;
+use std::sync::Arc;
 
 /// Default seed for profile synthesis — fixed so every figure binary sees
 /// the same cluster.
@@ -115,8 +116,24 @@ impl PolicyKind {
         matches!(self, PolicyKind::RandomSticky | PolicyKind::Tiresias)
     }
 
-    /// Instantiate the placement policy object.
+    /// Instantiate the placement policy object, building any PM-score
+    /// table from scratch. Prefer [`build_cached`](PolicyKind::build_cached)
+    /// in sweeps.
     pub fn build(self, profile: &VariabilityProfile, seed: u64) -> Box<dyn PlacementPolicy + Send> {
+        self.build_cached(&PmTableCache::new(), profile, seed)
+    }
+
+    /// Instantiate the placement policy object, sourcing any PM-score
+    /// table from `cache` — PM-First and PAL built over the same profile
+    /// (and the paper's default binning) share one table, so an N×M
+    /// campaign performs O(distinct profiles) table builds instead of one
+    /// per cell.
+    pub fn build_cached(
+        self,
+        cache: &PmTableCache,
+        profile: &VariabilityProfile,
+        seed: u64,
+    ) -> Box<dyn PlacementPolicy + Send> {
         match self {
             PolicyKind::RandomSticky | PolicyKind::RandomNonSticky => {
                 Box::new(RandomPlacement::new(seed))
@@ -124,23 +141,43 @@ impl PolicyKind {
             PolicyKind::Gandiva | PolicyKind::Tiresias => {
                 Box::new(PackedPlacement::randomized(seed))
             }
-            PolicyKind::PmFirst => Box::new(PmFirstPlacement::new(profile)),
-            PolicyKind::Pal => Box::new(PalPlacement::new(profile)),
+            PolicyKind::PmFirst => Box::new(PmFirstPlacement::from_shared(
+                cache.get_or_build_default(profile),
+            )),
+            PolicyKind::Pal => Box::new(PalPlacement::from_shared(
+                cache.get_or_build_default(profile),
+            )),
         }
     }
 
     /// This configuration as a [`Campaign`] policy column: the paper's
-    /// label, the policy builder, and the sticky override.
+    /// label, the policy builder, and the sticky override. The column
+    /// memoizes its own PM-score tables; to share one cache across
+    /// several columns (as [`paper_policy_specs`] does), use
+    /// [`spec_cached`](PolicyKind::spec_cached).
     pub fn spec(self) -> PolicySpec {
-        PolicySpec::new(self.name(), move |profile, seed| self.build(profile, seed))
-            .sticky(self.sticky())
+        self.spec_cached(Arc::new(PmTableCache::new()))
+    }
+
+    /// [`spec`](PolicyKind::spec) with an explicit (usually shared)
+    /// PM-score table cache.
+    pub fn spec_cached(self, cache: Arc<PmTableCache>) -> PolicySpec {
+        PolicySpec::new(self.name(), move |profile, seed| {
+            self.build_cached(&cache, profile, seed)
+        })
+        .sticky(self.sticky())
     }
 }
 
 /// All six placement configurations as [`Campaign`] policy columns, in
-/// [`PolicyKind::ALL`] order.
+/// [`PolicyKind::ALL`] order, sharing one PM-score table cache: a whole
+/// paper sweep builds each distinct profile's table exactly once.
 pub fn paper_policy_specs() -> Vec<PolicySpec> {
-    PolicyKind::ALL.iter().map(|k| k.spec()).collect()
+    let cache = Arc::new(PmTableCache::new());
+    PolicyKind::ALL
+        .iter()
+        .map(|k| k.spec_cached(Arc::clone(&cache)))
+        .collect()
 }
 
 /// A campaign pre-loaded with the six paper policies (add scenarios with
@@ -170,15 +207,16 @@ where
     S: SchedulingPolicy + Send + Sync + Clone + 'static,
 {
     let tag = trace.name.clone();
-    let trace = trace.clone();
-    let profile = profile.clone();
-    let locality = locality.clone();
+    // One deep copy each into shared handles; every cell clones the Arc.
+    let trace = Arc::new(trace.clone());
+    let profile = Arc::new(profile.clone());
+    let locality = Arc::new(locality.clone());
     let mut results = Campaign::new()
         .seed(CAMPAIGN_SEED)
         .scenario(tag, move || {
-            Scenario::new(trace.clone(), topology)
-                .profile(profile.clone())
-                .locality(locality.clone())
+            Scenario::new(Arc::clone(&trace), topology)
+                .profile(Arc::clone(&profile))
+                .locality(Arc::clone(&locality))
                 .scheduler(scheduler.clone())
         })
         .policy(kind.spec())
@@ -200,14 +238,15 @@ where
     S: SchedulingPolicy + Send + Sync + Clone + 'static,
 {
     let tag = trace.name.clone();
-    let trace = trace.clone();
-    let profile = profile.clone();
-    let locality = locality.clone();
+    // One deep copy each into shared handles; every cell clones the Arc.
+    let trace = Arc::new(trace.clone());
+    let profile = Arc::new(profile.clone());
+    let locality = Arc::new(locality.clone());
     let results = paper_campaign()
         .scenario(tag, move || {
-            Scenario::new(trace.clone(), topology)
-                .profile(profile.clone())
-                .locality(locality.clone())
+            Scenario::new(Arc::clone(&trace), topology)
+                .profile(Arc::clone(&profile))
+                .locality(Arc::clone(&locality))
                 .scheduler(scheduler.clone())
         })
         .run()

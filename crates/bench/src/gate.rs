@@ -1,24 +1,27 @@
 //! The CI perf-regression gate over `BENCH_engine.json`.
 //!
 //! [`check`] compares a freshly measured bench file against the committed
-//! baseline and reports hard failures:
+//! baseline and reports hard failures across the gated sections
+//! ([`GATED_SECTIONS`]: `engine_rounds` and `campaign_startup`):
 //!
-//! - any deterministic `engine_rounds` metric (the `rounds/*` counts —
-//!   bit-exact and machine-independent by construction) more than
-//!   [`ROUNDS_TOLERANCE`] (1.05×) over its baseline — these need no
-//!   noise allowance, so even a small skip-efficiency regression fails;
-//!   intentional changes to the bench scenario or engine re-commit the
-//!   refreshed baseline instead;
-//! - any `engine_rounds` *wall-time* metric more than `tolerance ×` the
-//!   run's **median** wall-time ratio: the baseline is usually committed
+//! - any **deterministic** metric (the `rounds/*` simulated/executed
+//!   round counts, the `builds/*` PM-score table build counts — bit-exact
+//!   and machine-independent by construction) more than
+//!   [`DETERMINISTIC_TOLERANCE`] (1.05×) over its baseline — these need
+//!   no noise allowance, so even a small skip-efficiency or
+//!   cache-efficiency regression fails; intentional changes to the bench
+//!   scenario or engine re-commit the refreshed baseline instead;
+//! - any *wall-time* metric more than `tolerance ×` the run's **median**
+//!   wall-time ratio (taken across every gated section, so all the
+//!   metrics vote on the common mode): the baseline is usually committed
 //!   from a different machine than the CI runner, so the common-mode
 //!   speed difference shows up in every metric equally and the median
 //!   cancels it, while a real regression — an accidentally quadratic
-//!   round loop, skipping silently disabled on one path — is
-//!   differential and sticks out (a backstop still fails any wall-time
-//!   metric beyond `tolerance × `[`MACHINE_SPEED_ALLOWANCE`]` ×`
-//!   baseline absolutely, so a uniform global slowdown cannot hide in
-//!   the median);
+//!   round loop, skipping silently disabled on one path, per-cell table
+//!   rebuilds sneaking back into campaign start-up — is differential and
+//!   sticks out (a backstop still fails any wall-time metric beyond
+//!   `tolerance × `[`MACHINE_SPEED_ALLOWANCE`]` ×` baseline absolutely,
+//!   so a uniform global slowdown cannot hide in the median);
 //! - any `placement_hot_path` `allocs_per_place/*` metric above zero —
 //!   the zero-allocation hot-path contract is absolute.
 //!
@@ -40,17 +43,20 @@ pub const DEFAULT_TOLERANCE: f64 = 2.0;
 /// wall-time backstop fires (`tolerance × this × baseline`).
 pub const MACHINE_SPEED_ALLOWANCE: f64 = 4.0;
 
-/// Tolerance for the deterministic `rounds/*` counts: they are bit-exact
-/// re-runs of the same simulation, so anything beyond a rounding hair is
-/// a real skip-efficiency regression and fails regardless of the
-/// wall-time `--tolerance`.
-pub const ROUNDS_TOLERANCE: f64 = 1.05;
+/// Tolerance for the deterministic count metrics (`rounds/*`,
+/// `builds/*`): they are bit-exact re-runs of the same computation, so
+/// anything beyond a rounding hair is a real skip- or cache-efficiency
+/// regression and fails regardless of the wall-time `--tolerance`.
+pub const DETERMINISTIC_TOLERANCE: f64 = 1.05;
 
-/// The section gated relative to the baseline.
-const GATED_SECTION: &str = "engine_rounds";
-/// Key prefix of the deterministic (machine-independent) round-count
-/// metrics within [`GATED_SECTION`].
-const ROUNDS_PREFIX: &str = "rounds/";
+/// The sections gated relative to the baseline, each with the key prefix
+/// of its deterministic (machine-independent) count metrics; every other
+/// key in a gated section is treated as a wall time.
+pub const GATED_SECTIONS: &[(&str, &str)] = &[
+    ("engine_rounds", "rounds/"),
+    ("campaign_startup", "builds/"),
+];
+
 /// The section holding the absolute zero-allocation contract.
 const ALLOC_SECTION: &str = "placement_hot_path";
 /// Key prefix of the allocation-count metrics within [`ALLOC_SECTION`].
@@ -88,76 +94,86 @@ pub fn check(baseline: &BenchSections, current: &BenchSections, tolerance: f64) 
     let mut report = GateReport::default();
     let empty = Default::default();
 
-    let base = baseline.get(GATED_SECTION).unwrap_or(&empty);
-    let cur = current.get(GATED_SECTION).unwrap_or(&empty);
-    let mut wall_ratios: Vec<f64> = cur
+    // One global median across every gated section's wall-time metrics:
+    // the machine-speed common mode is a property of the run, so all the
+    // sections vote on it together.
+    let mut wall_ratios: Vec<f64> = GATED_SECTIONS
         .iter()
-        .filter(|(key, _)| !key.starts_with(ROUNDS_PREFIX))
-        .filter_map(|(key, &now)| {
-            base.get(key)
-                .filter(|&&was| was > 0.0)
-                .map(|&was| now / was)
+        .flat_map(|&(section, det_prefix)| {
+            let base = baseline.get(section).unwrap_or(&empty);
+            let cur = current.get(section).unwrap_or(&empty);
+            cur.iter()
+                .filter(move |(key, _)| !key.starts_with(det_prefix))
+                .filter_map(|(key, &now)| {
+                    base.get(key)
+                        .filter(|&&was| was > 0.0)
+                        .map(|&was| now / was)
+                })
         })
         .collect();
     let median = median_ratio(&mut wall_ratios);
     if let Some(m) = median {
         report.lines.push(format!(
-            "{GATED_SECTION}: median wall-time ratio {m:.2}x (machine-speed common mode)"
+            "median wall-time ratio {m:.2}x across gated sections (machine-speed common mode)"
         ));
     }
-    for (key, &now) in cur {
-        match base.get(key) {
-            Some(&was) if was > 0.0 => {
-                let ratio = now / was;
-                if key.starts_with(ROUNDS_PREFIX) {
-                    // Deterministic counts: gate near-exactly — no noise
-                    // allowance applies to a bit-exact re-run.
-                    if ratio > ROUNDS_TOLERANCE {
-                        report.failures.push(format!(
-                            "{GATED_SECTION}/{key}: {now:.1} is {ratio:.2}x baseline {was:.1} \
-                             (deterministic count, tolerance {ROUNDS_TOLERANCE}x)"
-                        ));
+    for &(section, det_prefix) in GATED_SECTIONS {
+        let base = baseline.get(section).unwrap_or(&empty);
+        let cur = current.get(section).unwrap_or(&empty);
+        for (key, &now) in cur {
+            match base.get(key) {
+                Some(&was) if was > 0.0 => {
+                    let ratio = now / was;
+                    if key.starts_with(det_prefix) {
+                        // Deterministic counts: gate near-exactly — no noise
+                        // allowance applies to a bit-exact re-run.
+                        if ratio > DETERMINISTIC_TOLERANCE {
+                            report.failures.push(format!(
+                                "{section}/{key}: {now:.1} is {ratio:.2}x baseline {was:.1} \
+                                 (deterministic count, tolerance {DETERMINISTIC_TOLERANCE}x)"
+                            ));
+                        } else {
+                            report
+                                .lines
+                                .push(format!("{section}/{key}: {ratio:.2}x baseline — ok"));
+                        }
                     } else {
-                        report
-                            .lines
-                            .push(format!("{GATED_SECTION}/{key}: {ratio:.2}x baseline — ok"));
-                    }
-                } else {
-                    // Wall times: gate against the median-normalized ratio
-                    // (cancels cross-machine speed), with an absolute
-                    // backstop so a uniform slowdown can't hide in it.
-                    let median = median.expect("key contributed a ratio");
-                    let normalized = ratio / median;
-                    if normalized > tolerance {
-                        report.failures.push(format!(
-                            "{GATED_SECTION}/{key}: {now:.1} is {ratio:.2}x baseline {was:.1}, \
-                             {normalized:.2}x this run's median ratio (tolerance {tolerance}x)"
-                        ));
-                    } else if ratio > tolerance * MACHINE_SPEED_ALLOWANCE {
-                        report.failures.push(format!(
-                            "{GATED_SECTION}/{key}: {now:.1} is {ratio:.2}x baseline {was:.1}, \
-                             past the absolute backstop ({tolerance}x tolerance × \
-                             {MACHINE_SPEED_ALLOWANCE}x machine allowance)"
-                        ));
-                    } else {
-                        report.lines.push(format!(
-                            "{GATED_SECTION}/{key}: {normalized:.2}x median-normalized — ok"
-                        ));
+                        // Wall times: gate against the median-normalized ratio
+                        // (cancels cross-machine speed), with an absolute
+                        // backstop so a uniform slowdown can't hide in it.
+                        let median = median.expect("key contributed a ratio");
+                        let normalized = ratio / median;
+                        if normalized > tolerance {
+                            report.failures.push(format!(
+                                "{section}/{key}: {now:.1} is {ratio:.2}x baseline {was:.1}, \
+                                 {normalized:.2}x this run's median ratio (tolerance {tolerance}x)"
+                            ));
+                        } else if ratio > tolerance * MACHINE_SPEED_ALLOWANCE {
+                            report.failures.push(format!(
+                                "{section}/{key}: {now:.1} is {ratio:.2}x baseline {was:.1}, \
+                                 past the absolute backstop ({tolerance}x tolerance × \
+                                 {MACHINE_SPEED_ALLOWANCE}x machine allowance)"
+                            ));
+                        } else {
+                            report.lines.push(format!(
+                                "{section}/{key}: {normalized:.2}x median-normalized — ok"
+                            ));
+                        }
                     }
                 }
+                Some(_) => report
+                    .lines
+                    .push(format!("{section}/{key}: baseline is zero — skipped")),
+                None => report.lines.push(format!(
+                    "{section}/{key}: no baseline (new metric) — skipped"
+                )),
             }
-            Some(_) => report
-                .lines
-                .push(format!("{GATED_SECTION}/{key}: baseline is zero — skipped")),
-            None => report.lines.push(format!(
-                "{GATED_SECTION}/{key}: no baseline (new metric) — skipped"
-            )),
         }
-    }
-    for key in base.keys().filter(|k| !cur.contains_key(*k)) {
-        report.lines.push(format!(
-            "{GATED_SECTION}/{key}: missing from current run — skipped"
-        ));
+        for key in base.keys().filter(|k| !cur.contains_key(*k)) {
+            report.lines.push(format!(
+                "{section}/{key}: missing from current run — skipped"
+            ));
+        }
     }
 
     let allocs = current.get(ALLOC_SECTION).unwrap_or(&empty);
@@ -280,6 +296,59 @@ mod tests {
         let r = check(&base, &cur, DEFAULT_TOLERANCE);
         assert!(!r.passed());
         assert!(r.failures[0].contains("deterministic count"));
+    }
+
+    #[test]
+    fn table_build_count_regression_fails_bit_exactly() {
+        // The cache silently bypassed: the 4×4 grid's one build becomes
+        // eight. Deterministic, so no wall-time noise allowance applies.
+        let base = sections(&[("campaign_startup", &[("builds/4x4_one_profile", 1.0)])]);
+        let cur = sections(&[("campaign_startup", &[("builds/4x4_one_profile", 8.0)])]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!r.passed());
+        assert!(
+            r.failures[0].contains("deterministic count"),
+            "{}",
+            r.failures[0]
+        );
+    }
+
+    #[test]
+    fn campaign_wall_times_share_the_global_median() {
+        // Both gated sections 3x slower (machine speed): the shared median
+        // cancels the factor for campaign_startup's lone wall metric just
+        // as it does for engine_rounds'.
+        let base = sections(&[
+            ("engine_rounds", &[("a/b", 100.0), ("a/c", 40.0)]),
+            (
+                "campaign_startup",
+                &[("campaign_grid/4x4/shared_cache", 50.0)],
+            ),
+        ]);
+        let cur = sections(&[
+            ("engine_rounds", &[("a/b", 300.0), ("a/c", 120.0)]),
+            (
+                "campaign_startup",
+                &[("campaign_grid/4x4/shared_cache", 150.0)],
+            ),
+        ]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(r.passed(), "{:?}", r.failures);
+        // ... while a campaign-only differential regression fails.
+        let cur = sections(&[
+            ("engine_rounds", &[("a/b", 100.0), ("a/c", 40.0)]),
+            (
+                "campaign_startup",
+                &[("campaign_grid/4x4/shared_cache", 201.0)],
+            ),
+        ]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!r.passed());
+        assert!(
+            r.failures[0].contains("campaign_startup"),
+            "{}",
+            r.failures[0]
+        );
     }
 
     #[test]

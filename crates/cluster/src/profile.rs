@@ -17,6 +17,13 @@ use serde::{Deserialize, Serialize};
 
 /// Variability profile of a cluster: `scores[class][gpu]` is the normalized
 /// iteration time of class `class`'s representative app on GPU `gpu`.
+///
+/// Profiles are a static, design-time artifact (Section IV-C): nothing in
+/// the simulator mutates one. Sweeps should share a profile across
+/// scenarios via `Arc<VariabilityProfile>` (the `pal_sim::Scenario`
+/// setters accept `impl Into<Arc<T>>`), and derived per-profile artifacts
+/// — notably the `pal` crate's PM-score tables — are memoizable by
+/// content (see `pal::PmTableCache`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VariabilityProfile {
     scores: Vec<Vec<f64>>,
@@ -83,9 +90,11 @@ impl VariabilityProfile {
         self.scores.len()
     }
 
-    /// Number of GPUs.
+    /// Number of GPUs; 0 for a class-less profile (unreachable via
+    /// [`from_raw`](VariabilityProfile::from_raw), which demands ≥1 class,
+    /// but constructible through deserialization) instead of a panic.
     pub fn num_gpus(&self) -> usize {
-        self.scores[0].len()
+        self.scores.first().map_or(0, |c| c.len())
     }
 
     /// Normalized iteration time (PM penalty) of `class` on `gpu`.
@@ -206,6 +215,16 @@ mod tests {
         assert_eq!(q.score(JobClass::A, GpuId(1)), 8.0);
         assert_eq!(q.score(JobClass::A, GpuId(0)), 1.0);
         assert_eq!(q.score(JobClass::B, GpuId(1)), 1.0);
+    }
+
+    #[test]
+    fn class_less_profile_reports_zero_gpus_without_panicking() {
+        // Regression: `num_gpus` indexed `scores[0]`; a deserialized
+        // empty profile (from_raw forbids one) panicked instead of
+        // reporting 0.
+        let p = VariabilityProfile { scores: Vec::new() };
+        assert_eq!(p.num_classes(), 0);
+        assert_eq!(p.num_gpus(), 0);
     }
 
     #[test]

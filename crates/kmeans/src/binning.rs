@@ -17,7 +17,7 @@ use crate::silhouette::min_cluster_silhouette;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the PM-score binning pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoreBinning {
     /// Smallest K to try (paper: 2).
     pub k_min: usize,

@@ -19,6 +19,7 @@ use crate::pm_scores::PmScoreTable;
 use pal_cluster::{ClusterState, GpuId, JobClass, VariabilityProfile};
 use pal_kmeans::ScoreBinning;
 use pal_sim::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation};
+use std::sync::Arc;
 
 /// Configuration for the online estimator.
 #[derive(Debug, Clone)]
@@ -63,10 +64,38 @@ impl AdaptivePal {
 
     /// Start with a custom estimator configuration.
     pub fn with_config(initial: &VariabilityProfile, config: AdaptiveConfig) -> Self {
+        let table = Arc::new(PmScoreTable::build(initial, &config.binning));
+        AdaptivePal::from_shared(initial, table, config)
+    }
+
+    /// Start from an offline profile whose *initial* binned table has
+    /// already been built — the sweep path: a [`crate::PmTableCache`]
+    /// memoizes the design-time table (which must have been built from
+    /// `initial` with `config.binning`), and each campaign cell's
+    /// Adaptive-PAL shares it until its first re-bin diverges from the
+    /// offline scores.
+    ///
+    /// Panics if the table's shape doesn't match `initial` — the cheap
+    /// half of the "built from `initial` with `config.binning`"
+    /// precondition; handing a table of the right shape but the wrong
+    /// content is on the caller (the cache upholds it by construction).
+    pub fn from_shared(
+        initial: &VariabilityProfile,
+        table: Arc<PmScoreTable>,
+        config: AdaptiveConfig,
+    ) -> Self {
+        assert!(
+            table.num_classes() == initial.num_classes() && table.num_gpus() == initial.num_gpus(),
+            "shared table shape {}x{} does not match the initial profile {}x{}",
+            table.num_classes(),
+            table.num_gpus(),
+            initial.num_classes(),
+            initial.num_gpus()
+        );
         let estimates: Vec<Vec<f64>> = (0..initial.num_classes())
             .map(|c| initial.class_scores(JobClass(c)).to_vec())
             .collect();
-        let inner = PalPlacement::with_binning(initial, &config.binning);
+        let inner = PalPlacement::from_shared(table);
         AdaptivePal {
             config,
             estimates,

@@ -20,6 +20,10 @@
 //!
 //! - [`adaptive`]: online PM-score updates (the extension Section V-A
 //!   motivates after finding stale profiles cost 11–14 % JCT).
+//! - [`table_cache`]: memoized PM-score table construction
+//!   ([`PmTableCache`]) — campaign sweeps build each distinct
+//!   (profile, binning) table exactly once and hand every policy a shared
+//!   `Arc<PmScoreTable>` handle.
 //!
 //! All policies implement [`pal_sim::PlacementPolicy`] and plug into the
 //! simulator next to the Packed/Random baselines.
@@ -63,6 +67,7 @@ pub mod lv;
 pub mod pal_policy;
 pub mod pm_scores;
 pub mod pmfirst;
+pub mod table_cache;
 
 pub use adaptive::{AdaptiveConfig, AdaptivePal};
 pub use classifier::AppClassifier;
@@ -70,3 +75,4 @@ pub use lv::{LvEntry, LvMatrix};
 pub use pal_policy::PalPlacement;
 pub use pm_scores::PmScoreTable;
 pub use pmfirst::PmFirstPlacement;
+pub use table_cache::PmTableCache;

@@ -27,14 +27,20 @@ use crate::pmfirst::{class_priority_order_into, ensure_class_order, pmfirst_into
 use pal_cluster::{ClassOrders, ClusterState, ClusterView, GpuId, JobClass, VariabilityProfile};
 use pal_kmeans::ScoreBinning;
 use pal_sim::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest};
+use std::sync::Arc;
 
 /// Score-filter tolerance for "PM-score ≤ V_i" comparisons.
 const EPS: f64 = 1e-9;
 
 /// PAL placement.
+///
+/// The PM-score table is held behind an `Arc`: sweeps that build many PAL
+/// instances over one profile share a single table (see
+/// [`crate::PmTableCache`] and [`PalPlacement::from_shared`]) instead of
+/// re-running K-Means binning per instance.
 #[derive(Debug, Clone)]
 pub struct PalPlacement {
-    table: PmScoreTable,
+    table: Arc<PmScoreTable>,
     orders: ClassOrders,
     /// Scratch: one node's filtered free list in the packed arm.
     filt: Vec<GpuId>,
@@ -55,15 +61,18 @@ struct LvSlot {
 impl PalPlacement {
     /// Build from a variability profile using the paper's default binning.
     pub fn new(profile: &VariabilityProfile) -> Self {
-        PalPlacement::from_table(PmScoreTable::build_default(profile))
+        PalPlacement::from_shared(Arc::new(PmScoreTable::build_default(profile)))
     }
 
     /// Build with a custom binning configuration.
     pub fn with_binning(profile: &VariabilityProfile, binning: &ScoreBinning) -> Self {
-        PalPlacement::from_table(PmScoreTable::build(profile, binning))
+        PalPlacement::from_shared(Arc::new(PmScoreTable::build(profile, binning)))
     }
 
-    fn from_table(table: PmScoreTable) -> Self {
+    /// Build around an already-constructed shared table — the sweep path:
+    /// a [`crate::PmTableCache`] builds each distinct table once and every
+    /// campaign cell's policy borrows it by reference count.
+    pub fn from_shared(table: Arc<PmScoreTable>) -> Self {
         let orders = ClassOrders::new(table.num_classes());
         let lv_cache = vec![None; table.num_classes()];
         PalPlacement {
@@ -76,6 +85,12 @@ impl PalPlacement {
 
     /// The precomputed PM-score table.
     pub fn table(&self) -> &PmScoreTable {
+        &self.table
+    }
+
+    /// The shared handle to the PM-score table (e.g. to assert sharing in
+    /// tests, or to hand the same table to another policy).
+    pub fn shared_table(&self) -> &Arc<PmScoreTable> {
         &self.table
     }
 }

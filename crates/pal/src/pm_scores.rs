@@ -19,7 +19,17 @@ pub struct PmScoreTable {
 impl PmScoreTable {
     /// Build the table from a variability profile (the "design time"
     /// construction of Section IV-C — profiles are static).
+    ///
+    /// Panics on a zero-class profile: a table with no classes has no
+    /// scores to serve, and every downstream consumer (L×V matrices,
+    /// class orderings) indexes by class. `VariabilityProfile::from_raw`
+    /// already rejects empty score sets, so this guards only hand-rolled
+    /// or deserialized inputs.
     pub fn build(profile: &VariabilityProfile, binning: &ScoreBinning) -> Self {
+        assert!(
+            profile.num_classes() > 0,
+            "cannot build a PM-score table from a zero-class profile"
+        );
         let per_class = (0..profile.num_classes())
             .map(|c| binning.bin(profile.class_scores(JobClass(c))))
             .collect();
@@ -37,9 +47,10 @@ impl PmScoreTable {
         self.per_class.len()
     }
 
-    /// Number of GPUs.
+    /// Number of GPUs; 0 for a table with no classes (e.g. one
+    /// deserialized from an empty `per_class` list) instead of a panic.
     pub fn num_gpus(&self) -> usize {
-        self.per_class[0].scores.len()
+        self.per_class.first().map_or(0, |c| c.scores.len())
     }
 
     /// The (binned) PM-score of `gpu` for `class` — `ComputePMScore` of
@@ -147,5 +158,17 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(table(64), table(64));
+    }
+
+    #[test]
+    fn empty_table_reports_zero_gpus_without_panicking() {
+        // Regression: `num_gpus` indexed `per_class[0]` and panicked on a
+        // class-less table (reachable via deserialization — `from_raw`
+        // profiles always carry ≥1 class).
+        let t = PmScoreTable {
+            per_class: Vec::new(),
+        };
+        assert_eq!(t.num_gpus(), 0);
+        assert_eq!(t.num_classes(), 0);
     }
 }

@@ -14,32 +14,44 @@ use crate::pm_scores::PmScoreTable;
 use pal_cluster::{ClassOrders, ClusterState, GpuId, JobClass, VariabilityProfile};
 use pal_kmeans::ScoreBinning;
 use pal_sim::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest};
+use std::sync::Arc;
 
 /// PM-First placement.
+///
+/// Holds its PM-score table behind an `Arc` so sweeps can share one table
+/// across many instances (see [`crate::PmTableCache`]).
 #[derive(Debug, Clone)]
 pub struct PmFirstPlacement {
-    table: PmScoreTable,
+    table: Arc<PmScoreTable>,
     orders: ClassOrders,
 }
 
 impl PmFirstPlacement {
     /// Build from a variability profile using the paper's default binning.
     pub fn new(profile: &VariabilityProfile) -> Self {
-        PmFirstPlacement::from_table(PmScoreTable::build_default(profile))
+        PmFirstPlacement::from_shared(Arc::new(PmScoreTable::build_default(profile)))
     }
 
     /// Build with a custom binning configuration (K-sweep ablations).
     pub fn with_binning(profile: &VariabilityProfile, binning: &ScoreBinning) -> Self {
-        PmFirstPlacement::from_table(PmScoreTable::build(profile, binning))
+        PmFirstPlacement::from_shared(Arc::new(PmScoreTable::build(profile, binning)))
     }
 
-    fn from_table(table: PmScoreTable) -> Self {
+    /// Build around an already-constructed shared table — the sweep path:
+    /// a [`crate::PmTableCache`] builds each distinct table once and every
+    /// campaign cell's policy borrows it by reference count.
+    pub fn from_shared(table: Arc<PmScoreTable>) -> Self {
         let orders = ClassOrders::new(table.num_classes());
         PmFirstPlacement { table, orders }
     }
 
     /// The precomputed PM-score table.
     pub fn table(&self) -> &PmScoreTable {
+        &self.table
+    }
+
+    /// The shared handle to the PM-score table.
+    pub fn shared_table(&self) -> &Arc<PmScoreTable> {
         &self.table
     }
 }

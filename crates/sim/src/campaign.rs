@@ -11,6 +11,18 @@
 //! byte-identical across thread interleavings and match
 //! [`Campaign::run_sequential`] exactly (modulo wall-clock placement
 //! timing, which [`SimResult::same_outcome`] ignores).
+//!
+//! ## Sharing inputs across cells
+//!
+//! [`Scenario`] holds its heavy inputs behind `Arc`s (see the
+//! [`Scenario` module docs](crate::scenario#shared-inputs)), so a factory
+//! that captures `Arc<Trace>` / `Arc<VariabilityProfile>` handles and
+//! clones *them* gives every cell a view of one shared copy — an N×M grid
+//! over one trace allocates the trace once, not N×M times. Policy builders
+//! receive the scenario's profile as a shared `&Arc` for the same reason:
+//! builders that derive expensive per-profile artifacts (e.g. the `pal`
+//! crate's PM-score tables) can key a memoization cache on it and build
+//! each distinct artifact once per campaign instead of once per cell.
 
 use crate::error::SimError;
 use crate::metrics::SimResult;
@@ -18,19 +30,20 @@ use crate::placement::PlacementPolicy;
 use crate::scenario::Scenario;
 use pal_cluster::VariabilityProfile;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 type ScenarioFactory = Box<dyn Fn() -> Scenario + Send + Sync>;
 type PolicyBuilder =
-    Box<dyn Fn(&VariabilityProfile, u64) -> Box<dyn PlacementPolicy + Send> + Send + Sync>;
+    Box<dyn Fn(&Arc<VariabilityProfile>, u64) -> Box<dyn PlacementPolicy + Send> + Send + Sync>;
 
 /// A named placement-policy configuration for sweeps.
 ///
 /// The builder closure receives the scenario's effective variability
-/// profile and the cell's deterministic seed, and returns a fresh policy
-/// instance. An optional sticky override lets one spec flip the
-/// scenario's placement mode (e.g. the paper's Tiresias = packed+sticky
-/// vs Gandiva = packed+non-sticky).
+/// profile (as a shared `Arc` handle — clone it freely, it's a
+/// reference-count bump) and the cell's deterministic seed, and returns a
+/// fresh policy instance. An optional sticky override lets one spec flip
+/// the scenario's placement mode (e.g. the paper's Tiresias =
+/// packed+sticky vs Gandiva = packed+non-sticky).
 pub struct PolicySpec {
     name: String,
     sticky: Option<bool>,
@@ -41,7 +54,7 @@ impl PolicySpec {
     /// A policy spec with no sticky override.
     pub fn new(
         name: impl Into<String>,
-        build: impl Fn(&VariabilityProfile, u64) -> Box<dyn PlacementPolicy + Send>
+        build: impl Fn(&Arc<VariabilityProfile>, u64) -> Box<dyn PlacementPolicy + Send>
             + Send
             + Sync
             + 'static,
@@ -69,10 +82,11 @@ impl PolicySpec {
         self.sticky
     }
 
-    /// Build a fresh policy instance for one cell.
+    /// Build a fresh policy instance for one cell. The profile is the
+    /// scenario's shared handle ([`Scenario::effective_profile`]).
     pub fn build(
         &self,
-        profile: &VariabilityProfile,
+        profile: &Arc<VariabilityProfile>,
         seed: u64,
     ) -> Box<dyn PlacementPolicy + Send> {
         (self.build)(profile, seed)
@@ -170,12 +184,24 @@ impl Campaign {
     pub fn cell_seed(&self, scenario_idx: usize, policy_idx: usize) -> u64 {
         let tag = &self.scenarios[scenario_idx].0;
         let policy = self.policies.get(policy_idx).map_or("", |p| p.name());
-        // FNV-1a over (tag, NUL, policy), then SplitMix64 finalization.
+        // FNV-1a over the length-prefixed (tag, policy) byte streams, then
+        // SplitMix64 finalization. Length-prefixing makes the encoding
+        // injective: the earlier NUL-separated form mapped e.g.
+        // ("a\0b", "") and ("a", "b\0") to the same bytes, colliding their
+        // cell seeds.
         let mut h: u64 = 0xCBF2_9CE4_8422_2325 ^ self.base_seed;
-        for b in tag.bytes().chain([0u8]).chain(policy.bytes()) {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
+        let mut absorb = |bytes: &[u8]| {
+            for b in (bytes.len() as u64)
+                .to_le_bytes()
+                .into_iter()
+                .chain(bytes.iter().copied())
+            {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        absorb(tag.as_bytes());
+        absorb(policy.as_bytes());
         let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -291,6 +317,7 @@ impl std::fmt::Debug for Campaign {
             )
             .field("policies", &self.policies)
             .field("base_seed", &self.base_seed)
+            .field("max_parallelism", &self.max_parallelism)
             .finish()
     }
 }
@@ -467,6 +494,87 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), seeds.len(), "cell seeds collide: {seeds:?}");
         assert_eq!(c.cell_seed(1, 1), test_campaign().cell_seed(1, 1));
+    }
+
+    #[test]
+    fn cell_seed_encoding_is_injective_across_nul_boundaries() {
+        // Regression: the pre-length-prefix FNV encoding concatenated
+        // (tag, NUL, policy), so any (tag, policy) pairs whose concatenated
+        // byte streams matched — e.g. ("a\0b", "") and ("a", "b\0") —
+        // derived the *same* cell seed. Length-prefixing delimits the two
+        // streams unambiguously.
+        let seed_of = |tag: &str, policy: &str| {
+            let tag = tag.to_string();
+            let c = Campaign::new()
+                .seed(99)
+                .scenario(tag, || {
+                    Scenario::new(small_trace(1), ClusterTopology::new(1, 4))
+                })
+                .policy(PolicySpec::new(policy, |_, seed| {
+                    Box::new(RandomPlacement::new(seed))
+                }));
+            c.cell_seed(0, 0)
+        };
+        // The historically colliding pair.
+        assert_ne!(seed_of("a\0b", ""), seed_of("a", "b\0"));
+        // Neighbouring shifted-boundary pairs stay distinct too.
+        assert_ne!(seed_of("a\0b", ""), seed_of("a", "b"));
+        assert_ne!(seed_of("ab", "c"), seed_of("a", "bc"));
+        assert_ne!(seed_of("", "a"), seed_of("a", ""));
+    }
+
+    #[test]
+    fn cells_share_one_trace_and_profile_allocation() {
+        // The whole point of Arc-shared inputs: a factory capturing Arc
+        // handles gives every cell (and every policy builder) a view of
+        // the same allocation.
+        use pal_cluster::VariabilityProfile;
+        use std::sync::Arc;
+        let trace = Arc::new(small_trace(4));
+        let profile = Arc::new(VariabilityProfile::from_raw(vec![vec![1.1; 8]; 3]));
+        // Pointer identity recorded as usize so the closure stays Send.
+        let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen_in_builder = Arc::clone(&seen);
+        let results = Campaign::new()
+            .scenario("shared", {
+                let trace = Arc::clone(&trace);
+                let profile = Arc::clone(&profile);
+                move || {
+                    Scenario::new(Arc::clone(&trace), ClusterTopology::new(2, 4))
+                        .profile(Arc::clone(&profile))
+                        .scheduler(Fifo)
+                }
+            })
+            .policies([
+                PolicySpec::new("Random", move |p, seed| {
+                    seen_in_builder
+                        .lock()
+                        .unwrap()
+                        .push(Arc::as_ptr(p) as usize);
+                    Box::new(RandomPlacement::new(seed))
+                }),
+                PolicySpec::new("Packed", |_, seed| {
+                    Box::new(PackedPlacement::randomized(seed))
+                }),
+            ])
+            .max_parallelism(1)
+            .run()
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(
+            seen[0],
+            Arc::as_ptr(&profile) as usize,
+            "policy builder saw a per-cell profile copy, not the shared handle"
+        );
+    }
+
+    #[test]
+    fn debug_includes_max_parallelism() {
+        let c = Campaign::new().max_parallelism(3);
+        let d = format!("{c:?}");
+        assert!(d.contains("max_parallelism: Some(3)"), "{d}");
     }
 
     #[test]

@@ -22,15 +22,22 @@ use crate::placement::PlacementPolicy;
 use crate::sched::SchedulingPolicy;
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_trace::{JobId, Trace};
+use std::sync::Arc;
 
 /// The resolved ingredients of a run, bundled by
 /// [`Scenario::start`](crate::Scenario::start).
+///
+/// The immutable inputs arrive as `Arc` handles (see the
+/// [`Scenario` module docs](crate::scenario#shared-inputs)): a sweep
+/// starting many simulations over the same trace/profile/locality model
+/// shares one copy of each, and building a stepper copies nothing but the
+/// per-run job state.
 pub(crate) struct SimulationParts {
-    pub trace: Trace,
+    pub trace: Arc<Trace>,
     pub topology: ClusterTopology,
-    pub profile: VariabilityProfile,
-    pub truth: VariabilityProfile,
-    pub locality: LocalityModel,
+    pub profile: Arc<VariabilityProfile>,
+    pub truth: Arc<VariabilityProfile>,
+    pub locality: Arc<LocalityModel>,
     pub scheduler: Box<dyn SchedulingPolicy + Send + Sync>,
     pub placement: Box<dyn PlacementPolicy + Send>,
     pub admission: Box<dyn AdmissionPolicy + Send + Sync>,
@@ -47,9 +54,9 @@ pub struct Simulation {
     trace_name: String,
     ideal_gpu_seconds: f64,
     total_gpus: usize,
-    profile: VariabilityProfile,
-    truth: VariabilityProfile,
-    locality: LocalityModel,
+    profile: Arc<VariabilityProfile>,
+    truth: Arc<VariabilityProfile>,
+    locality: Arc<LocalityModel>,
     scheduler: Box<dyn SchedulingPolicy + Send + Sync>,
     placement: Box<dyn PlacementPolicy + Send>,
     admission: Box<dyn AdmissionPolicy + Send + Sync>,
@@ -98,7 +105,7 @@ impl Simulation {
         let state = EngineState::new(&trace, topology);
         Simulation {
             ideal_gpu_seconds: trace.total_ideal_gpu_service(),
-            trace_name: trace.name,
+            trace_name: trace.name.clone(),
             total_gpus: topology.total_gpus(),
             profile,
             truth,

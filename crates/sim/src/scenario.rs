@@ -26,6 +26,19 @@
 //! and new scenario dimensions (truth perturbation, admission control,
 //! sticky mode, …) compose through builder methods without touching any
 //! call site that doesn't care.
+//!
+//! ## Shared inputs
+//!
+//! The heavy immutable inputs — the trace, the variability profiles, and
+//! the locality model — are held behind [`Arc`]s. Every setter accepts
+//! `impl Into<Arc<T>>`, so passing an owned value works exactly as before
+//! while sweep drivers ([`crate::Campaign`] factories, figure binaries)
+//! can build the input once, wrap it in an `Arc`, and hand each scenario
+//! a cheap handle instead of a deep clone. The handles flow untouched
+//! through [`Scenario::start`] into the engine; a `Campaign` cell's
+//! marginal start-up cost is O(jobs) run-state initialization, not
+//! O(trace + profile) copying. (`ClusterTopology` is two words and
+//! `Copy`, so it flows by value.)
 
 use crate::admission::{AdmissionPolicy, AdmitAll};
 use crate::config::SimConfig;
@@ -36,6 +49,7 @@ use crate::placement::{PackedPlacement, PlacementPolicy};
 use crate::sched::{Fifo, SchedulingPolicy};
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_trace::Trace;
+use std::sync::Arc;
 
 /// Minimum number of variability classes a default (flat) profile covers.
 const DEFAULT_CLASSES: usize = 3;
@@ -46,11 +60,11 @@ const DEFAULT_CLASSES: usize = 3;
 /// execute with [`Scenario::run`]. For sweeps over many scenarios and
 /// placement policies, see [`crate::Campaign`].
 pub struct Scenario {
-    trace: Trace,
+    trace: Arc<Trace>,
     topology: ClusterTopology,
-    profile: Option<VariabilityProfile>,
-    truth: Option<VariabilityProfile>,
-    locality: LocalityModel,
+    profile: Option<Arc<VariabilityProfile>>,
+    truth: Option<Arc<VariabilityProfile>>,
+    locality: Arc<LocalityModel>,
     scheduler: Box<dyn SchedulingPolicy + Send + Sync>,
     placement: Box<dyn PlacementPolicy + Send>,
     admission: Box<dyn AdmissionPolicy + Send + Sync>,
@@ -62,13 +76,18 @@ impl Scenario {
     /// cluster: flat (variability-free) profile, no locality penalty, FIFO
     /// scheduling, deterministic packed placement, admit-all admission,
     /// and the paper's 300 s non-sticky rounds.
-    pub fn new(trace: Trace, topology: ClusterTopology) -> Self {
+    ///
+    /// Accepts an owned [`Trace`] or a pre-wrapped `Arc<Trace>` — sweeps
+    /// building many scenarios over one trace should pass `Arc` handles so
+    /// the jobs are shared rather than copied (see the
+    /// [module docs](self#shared-inputs)).
+    pub fn new(trace: impl Into<Arc<Trace>>, topology: ClusterTopology) -> Self {
         Scenario {
-            trace,
+            trace: trace.into(),
             topology,
             profile: None,
             truth: None,
-            locality: LocalityModel::uniform(1.0),
+            locality: Arc::new(LocalityModel::uniform(1.0)),
             scheduler: Box::new(Fifo),
             placement: Box::new(PackedPlacement::deterministic()),
             admission: Box::new(AdmitAll),
@@ -78,21 +97,24 @@ impl Scenario {
 
     /// The variability profile placement policies consult (and, unless
     /// [`truth`](Scenario::truth) is set, the one execution follows).
-    pub fn profile(mut self, profile: VariabilityProfile) -> Self {
-        self.profile = Some(profile);
+    /// Accepts an owned profile or a shared `Arc` handle.
+    pub fn profile(mut self, profile: impl Into<Arc<VariabilityProfile>>) -> Self {
+        self.profile = Some(profile.into());
         self
     }
 
     /// A distinct ground-truth profile driving execution — the
     /// stale-profile experiments of Section V-A perturb this copy.
-    pub fn truth(mut self, truth: VariabilityProfile) -> Self {
-        self.truth = Some(truth);
+    /// Accepts an owned profile or a shared `Arc` handle.
+    pub fn truth(mut self, truth: impl Into<Arc<VariabilityProfile>>) -> Self {
+        self.truth = Some(truth.into());
         self
     }
 
-    /// The locality penalty model (defaults to no penalty).
-    pub fn locality(mut self, locality: LocalityModel) -> Self {
-        self.locality = locality;
+    /// The locality penalty model (defaults to no penalty). Accepts an
+    /// owned model or a shared `Arc` handle.
+    pub fn locality(mut self, locality: impl Into<Arc<LocalityModel>>) -> Self {
+        self.locality = locality.into();
         self
     }
 
@@ -160,10 +182,16 @@ impl Scenario {
 
     /// The effective policy-visible profile: the one set via
     /// [`profile`](Scenario::profile), or the flat default.
-    pub fn effective_profile(&self) -> VariabilityProfile {
+    ///
+    /// Returns the scenario's own `Arc` handle — cloning it is a
+    /// reference-count bump, not a copy of the score matrix, so per-cell
+    /// callers ([`crate::Campaign`] hands it to every [`crate::PolicySpec`]
+    /// builder) pay nothing per call. Only the unset-profile case
+    /// materializes a fresh (flat) profile.
+    pub fn effective_profile(&self) -> Arc<VariabilityProfile> {
         match &self.profile {
-            Some(p) => p.clone(),
-            None => flat_profile(&self.trace, &self.topology),
+            Some(p) => Arc::clone(p),
+            None => Arc::new(flat_profile(&self.trace, &self.topology)),
         }
     }
 
@@ -181,8 +209,8 @@ impl Scenario {
         crate::engine::validate_inputs(
             &self.trace,
             &self.topology,
-            self.profile.as_ref(),
-            self.truth.as_ref(),
+            self.profile.as_deref(),
+            self.truth.as_deref(),
             &self.config,
         )
     }
@@ -206,8 +234,8 @@ impl Scenario {
             admission,
             config,
         } = self;
-        let profile = profile.unwrap_or_else(|| flat_profile(&trace, &topology));
-        let truth = truth.unwrap_or_else(|| profile.clone());
+        let profile = profile.unwrap_or_else(|| Arc::new(flat_profile(&trace, &topology)));
+        let truth = truth.unwrap_or_else(|| Arc::clone(&profile));
         crate::engine::validate_inputs(&trace, &topology, Some(&profile), Some(&truth), &config)?;
         Ok(Simulation::from_parts(SimulationParts {
             trace,

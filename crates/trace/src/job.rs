@@ -75,6 +75,12 @@ impl JobSpec {
 }
 
 /// A full trace: jobs sorted by arrival time.
+///
+/// A trace is immutable once built — the simulator copies per-job *run
+/// state* out of it, never mutates it — so sweeps running many scenarios
+/// over one workload should share it via `Arc<Trace>` (every
+/// `pal_sim::Scenario` input setter accepts `impl Into<Arc<T>>`) rather
+/// than deep-cloning the job list per run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     /// Human-readable trace name (e.g. `sia-philly-3`).
