@@ -1,0 +1,76 @@
+//! Criterion benchmark for serving-path throughput: one single-node
+//! deployment sustaining a **1-million-request** open-loop Poisson stream
+//! end-to-end through the `Scenario` → round stepper → batcher path —
+//! the PR 6 acceptance workload.
+//!
+//! The wall-time group measures how fast the engine chews through the
+//! stream (request generation, queueing, batch formation, and latency
+//! accounting all sit on this path). Beyond wall time, `main` records the
+//! *deterministic* serving outcomes (`served/...`: request/batch counts,
+//! SLO attainment, p99 latency, goodput — bit-exact replays of a seeded
+//! stream) into `BENCH_engine.json`, where the CI bench gate pins them:
+//! a change that silently perturbs the sampler, the batcher's admission
+//! rule, or the SLO accounting fails the build even on a noisy runner.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use pal_cluster::ClusterTopology;
+use pal_sim::{BatcherConfig, Scenario, ServingJob, SimResult};
+use pal_trace::{ServingWorkload, Trace};
+
+const REQUESTS: u64 = 1_000_000;
+
+/// The acceptance workload: 2 000 req/s offered to 4 single-GPU replicas
+/// on one 8-GPU node, 1 ms median work, 250 ms deadline, a 2 ms-overhead
+/// batcher filling up to 32 — ≈55 % of batched capacity, so the
+/// deployment genuinely sustains the stream (~500 simulated seconds).
+fn serving_scenario(num_requests: u64) -> Scenario {
+    let workload = ServingWorkload {
+        work_median_s: 0.001,
+        work_sigma: 0.25,
+        slo_s: 0.25,
+        ..ServingWorkload::poisson("bench-1m", 2_000.0, num_requests)
+    };
+    let job = ServingJob::new(workload, 4, 1).batcher(BatcherConfig {
+        max_batch_size: 32,
+        batch_overhead_s: 0.002,
+    });
+    Scenario::new(Trace::new("none", vec![]), ClusterTopology::new(1, 8)).serving(job)
+}
+
+fn run(num_requests: u64) -> SimResult {
+    serving_scenario(num_requests)
+        .run()
+        .expect("serving bench scenario runs")
+}
+
+fn bench_serving_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_run");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("open_loop", "1m_requests"), |b| {
+        b.iter(|| {
+            let r = run(REQUESTS);
+            black_box(r.serving[0].latency_p99)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving_latency);
+
+fn main() {
+    benches();
+    let mut entries = criterion::take_measurements();
+    // Deterministic serving outcomes for the CI gate: the stream is a
+    // pure function of its seed, batching is deterministic, and latency
+    // percentiles are simulated time — machine-independent by
+    // construction.
+    let m = &run(REQUESTS).serving[0];
+    assert_eq!(m.requests, REQUESTS, "acceptance run must serve the stream");
+    entries.push(("served/1m/requests".to_string(), m.requests as f64));
+    entries.push(("served/1m/batches".to_string(), m.batches as f64));
+    entries.push(("served/1m/slo_attained".to_string(), m.slo_attained as f64));
+    entries.push(("served/1m/p99_latency_ms".to_string(), m.latency_p99 * 1e3));
+    entries.push(("served/1m/goodput_rps".to_string(), m.goodput()));
+    pal_bench::bench_json::update_workspace("serving_latency", &entries)
+        .expect("update BENCH_engine.json");
+}

@@ -2,11 +2,13 @@
 //!
 //! [`check`] compares a freshly measured bench file against the committed
 //! baseline and reports hard failures across the gated sections
-//! ([`GATED_SECTIONS`]: `engine_rounds` and `campaign_startup`):
+//! ([`GATED_SECTIONS`]: `engine_rounds`, `campaign_startup`, and
+//! `serving_latency`):
 //!
 //! - any **deterministic** metric (the `rounds/*` simulated/executed
-//!   round counts, the `builds/*` PM-score table build counts — bit-exact
-//!   and machine-independent by construction) more than
+//!   round counts, the `builds/*` PM-score table build counts, the
+//!   `served/*` serving outcomes of a seeded 1M-request stream —
+//!   bit-exact and machine-independent by construction) more than
 //!   [`DETERMINISTIC_TOLERANCE`] (1.05×) over its baseline — these need
 //!   no noise allowance, so even a small skip-efficiency or
 //!   cache-efficiency regression fails; intentional changes to the bench
@@ -55,6 +57,7 @@ pub const DETERMINISTIC_TOLERANCE: f64 = 1.05;
 pub const GATED_SECTIONS: &[(&str, &str)] = &[
     ("engine_rounds", "rounds/"),
     ("campaign_startup", "builds/"),
+    ("serving_latency", "served/"),
 ];
 
 /// The section holding the absolute zero-allocation contract.
@@ -349,6 +352,32 @@ mod tests {
             "{}",
             r.failures[0]
         );
+    }
+
+    #[test]
+    fn serving_outcome_drift_fails_bit_exactly() {
+        // A sampler or batcher change that shifts the seeded 1M-request
+        // run's p99 is a semantic change, not noise: deterministic gating
+        // applies, wall-time tolerance does not.
+        let base = sections(&[("serving_latency", &[("served/1m/p99_latency_ms", 40.0)])]);
+        let cur = sections(&[("serving_latency", &[("served/1m/p99_latency_ms", 55.0)])]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!r.passed());
+        assert!(
+            r.failures[0].contains("deterministic count"),
+            "{}",
+            r.failures[0]
+        );
+        // The wall-time key in the same section stays noise-tolerant.
+        let base = sections(&[(
+            "serving_latency",
+            &[("serving_run/open_loop/1m_requests", 100.0)],
+        )]);
+        let cur = sections(&[(
+            "serving_latency",
+            &[("serving_run/open_loop/1m_requests", 180.0)],
+        )]);
+        assert!(check(&base, &cur, DEFAULT_TOLERANCE).passed());
     }
 
     #[test]

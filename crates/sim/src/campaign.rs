@@ -159,6 +159,26 @@ impl Campaign {
         self
     }
 
+    /// Register one scenario per load factor: a load sweep row group.
+    /// Each cell's tag is `"{prefix}@x{load}"` and its factory receives
+    /// the load, so serving sweeps can scale an arrival process
+    /// ([`pal_trace::ServingWorkload::at_load`]) — or any other
+    /// load-dependent dimension — across a grid of offered loads.
+    pub fn scenario_sweep(
+        mut self,
+        prefix: impl Into<String>,
+        loads: &[f64],
+        factory: impl Fn(f64) -> Scenario + Send + Sync + Clone + 'static,
+    ) -> Self {
+        let prefix = prefix.into();
+        for &load in loads {
+            let f = factory.clone();
+            self.scenarios
+                .push((format!("{prefix}@x{load}"), Box::new(move || f(load))));
+        }
+        self
+    }
+
     /// Register one policy column of the sweep.
     pub fn policy(mut self, spec: PolicySpec) -> Self {
         self.policies.push(spec);

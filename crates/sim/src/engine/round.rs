@@ -29,6 +29,7 @@ use crate::placement::{
     validate_allocation, PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation,
 };
 use crate::sched::SchedulingPolicy;
+use crate::serving::ServingEngine;
 use pal_cluster::{LocalityModel, VariabilityProfile};
 use std::time::{Duration, Instant};
 
@@ -68,8 +69,14 @@ pub(crate) fn step_round(
     scheduler: &dyn SchedulingPolicy,
     placement: &mut dyn PlacementPolicy,
     admission: &dyn AdmissionPolicy,
+    serving: &mut Option<ServingEngine>,
 ) -> Result<StepOutcome, SimError> {
-    if st.is_complete() {
+    // With serving deployments pending, a step keeps advancing the clock
+    // (and the serving engine with it) even after every training job has
+    // left the system; `ctx.total_gpus` is already the training capacity
+    // net of the GPUs the replicas hold.
+    let serving_pending = serving.as_ref().is_some_and(|s| !s.is_done());
+    if st.is_complete() && !serving_pending {
         return Ok(StepOutcome::Complete);
     }
     // The round counter is checked *before* incrementing (and rolled back
@@ -120,6 +127,19 @@ pub(crate) fn step_round(
         // The admission loop may have just rejected the final pending
         // job(s): nothing is active and nothing is left to admit.
         if st.next_admit >= st.jobs.len() {
+            // Training is drained; with serving streams still pending the
+            // clock keeps advancing one round per step (same cadence in
+            // fixed and event-driven modes) until every stream is served.
+            if serving_pending {
+                let srv = serving.as_mut().expect("serving pending");
+                st.t = t + dt;
+                srv.advance_to(st.t);
+                return Ok(if srv.is_done() {
+                    StepOutcome::Complete
+                } else {
+                    StepOutcome::Running
+                });
+            }
             return Ok(StepOutcome::Complete);
         }
         let next_arrival = st.jobs[st.next_admit].spec.arrival;
@@ -129,6 +149,11 @@ pub(crate) fn step_round(
             nt = (k + 1.0) * dt;
         }
         st.t = nt.max(t + dt);
+        // The idle hop is identical in fixed and event-driven modes, so
+        // advancing serving to the hopped clock preserves equivalence.
+        if let Some(srv) = serving.as_mut() {
+            srv.advance_to(st.t);
+        }
         return Ok(StepOutcome::Running);
     }
 
@@ -406,11 +431,20 @@ pub(crate) fn step_round(
         skip_stable_rounds(st, tel, ctx, scheduler, placement);
     }
 
-    Ok(if st.is_complete() {
-        StepOutcome::Complete
-    } else {
-        StepOutcome::Running
-    })
+    // Serving processing is continuous-time and depends only on the clock
+    // value, so advancing it after the (possibly skipped-ahead) boundary
+    // yields identical outcomes under fixed and event-driven stepping.
+    if let Some(srv) = serving.as_mut() {
+        srv.advance_to(st.t);
+    }
+
+    Ok(
+        if st.is_complete() && serving.as_ref().is_none_or(|s| s.is_done()) {
+            StepOutcome::Complete
+        } else {
+            StepOutcome::Running
+        },
+    )
 }
 
 /// Re-derive every cached key from the current job state and check the

@@ -12,7 +12,7 @@
 
 use super::round::{step_round, RoundCtx, StepOutcome};
 use super::state::EngineState;
-use super::telemetry::{build_result, Telemetry};
+use super::telemetry::{build_result, RunLabels, Telemetry};
 use crate::admission::AdmissionPolicy;
 use crate::config::SimConfig;
 use crate::error::SimError;
@@ -20,6 +20,7 @@ use crate::job_state::ActiveJob;
 use crate::metrics::SimResult;
 use crate::placement::PlacementPolicy;
 use crate::sched::SchedulingPolicy;
+use crate::serving::{ServingEngine, ServingJob, ServingSnapshot};
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_trace::{JobId, Trace};
 use std::sync::Arc;
@@ -42,6 +43,7 @@ pub(crate) struct SimulationParts {
     pub placement: Box<dyn PlacementPolicy + Send>,
     pub admission: Box<dyn AdmissionPolicy + Send + Sync>,
     pub config: SimConfig,
+    pub serving: Vec<ServingJob>,
 }
 
 /// A paused-or-running simulation: the public stepper over the engine.
@@ -53,7 +55,9 @@ pub(crate) struct SimulationParts {
 pub struct Simulation {
     trace_name: String,
     ideal_gpu_seconds: f64,
-    total_gpus: usize,
+    /// Training capacity: cluster GPUs minus those serving replicas hold
+    /// (the whole cluster when no serving jobs are deployed).
+    training_gpus: usize,
     profile: Arc<VariabilityProfile>,
     truth: Arc<VariabilityProfile>,
     locality: Arc<LocalityModel>,
@@ -63,12 +67,13 @@ pub struct Simulation {
     config: SimConfig,
     state: EngineState,
     telemetry: Telemetry,
+    serving: Option<ServingEngine>,
 }
 
 /// A point-in-time view of a stepped simulation: the clocks plus every
 /// job's runtime state. Cloned out of the engine, so holding (or
 /// inspecting) a snapshot cannot perturb the run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct SimSnapshot {
     /// Simulated seconds at the start of the next round.
     pub time: f64,
@@ -86,6 +91,27 @@ pub struct SimSnapshot {
     pub jobs: Vec<ActiveJob>,
     /// Jobs turned away by admission control so far.
     pub rejected: Vec<JobId>,
+    /// Progress of each serving deployment — empty for training-only runs.
+    pub serving: Vec<ServingSnapshot>,
+}
+
+// Manual `Debug` so the `serving` field appears only when the run has
+// serving deployments: the debug rendering of training-only snapshots is
+// byte-identical to the pre-serving format.
+impl std::fmt::Debug for SimSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("SimSnapshot");
+        d.field("time", &self.time)
+            .field("rounds", &self.rounds)
+            .field("executed_rounds", &self.executed_rounds)
+            .field("finished", &self.finished)
+            .field("jobs", &self.jobs)
+            .field("rejected", &self.rejected);
+        if !self.serving.is_empty() {
+            d.field("serving", &self.serving);
+        }
+        d.finish()
+    }
 }
 
 impl Simulation {
@@ -98,15 +124,34 @@ impl Simulation {
             truth,
             locality,
             scheduler,
-            placement,
+            mut placement,
             admission,
             config,
+            serving,
         } = parts;
-        let state = EngineState::new(&trace, topology);
+        let total_gpus = topology.total_gpus();
+        let mut state = EngineState::new(&trace, topology);
+        // Serving replicas are placed once, up front, through the same
+        // placement policy training jobs use; the GPUs they hold are
+        // carved out of the training capacity for the whole run.
+        let serving = if serving.is_empty() {
+            None
+        } else {
+            Some(ServingEngine::place(
+                &serving,
+                &mut state.cluster,
+                placement.as_mut(),
+                &profile,
+                &truth,
+                &locality,
+                trace.len() as u32,
+            ))
+        };
+        let held = serving.as_ref().map_or(0, ServingEngine::gpus_held);
         Simulation {
             ideal_gpu_seconds: trace.total_ideal_gpu_service(),
             trace_name: trace.name.clone(),
-            total_gpus: topology.total_gpus(),
+            training_gpus: total_gpus - held,
             profile,
             truth,
             locality,
@@ -116,6 +161,7 @@ impl Simulation {
             config,
             state,
             telemetry: Telemetry::new(),
+            serving,
         }
     }
 
@@ -133,7 +179,7 @@ impl Simulation {
             truth: &self.truth,
             locality: &self.locality,
             config: &self.config,
-            total_gpus: self.total_gpus,
+            total_gpus: self.training_gpus,
         };
         step_round(
             &mut self.state,
@@ -142,6 +188,7 @@ impl Simulation {
             self.scheduler.as_ref(),
             self.placement.as_mut(),
             self.admission.as_ref(),
+            &mut self.serving,
         )
     }
 
@@ -181,9 +228,10 @@ impl Simulation {
         self.state.active_queue.len()
     }
 
-    /// Whether the run is over: every job completed or rejected.
+    /// Whether the run is over: every training job completed or rejected,
+    /// and every serving deployment drained.
     pub fn is_complete(&self) -> bool {
-        self.state.is_complete()
+        self.state.is_complete() && self.serving.as_ref().is_none_or(ServingEngine::is_done)
     }
 
     /// A cloned point-in-time view of the run (clocks + per-job state).
@@ -202,6 +250,11 @@ impl Simulation {
                 .filter(|&(_, &r)| r)
                 .map(|(j, _)| j.spec.id)
                 .collect(),
+            serving: self
+                .serving
+                .as_ref()
+                .map(ServingEngine::snapshots)
+                .unwrap_or_default(),
         }
     }
 
@@ -213,11 +266,17 @@ impl Simulation {
         Some(build_result(
             &self.state,
             &self.telemetry,
-            &self.trace_name,
+            RunLabels {
+                trace_name: &self.trace_name,
+                scheduler_name: self.scheduler.name(),
+                placement_name: self.placement.name(),
+                sticky: self.config.sticky,
+            },
             self.ideal_gpu_seconds,
-            self.scheduler.name(),
-            self.placement.name(),
-            self.config.sticky,
+            self.serving
+                .as_ref()
+                .map(ServingEngine::metrics)
+                .unwrap_or_default(),
         ))
     }
 

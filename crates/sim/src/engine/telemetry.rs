@@ -3,6 +3,7 @@
 use super::state::EngineState;
 use crate::job_state::JobPhase;
 use crate::metrics::{JobRecord, SimResult};
+use crate::serving::ServingMetrics;
 use pal_stats::StepSeries;
 
 /// Everything the engine measures about a run, as it runs. Kept separate
@@ -30,6 +31,15 @@ impl Telemetry {
     }
 }
 
+/// How a run is labeled in its [`SimResult`]: the trace/policy names and
+/// the stickiness flag folded into the placement label.
+pub(crate) struct RunLabels<'a> {
+    pub(crate) trace_name: &'a str,
+    pub(crate) scheduler_name: &'a str,
+    pub(crate) placement_name: &'a str,
+    pub(crate) sticky: bool,
+}
+
 /// Assemble the final [`SimResult`] from a completed run's state and
 /// telemetry. Clones the accumulators, so a paused [`Simulation`]
 /// (`crate::Simulation`) can also produce a result without consuming
@@ -37,11 +47,9 @@ impl Telemetry {
 pub(crate) fn build_result(
     st: &EngineState,
     tel: &Telemetry,
-    trace_name: &str,
+    labels: RunLabels<'_>,
     ideal_gpu_seconds: f64,
-    scheduler_name: &str,
-    placement_name: &str,
-    sticky: bool,
+    serving: Vec<ServingMetrics>,
 ) -> SimResult {
     let rejected_ids: Vec<pal_trace::JobId> = st
         .jobs
@@ -75,12 +83,12 @@ pub(crate) fn build_result(
         .collect();
 
     SimResult {
-        trace: trace_name.to_string(),
-        scheduler: scheduler_name.to_string(),
+        trace: labels.trace_name.to_string(),
+        scheduler: labels.scheduler_name.to_string(),
         placement: format!(
             "{}-{}",
-            placement_name,
-            if sticky { "Sticky" } else { "NonSticky" }
+            labels.placement_name,
+            if labels.sticky { "Sticky" } else { "NonSticky" }
         ),
         records,
         rejected: rejected_ids,
@@ -91,5 +99,6 @@ pub(crate) fn build_result(
         rounds: st.rounds,
         executed_rounds: st.executed_rounds,
         placement_compute_times: tel.placement_compute_times.clone(),
+        serving,
     }
 }

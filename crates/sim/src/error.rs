@@ -69,6 +69,22 @@ pub enum SimError {
         /// Rounds executed before giving up.
         rounds: usize,
     },
+    /// A serving job's parameters are inconsistent (zero replicas, an
+    /// invalid workload, a class the profile does not define, …).
+    InvalidServingJob {
+        /// Name of the offending workload.
+        workload: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Serving deployments together demand more GPUs than the cluster
+    /// has, so their replicas can never be placed.
+    ServingOvercommitted {
+        /// GPUs demanded by all serving replicas.
+        demand: usize,
+        /// GPUs in the cluster.
+        total_gpus: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -108,6 +124,13 @@ impl fmt::Display for SimError {
             SimError::Livelock { rounds } => {
                 write!(f, "simulation exceeded {rounds} rounds — livelock?")
             }
+            SimError::InvalidServingJob { workload, reason } => {
+                write!(f, "serving workload {workload}: {reason}")
+            }
+            SimError::ServingOvercommitted { demand, total_gpus } => write!(
+                f,
+                "serving replicas demand {demand} GPUs but the cluster has {total_gpus}"
+            ),
         }
     }
 }
@@ -138,6 +161,23 @@ mod tests {
 
         let e = SimError::Livelock { rounds: 100 };
         assert!(e.to_string().contains("livelock"), "{e}");
+
+        let e = SimError::InvalidServingJob {
+            workload: "chat".into(),
+            reason: "zero replicas".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("chat") && msg.contains("zero replicas"),
+            "{msg}"
+        );
+
+        let e = SimError::ServingOvercommitted {
+            demand: 9,
+            total_gpus: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('9') && msg.contains('8'), "{msg}");
     }
 
     #[test]

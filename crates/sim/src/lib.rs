@@ -56,6 +56,7 @@ pub mod metrics;
 pub mod placement;
 pub mod scenario;
 pub mod sched;
+pub mod serving;
 
 pub use admission::{AdmissionCtx, AdmissionPolicy, AdmitAll};
 pub use campaign::{Campaign, CampaignResult, PolicySpec};
@@ -68,3 +69,4 @@ pub use placement::{
 };
 pub use scenario::Scenario;
 pub use sched::{SchedKey, SchedulingPolicy};
+pub use serving::{BatcherConfig, ServingJob, ServingMetrics, ServingSnapshot};

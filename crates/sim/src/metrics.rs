@@ -1,10 +1,12 @@
 //! Simulation outputs: per-job records and aggregate metrics (JCT,
 //! makespan, utilization, wait times, GPUs-in-use series).
 
+use crate::serving::ServingMetrics;
 use pal_cluster::JobClass;
 use pal_stats::{EmpiricalCdf, StepSeries};
 use pal_trace::JobId;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Outcome of one job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,7 +44,7 @@ impl JobRecord {
 }
 
 /// Full result of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Trace name.
     pub trace: String,
@@ -77,6 +79,34 @@ pub struct SimResult {
     /// (Figure 18; skipped rounds invoke no placement code and add no
     /// entry).
     pub placement_compute_times: Vec<f64>,
+    /// Per-deployment serving outcomes (SLO attainment, goodput, latency
+    /// percentiles) — empty for training-only runs.
+    pub serving: Vec<ServingMetrics>,
+}
+
+// Manual `Debug` so the `serving` field appears only when a run actually
+// had serving deployments: the debug rendering of training-only results is
+// byte-identical to the pre-serving format.
+impl fmt::Debug for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("SimResult");
+        d.field("trace", &self.trace)
+            .field("scheduler", &self.scheduler)
+            .field("placement", &self.placement)
+            .field("records", &self.records)
+            .field("rejected", &self.rejected)
+            .field("gpus_in_use", &self.gpus_in_use)
+            .field("busy_gpu_seconds", &self.busy_gpu_seconds)
+            .field("ideal_gpu_seconds", &self.ideal_gpu_seconds)
+            .field("total_gpus", &self.total_gpus)
+            .field("rounds", &self.rounds)
+            .field("executed_rounds", &self.executed_rounds)
+            .field("placement_compute_times", &self.placement_compute_times);
+        if !self.serving.is_empty() {
+            d.field("serving", &self.serving);
+        }
+        d.finish()
+    }
 }
 
 impl SimResult {
@@ -181,6 +211,7 @@ impl SimResult {
             && self.ideal_gpu_seconds == other.ideal_gpu_seconds
             && self.total_gpus == other.total_gpus
             && self.rounds == other.rounds
+            && self.serving == other.serving
     }
 }
 
@@ -216,6 +247,7 @@ mod tests {
             total_gpus: 4,
             rounds: 1,
             placement_compute_times: vec![],
+            serving: vec![],
         }
     }
 
@@ -255,6 +287,33 @@ mod tests {
     fn no_multi_gpu_is_none() {
         let res = result(vec![record(0, 0.0, 0.0, 10.0, 1)]);
         assert_eq!(res.avg_jct_multi_gpu(), None);
+    }
+
+    #[test]
+    fn debug_mentions_serving_only_when_present() {
+        let res = result(vec![record(0, 0.0, 0.0, 10.0, 1)]);
+        let d = format!("{res:?}");
+        assert!(!d.contains("serving"), "{d}");
+
+        let mut with = result(vec![record(0, 0.0, 0.0, 10.0, 1)]);
+        with.serving.push(ServingMetrics {
+            workload: "chat".into(),
+            replicas: 1,
+            gpus: 1,
+            requests: 10,
+            batches: 5,
+            slo_attained: 9,
+            latency_mean: 0.1,
+            latency_p50: 0.1,
+            latency_p95: 0.2,
+            latency_p99: 0.3,
+            latency_max: 0.4,
+            first_arrival: 0.0,
+            last_finish: 2.0,
+        });
+        let d = format!("{with:?}");
+        assert!(d.contains("serving") && d.contains("chat"), "{d}");
+        assert!(!res.same_outcome(&with));
     }
 
     #[test]

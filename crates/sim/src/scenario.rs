@@ -47,6 +47,7 @@ use crate::error::SimError;
 use crate::metrics::SimResult;
 use crate::placement::{PackedPlacement, PlacementPolicy};
 use crate::sched::{Fifo, SchedulingPolicy};
+use crate::serving::ServingJob;
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_trace::Trace;
 use std::sync::Arc;
@@ -69,6 +70,7 @@ pub struct Scenario {
     placement: Box<dyn PlacementPolicy + Send>,
     admission: Box<dyn AdmissionPolicy + Send + Sync>,
     config: SimConfig,
+    serving: Vec<ServingJob>,
 }
 
 impl Scenario {
@@ -92,6 +94,7 @@ impl Scenario {
             placement: Box::new(PackedPlacement::deterministic()),
             admission: Box::new(AdmitAll),
             config: SimConfig::default(),
+            serving: Vec::new(),
         }
     }
 
@@ -145,6 +148,17 @@ impl Scenario {
         self
     }
 
+    /// Add a serving deployment to run alongside the training trace.
+    /// Its replicas are placed once at `t = 0` through the scenario's
+    /// placement policy and hold their GPUs for the whole run; the
+    /// training jobs schedule over the remaining capacity. Call
+    /// repeatedly to deploy several workloads. Results land in
+    /// [`SimResult::serving`](crate::SimResult::serving).
+    pub fn serving(mut self, job: ServingJob) -> Self {
+        self.serving.push(job);
+        self
+    }
+
     /// The admission-control policy (defaults to admit-all).
     pub fn admission(mut self, admission: impl AdmissionPolicy + Send + Sync + 'static) -> Self {
         self.admission = Box::new(admission);
@@ -191,7 +205,7 @@ impl Scenario {
     pub fn effective_profile(&self) -> Arc<VariabilityProfile> {
         match &self.profile {
             Some(p) => Arc::clone(p),
-            None => Arc::new(flat_profile(&self.trace, &self.topology)),
+            None => Arc::new(flat_profile(&self.trace, &self.serving, &self.topology)),
         }
     }
 
@@ -212,7 +226,16 @@ impl Scenario {
             self.profile.as_deref(),
             self.truth.as_deref(),
             &self.config,
-        )
+        )?;
+        // Mirror validate_inputs' class bound: unset profiles place no
+        // bound, since the flat default sizes itself to the workloads.
+        let num_classes = match (self.profile.as_deref(), self.truth.as_deref()) {
+            (Some(p), Some(t)) => p.num_classes().min(t.num_classes()),
+            (Some(p), None) => p.num_classes(),
+            (None, Some(t)) => t.num_classes(),
+            (None, None) => usize::MAX,
+        };
+        crate::serving::validate_serving(&self.serving, &self.topology, num_classes)
     }
 
     /// Validate the scenario and return a paused [`Simulation`] stepper
@@ -233,10 +256,17 @@ impl Scenario {
             placement,
             admission,
             config,
+            serving,
         } = self;
-        let profile = profile.unwrap_or_else(|| Arc::new(flat_profile(&trace, &topology)));
+        let profile =
+            profile.unwrap_or_else(|| Arc::new(flat_profile(&trace, &serving, &topology)));
         let truth = truth.unwrap_or_else(|| Arc::clone(&profile));
         crate::engine::validate_inputs(&trace, &topology, Some(&profile), Some(&truth), &config)?;
+        crate::serving::validate_serving(
+            &serving,
+            &topology,
+            profile.num_classes().min(truth.num_classes()),
+        )?;
         Ok(Simulation::from_parts(SimulationParts {
             trace,
             topology,
@@ -247,6 +277,7 @@ impl Scenario {
             placement,
             admission,
             config,
+            serving,
         }))
     }
 
@@ -258,8 +289,8 @@ impl Scenario {
 
 impl std::fmt::Debug for Scenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Scenario")
-            .field("trace", &self.trace.name)
+        let mut d = f.debug_struct("Scenario");
+        d.field("trace", &self.trace.name)
             .field("jobs", &self.trace.len())
             .field("topology", &self.topology)
             .field("profile", &self.profile.as_ref().map(|_| "set"))
@@ -267,18 +298,27 @@ impl std::fmt::Debug for Scenario {
             .field("scheduler", &self.scheduler.name())
             .field("placement", &self.placement.name())
             .field("admission", &self.admission.name())
-            .field("config", &self.config)
-            .finish()
+            .field("config", &self.config);
+        if !self.serving.is_empty() {
+            d.field("serving", &self.serving.len());
+        }
+        d.finish()
     }
 }
 
 /// A variability-free profile sized to the topology, with enough class
-/// rows for every job in the trace (at least [`DEFAULT_CLASSES`]).
-fn flat_profile(trace: &Trace, topology: &ClusterTopology) -> VariabilityProfile {
+/// rows for every training job and serving deployment (at least
+/// [`DEFAULT_CLASSES`]).
+fn flat_profile(
+    trace: &Trace,
+    serving: &[ServingJob],
+    topology: &ClusterTopology,
+) -> VariabilityProfile {
     let classes = trace
         .jobs
         .iter()
         .map(|j| j.class.0 + 1)
+        .chain(serving.iter().map(|s| s.class.0 + 1))
         .max()
         .unwrap_or(0)
         .max(DEFAULT_CLASSES);

@@ -2,15 +2,17 @@
 //! inter-arrival gaps, log-normal durations, and weighted discrete choice.
 //! All deterministic via `StdRng`.
 
+use rand::distributions::{Distribution, Exp};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Sample an exponential random variable with the given rate (events per
-/// unit time). Used for Poisson arrival processes.
+/// unit time). Used for Poisson arrival processes. Delegates to the shim's
+/// [`Exp`] distribution, which reproduces the exact stream this function
+/// historically produced, so seeded traces are unchanged.
 pub fn exponential(rng: &mut StdRng, rate: f64) -> f64 {
     assert!(rate > 0.0, "exponential rate must be positive");
-    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    -u.ln() / rate
+    Exp::new(rate).sample(rng)
 }
 
 /// Sample a log-normal random variable with the given median and sigma (of

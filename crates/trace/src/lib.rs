@@ -12,6 +12,10 @@
 //!   (the job-load sweeps of Figures 14, 16, 17), >80 % single-GPU jobs,
 //!   run on a 256-GPU cluster.
 //!
+//! Beyond the paper's closed-loop training traces, [`serving`] adds
+//! open-loop inference request streams (Poisson, bursty/MMPP, diurnal)
+//! with per-request SLO deadlines, for the serving subsystem of `pal-sim`.
+//!
 //! We do not have the original trace files, so both generators are
 //! *statistical regenerations* from the published characteristics (job
 //! counts, arrival processes, demand distributions, duration scales); see
@@ -25,10 +29,12 @@ pub mod io;
 pub mod job;
 pub mod models;
 pub mod philly;
+pub mod serving;
 pub mod synergy;
 
 pub use io::{read_trace_csv, write_trace_csv, TraceIoError};
 pub use job::{JobId, JobSpec, Trace};
 pub use models::ModelCatalog;
 pub use philly::SiaPhillyConfig;
+pub use serving::{ArrivalProcess, RequestId, RequestStream, ServingRequest, ServingWorkload};
 pub use synergy::SynergyConfig;

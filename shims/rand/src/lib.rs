@@ -187,6 +187,89 @@ pub mod rngs {
     }
 }
 
+/// Non-uniform distributions (mirror of the `rand::distributions` /
+/// `rand_distr` split, collapsed into the subset the workspace uses).
+///
+/// The trace generators' arrival processes draw exponential interarrival
+/// gaps and Poisson counts; these helpers centralize the samplers so the
+/// generators don't hand-roll inverse-CDF code. [`Exp`](distributions::Exp)'s sampler is
+/// bit-identical to the historical hand-rolled
+/// `-ln(gen_range(MIN_POSITIVE..1)) / rate` the trace crate used, so
+/// delegating to it preserves every seeded trace.
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution sampled with an [`Rng`].
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: Rng>(&self, rng: &mut R) -> T;
+    }
+
+    /// Exponential distribution with rate `lambda` (events per unit time);
+    /// mean `1 / lambda`. The interarrival-gap distribution of a Poisson
+    /// process.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Exp {
+        lambda: f64,
+    }
+
+    impl Exp {
+        /// Exponential with the given rate. Panics unless the rate is
+        /// positive and finite.
+        pub fn new(lambda: f64) -> Self {
+            assert!(
+                lambda > 0.0 && lambda.is_finite(),
+                "exponential rate must be positive and finite, got {lambda}"
+            );
+            Exp { lambda }
+        }
+    }
+
+    impl Distribution<f64> for Exp {
+        fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+            // Inverse CDF on u ∈ [MIN_POSITIVE, 1): ln is finite and the
+            // gap strictly positive.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            -u.ln() / self.lambda
+        }
+    }
+
+    /// Poisson distribution with mean `lambda`: the number of arrivals of
+    /// a rate-1 Poisson process in a window of length `lambda`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Poisson {
+        lambda: f64,
+    }
+
+    impl Poisson {
+        /// Poisson with the given mean. Panics unless the mean is
+        /// positive and finite.
+        pub fn new(lambda: f64) -> Self {
+            assert!(
+                lambda > 0.0 && lambda.is_finite(),
+                "Poisson mean must be positive and finite, got {lambda}"
+            );
+            Poisson { lambda }
+        }
+    }
+
+    impl Distribution<u64> for Poisson {
+        fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+            // Count unit-rate exponential gaps until they overshoot the
+            // window. O(lambda) draws, but immune to the e^{-lambda}
+            // underflow of the product-of-uniforms method for large means.
+            let gap = Exp::new(1.0);
+            let mut acc = gap.sample(rng);
+            let mut k = 0u64;
+            while acc <= self.lambda {
+                k += 1;
+                acc += gap.sample(rng);
+            }
+            k
+        }
+    }
+}
+
 /// Slice sampling helpers (mirror of `rand::seq`).
 pub mod seq {
     use super::RngCore;
@@ -225,6 +308,7 @@ pub mod seq {
 
 #[cfg(test)]
 mod tests {
+    use super::distributions::{Distribution, Exp, Poisson};
     use super::rngs::StdRng;
     use super::seq::SliceRandom;
     use super::{Rng, SeedableRng};
@@ -263,6 +347,65 @@ mod tests {
         let n = 100_000;
         let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
         assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn exp_is_deterministic_positive_and_matches_inverse_cdf() {
+        let d = Exp::new(2.0);
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let mut c = StdRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            let x = d.sample(&mut a);
+            assert!(x > 0.0 && x.is_finite());
+            assert_eq!(x, d.sample(&mut b));
+            // Exact form the trace generator historically hand-rolled.
+            let u: f64 = c.gen_range(f64::MIN_POSITIVE..1.0);
+            assert_eq!(x, -u.ln() / 2.0);
+        }
+    }
+
+    #[test]
+    fn exp_mean_close_to_reciprocal_rate() {
+        let d = Exp::new(4.0);
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        assert!((sum / n as f64 - 0.25).abs() < 0.005);
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_close_to_lambda() {
+        let d = Poisson::new(9.0);
+        let mut r = StdRng::seed_from_u64(6);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| d.sample(&mut r) as f64).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 9.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_survives_large_lambda() {
+        // The naive product-of-uniforms sampler underflows near
+        // lambda ≈ 745; the gap-counting one must not.
+        let d = Poisson::new(2_000.0);
+        let mut r = StdRng::seed_from_u64(7);
+        let k = d.sample(&mut r);
+        assert!((1_500..2_500).contains(&(k as i64)), "k {k}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate")]
+    fn exp_rejects_zero_rate() {
+        Exp::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson mean")]
+    fn poisson_rejects_nan() {
+        Poisson::new(f64::NAN);
     }
 
     #[test]
