@@ -17,14 +17,32 @@
 //! records the simulated and *executed* round counts of both modes into
 //! `BENCH_engine.json` (`rounds/sticky_drain/...`), where the CI bench
 //! gate watches the skip win.
+//!
+//! `main` also drives the **large-scale cohort workloads** (1k jobs /
+//! 100 GPUs up to 100k jobs / 10k GPUs) through all three stepping
+//! modes — the event-queue core, the compat stepper with round
+//! skipping, and the plain fixed-round compat stepper — recording per
+//! size the simulated round count, each mode's executed (dispatched)
+//! round count (`rounds/large_*`, deterministically gated), wall times,
+//! and peak RSS (`mem/*`, informational). The workload is built so the
+//! modes separate: cohorts of identical single-GPU jobs arrive at
+//! irregular multi-round gaps, so each cohort's completions land in one
+//! round (few event boundaries for the core), while a sparse set of 3×
+//! slow GPUs seeds long-running stragglers that later cohorts' SRTF
+//! keys overtake at staggered rounds — in-prefix order changes the core
+//! replays through but the skip mode must execute. The 100k-size run
+//! asserts the tentpole acceptance: the core dispatches ≥5× fewer
+//! rounds than compat mode executes.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_gpumodel::GpuSpec;
-use pal_sim::sched::Las;
+use pal_sim::placement::PackedPlacement;
+use pal_sim::sched::{Las, Srtf};
 use pal_sim::{Scenario, StepOutcome};
-use pal_trace::{ModelCatalog, SynergyConfig, Trace};
+use pal_trace::{JobId, JobSpec, ModelCatalog, SynergyConfig, Trace};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Deterministic non-flat 3-class profile sized to the cluster (profile
 /// synthesis is not what this bench measures, so keep it cheap) — built
@@ -168,6 +186,187 @@ fn bench_sticky_drain(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ideal single-GPU duration of every large-workload job, seconds:
+/// exactly 200 rounds on a nominal GPU, 600 on a 3×-slow one, so a
+/// cohort's completions collapse into one round per speed class.
+const LARGE_IDEAL_S: f64 = 60_000.0;
+
+/// GPUs with `g % SLOW_GPU_PERIOD == 1` run 3× slow: rare enough that
+/// stragglers stay a small minority (cheap for the core's kinetic
+/// reorder), common enough that some are always in flight.
+const SLOW_GPU_PERIOD: usize = 64;
+
+/// The large-workload sizes: jobs, nodes (× 4 GPUs), and cohort size.
+/// Cohorts are ~1/16 of cluster capacity so ~10 cohorts of mostly
+/// 200-round jobs arriving every ~20 rounds keep the cluster ~65 %
+/// busy — everything runs on arrival, so the only prefix-set changes
+/// are arrivals and completions.
+const LARGE_SCALES: &[(&str, usize, usize, usize)] = &[
+    ("large_1k", 1_000, 25, 6),
+    ("large_10k", 10_000, 250, 62),
+    ("large_100k", 100_000, 2_500, 625),
+];
+
+/// Cohort trace: `num_jobs` identical single-GPU jobs arriving in
+/// cohorts of `cohort`, successive cohorts spaced an irregular 17–23
+/// rounds apart (irregular so the straggler-overtake rounds spread out
+/// instead of landing on a common multiple). Built through the
+/// streaming constructor: the only allocation is the trace's own job
+/// vector.
+fn cohort_trace(num_jobs: usize, cohort: usize) -> Arc<Trace> {
+    let catalog = ModelCatalog::table2(&GpuSpec::v100());
+    let entry = &catalog.entries()[0];
+    let (model, class, base_iter_time) = (entry.model, entry.class, entry.base_iter_time);
+    let iterations = (LARGE_IDEAL_S / base_iter_time).ceil().max(1.0) as u64;
+    let jobs = (0..num_jobs).scan(0usize, move |start_round, i| {
+        let c = i / cohort;
+        if c > 0 && i % cohort == 0 {
+            *start_round += 17 + (c - 1) * 5 % 7;
+        }
+        Some(JobSpec {
+            id: JobId(i as u32),
+            model,
+            class,
+            arrival: (*start_round * 300) as f64,
+            gpu_demand: 1,
+            iterations,
+            base_iter_time,
+        })
+    });
+    Arc::new(Trace::from_sorted_stream(
+        format!("cohorts-{num_jobs}"),
+        jobs,
+    ))
+}
+
+/// Two-speed profile for the large workloads: nominal GPUs at 1.0 and
+/// every [`SLOW_GPU_PERIOD`]-th at 3.0, identically across classes —
+/// quantized so same-cohort, same-speed jobs finish in the same round.
+fn quantized_profile(gpus: usize) -> Arc<VariabilityProfile> {
+    Arc::new(VariabilityProfile::from_raw(
+        (0..3)
+            .map(|_| {
+                (0..gpus)
+                    .map(|g| if g % SLOW_GPU_PERIOD == 1 { 3.0 } else { 1.0 })
+                    .collect()
+            })
+            .collect(),
+    ))
+}
+
+/// The three stepping modes the large benches compare.
+#[derive(Clone, Copy)]
+enum Stepping {
+    /// Discrete-event core (`SimConfig::event_core`).
+    EventCore,
+    /// Compat stepper with provably-stable round skipping.
+    CompatSkip,
+    /// Plain fixed-round compat stepper.
+    CompatFixed,
+}
+
+impl Stepping {
+    fn label(self) -> &'static str {
+        match self {
+            Stepping::EventCore => "event_core",
+            Stepping::CompatSkip => "compat_skip",
+            Stepping::CompatFixed => "compat_fixed",
+        }
+    }
+}
+
+fn large_scenario(
+    trace: &Arc<Trace>,
+    profile: &Arc<VariabilityProfile>,
+    topo: ClusterTopology,
+    mode: Stepping,
+) -> Scenario {
+    let s = Scenario::new(Arc::clone(trace), topo)
+        .profile(Arc::clone(profile))
+        .locality(LocalityModel::uniform(1.5))
+        .scheduler(Srtf)
+        .placement(PackedPlacement::deterministic())
+        .sticky(true);
+    match mode {
+        Stepping::EventCore => s.event_core(true),
+        Stepping::CompatSkip => s.event_driven(true),
+        Stepping::CompatFixed => s.event_driven(false),
+    }
+}
+
+/// Run the large cohort workloads through all three modes, appending
+/// round-count, wall-time, and peak-RSS entries; asserts the tentpole
+/// dispatch win at the 100k size.
+fn large_scale_accounting(entries: &mut Vec<(String, f64)>) {
+    for &(label, num_jobs, nodes, cohort) in LARGE_SCALES {
+        let topo = ClusterTopology::new(nodes, 4);
+        let prof = quantized_profile(topo.total_gpus());
+        let trace = cohort_trace(num_jobs, cohort);
+        let mut executed = [0usize; 3];
+        let mut simulated = [0usize; 3];
+        for (i, mode) in [
+            Stepping::EventCore,
+            Stepping::CompatSkip,
+            Stepping::CompatFixed,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            pal_bench::memory::reset_peak_rss();
+            let start = Instant::now();
+            let r = large_scenario(&trace, &prof, topo, mode)
+                .run()
+                .expect("large-scale run");
+            let wall = start.elapsed();
+            executed[i] = r.executed_rounds;
+            simulated[i] = r.rounds;
+            entries.push((
+                format!("rounds/{label}/executed_{}", mode.label()),
+                r.executed_rounds as f64,
+            ));
+            entries.push((
+                format!("large_run/{label}/{}", mode.label()),
+                wall.as_nanos() as f64,
+            ));
+            if let Some(mib) = pal_bench::memory::peak_rss_mib() {
+                entries.push((format!("mem/peak_rss_mb/{label}_{}", mode.label()), mib));
+            }
+        }
+        eprintln!(
+            "{label}: {} simulated rounds; executed event_core {} / compat_skip {} / compat_fixed {}",
+            simulated[0], executed[0], executed[1], executed[2]
+        );
+        // All three modes simulate the same virtual-time span.
+        assert_eq!(
+            simulated[0], simulated[1],
+            "{label}: simulated rounds differ"
+        );
+        assert_eq!(
+            simulated[0], simulated[2],
+            "{label}: simulated rounds differ"
+        );
+        entries.push((format!("rounds/{label}/simulated"), simulated[0] as f64));
+        if label == "large_100k" {
+            // Tentpole acceptance: at 100k jobs / 10k GPUs the event
+            // core dispatches ≥5× fewer rounds than compat mode executes.
+            assert!(
+                executed[2] >= 5 * executed[0],
+                "event core dispatched {} rounds vs compat's {} (< 5x win)",
+                executed[0],
+                executed[2]
+            );
+            // And it must beat PR 4's skip mode with real margin: the
+            // in-prefix order changes skipping bails on are replayed.
+            assert!(
+                executed[1] >= 2 * executed[0],
+                "event core dispatched {} rounds vs skip mode's {} (< 2x win)",
+                executed[0],
+                executed[1]
+            );
+        }
+    }
+}
+
 criterion_group!(
     benches,
     bench_full_run,
@@ -197,6 +396,7 @@ fn main() {
             r.executed_rounds as f64,
         ));
     }
+    large_scale_accounting(&mut entries);
     pal_bench::bench_json::update_workspace("engine_rounds", &entries)
         .expect("update BENCH_engine.json");
 }

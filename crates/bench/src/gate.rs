@@ -27,6 +27,12 @@
 //! - any `placement_hot_path` `allocs_per_place/*` metric above zero —
 //!   the zero-allocation hot-path contract is absolute.
 //!
+//! `mem/*` keys (peak-RSS readings from the large-scale benches) are
+//! **informational**: they vary with allocator and kernel behaviour in
+//! ways wall-time normalization doesn't model, so the gate prints them
+//! for trend-watching but never fails on them, and they are excluded
+//! from the wall-time median vote.
+//!
 //! The tolerance defaults to [`DEFAULT_TOLERANCE`] (2×): generous enough
 //! that shared-runner noise never trips it, tight enough that a real
 //! regression fails the build. Metrics present on only one side are
@@ -59,6 +65,11 @@ pub const GATED_SECTIONS: &[(&str, &str)] = &[
     ("campaign_startup", "builds/"),
     ("serving_latency", "served/"),
 ];
+
+/// Key prefix of informational metrics (peak-RSS readings): reported in
+/// the gate output for trend-watching, but never gated and excluded from
+/// the wall-time median.
+pub const INFORMATIONAL_PREFIX: &str = "mem/";
 
 /// The section holding the absolute zero-allocation contract.
 const ALLOC_SECTION: &str = "placement_hot_path";
@@ -106,7 +117,9 @@ pub fn check(baseline: &BenchSections, current: &BenchSections, tolerance: f64) 
             let base = baseline.get(section).unwrap_or(&empty);
             let cur = current.get(section).unwrap_or(&empty);
             cur.iter()
-                .filter(move |(key, _)| !key.starts_with(det_prefix))
+                .filter(move |(key, _)| {
+                    !key.starts_with(det_prefix) && !key.starts_with(INFORMATIONAL_PREFIX)
+                })
                 .filter_map(|(key, &now)| {
                     base.get(key)
                         .filter(|&&was| was > 0.0)
@@ -124,6 +137,16 @@ pub fn check(baseline: &BenchSections, current: &BenchSections, tolerance: f64) 
         let base = baseline.get(section).unwrap_or(&empty);
         let cur = current.get(section).unwrap_or(&empty);
         for (key, &now) in cur {
+            if key.starts_with(INFORMATIONAL_PREFIX) {
+                let vs = match base.get(key) {
+                    Some(&was) if was > 0.0 => format!(" ({:.2}x baseline {was:.1})", now / was),
+                    _ => String::new(),
+                };
+                report
+                    .lines
+                    .push(format!("{section}/{key}: {now:.1}{vs} — informational"));
+                continue;
+            }
             match base.get(key) {
                 Some(&was) if was > 0.0 => {
                     let ratio = now / was;
@@ -395,6 +418,38 @@ mod tests {
         let r = check(&base, &cur, DEFAULT_TOLERANCE);
         assert!(r.passed());
         assert_eq!(r.lines.len(), 2);
+    }
+
+    #[test]
+    fn mem_metrics_are_informational_never_gated() {
+        // A 10x peak-RSS blow-up is reported but does not fail the gate —
+        // allocator behaviour is too machine-dependent to hard-gate.
+        let base = sections(&[("engine_rounds", &[("mem/peak_rss_mb/large_100k", 100.0)])]);
+        let cur = sections(&[("engine_rounds", &[("mem/peak_rss_mb/large_100k", 1000.0)])]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(
+            r.lines.iter().any(|l| l.contains("informational")),
+            "{:?}",
+            r.lines
+        );
+    }
+
+    #[test]
+    fn mem_metrics_do_not_vote_on_the_wall_median() {
+        // Two honest wall metrics at 3x (machine speed) plus a mem key at
+        // 1x: were the mem key in the median vote, the median would drop
+        // to 1x and the wall metrics would read as 3x-normalized failures.
+        let base = sections(&[(
+            "engine_rounds",
+            &[("a/b", 100.0), ("a/c", 40.0), ("mem/peak_rss_mb/x", 500.0)],
+        )]);
+        let cur = sections(&[(
+            "engine_rounds",
+            &[("a/b", 300.0), ("a/c", 120.0), ("mem/peak_rss_mb/x", 500.0)],
+        )]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(r.passed(), "{:?}", r.failures);
     }
 
     #[test]

@@ -18,5 +18,6 @@
 pub mod bench_json;
 pub mod experiment;
 pub mod gate;
+pub mod memory;
 
 pub use experiment::*;

@@ -1,0 +1,69 @@
+//! Peak-memory measurement for the bench harness.
+//!
+//! The large-scale engine benches record peak resident set size alongside
+//! wall time in `BENCH_engine.json` (`mem/...` keys), so data-layout
+//! regressions — a hot-loop structure quietly growing, a scratch buffer
+//! cloned per round — show up in the perf trajectory even when wall time
+//! hides them. Measurement reads Linux's `VmHWM` high-water mark from
+//! `/proc/self/status`; between phases the mark is reset through
+//! `/proc/self/clear_refs`, which lets one process report a per-phase
+//! peak. Both degrade gracefully (returning `None`/`false`) on
+//! platforms or sandboxes without these files, in which case callers
+//! skip the memory entries rather than recording zeros.
+
+/// Peak resident set size of this process in bytes (`VmHWM`), or `None`
+/// where `/proc/self/status` is unavailable or unparsable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: `VmHWM:   123456 kB`.
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb * 1024)
+}
+
+/// Reset the peak-RSS high-water mark to the current RSS (write `5` to
+/// `/proc/self/clear_refs`), so the next [`peak_rss_bytes`] reads the
+/// peak of the phase that follows. Returns whether the reset succeeded;
+/// when it fails, subsequent readings are monotone process-lifetime
+/// peaks (still recorded, just coarser).
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", b"5").is_ok()
+}
+
+/// Peak RSS in mebibytes, the unit the bench entries use.
+pub fn peak_rss_mib() -> Option<f64> {
+    peak_rss_bytes().map(|b| b as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_when_available() {
+        if let Some(bytes) = peak_rss_bytes() {
+            assert!(bytes > 0);
+        }
+    }
+
+    #[test]
+    fn reset_then_read_still_parses() {
+        // Whether or not the reset is permitted, a subsequent read must
+        // stay well-formed.
+        let _ = reset_peak_rss();
+        if let Some(bytes) = peak_rss_bytes() {
+            assert!(bytes > 0);
+        }
+    }
+
+    #[test]
+    fn mib_conversion() {
+        if let (Some(b), Some(m)) = (peak_rss_bytes(), peak_rss_mib()) {
+            // Allow the peak to move between the two reads.
+            assert!(m >= b as f64 / (1024.0 * 1024.0) * 0.5);
+        }
+    }
+}

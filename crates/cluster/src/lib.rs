@@ -33,4 +33,4 @@ pub use profile::VariabilityProfile;
 pub use profile_io::{read_profile_csv, write_profile_csv, ProfileIoError};
 pub use state::ClusterState;
 pub use topology::ClusterTopology;
-pub use view::{ClassOrders, ClusterView};
+pub use view::{ClassOrders, ClusterView, NodeFree, NodeFreeIter};

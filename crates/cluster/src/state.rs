@@ -66,7 +66,7 @@ impl ClusterState {
     /// The free GPUs of one node, in GPU-id order. Allocates; prefer the
     /// borrowed [`ClusterView::node_free`] via [`view`](Self::view).
     pub fn node_free_gpus(&self, node: NodeId) -> Vec<GpuId> {
-        self.view.node_free(node).to_vec()
+        self.view.node_free(node).iter().collect()
     }
 
     /// Number of busy GPUs.
@@ -181,6 +181,7 @@ mod tests {
         let view = s.view();
         assert!(view.node_free(NodeId(0)).is_empty());
         assert_eq!(view.node_free(NodeId(1)).len(), 4);
+        assert_eq!(view.node_free(NodeId(1)).words(), &[0b1111]);
     }
 
     #[test]
@@ -195,7 +196,7 @@ mod tests {
         assert_eq!(s.free_count_by_node(), &[3, 3]);
         // Counts must agree with the incrementally maintained free lists
         // at all times.
-        let from_view: Vec<usize> = s.view().per_node().map(<[GpuId]>::len).collect();
+        let from_view: Vec<usize> = s.view().per_node().map(|nf| nf.len()).collect();
         assert_eq!(s.free_count_by_node(), &from_view[..]);
     }
 

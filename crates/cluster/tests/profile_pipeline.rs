@@ -73,7 +73,7 @@ fn state_and_topology_agree_on_shape() {
     assert_eq!(state.view().nodes(), topo.nodes);
     for (n, gpus) in state.view().per_node().enumerate() {
         for g in gpus {
-            assert_eq!(topo.node_of(*g).index(), n);
+            assert_eq!(topo.node_of(g).index(), n);
         }
     }
 }

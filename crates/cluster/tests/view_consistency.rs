@@ -1,7 +1,9 @@
-//! Property tests for [`pal_cluster::ClusterView`]: the per-node free
-//! lists that `ClusterState` maintains incrementally on every
-//! allocate/release must stay equal to a from-scratch rebuild from the
-//! occupancy bitmap, under arbitrary operation sequences.
+//! Property tests for [`pal_cluster::ClusterView`]: the per-node bitset
+//! free lists that `ClusterState` maintains incrementally on every
+//! allocate/release must stay equal to (a) a from-scratch rebuild from the
+//! occupancy bitmap and (b) a straightforward sorted-`Vec` model of the
+//! free lists — the representation the view used before the fixed-width
+//! bitset layout — under arbitrary operation sequences.
 
 use pal_cluster::{ClusterState, ClusterTopology, GpuId};
 use proptest::prelude::*;
@@ -20,28 +22,88 @@ fn rebuilt_free_by_node(state: &ClusterState) -> Vec<Vec<GpuId>> {
         .collect()
 }
 
-/// Assert the incrementally maintained view matches the rebuild (lists,
-/// counts, and the flat free iterator).
-fn assert_view_consistent(state: &ClusterState) {
+/// The pre-bitset representation, maintained the way the old view did it:
+/// sorted per-node `Vec`s with binary-search insert/remove. The bitset
+/// view must agree with this model after every operation.
+struct VecModel {
+    free_by_node: Vec<Vec<GpuId>>,
+    gpus_per_node: usize,
+}
+
+impl VecModel {
+    fn all_free(topo: &ClusterTopology) -> Self {
+        VecModel {
+            free_by_node: (0..topo.nodes)
+                .map(|n| {
+                    let base = n * topo.gpus_per_node;
+                    (base..base + topo.gpus_per_node)
+                        .map(|i| GpuId(i as u32))
+                        .collect()
+                })
+                .collect(),
+            gpus_per_node: topo.gpus_per_node,
+        }
+    }
+
+    fn allocate(&mut self, g: GpuId) {
+        let list = &mut self.free_by_node[g.index() / self.gpus_per_node];
+        let pos = list.binary_search(&g).expect("model missing free GPU");
+        list.remove(pos);
+    }
+
+    fn release(&mut self, g: GpuId) {
+        let list = &mut self.free_by_node[g.index() / self.gpus_per_node];
+        let pos = list.binary_search(&g).expect_err("model already holds GPU");
+        list.insert(pos, g);
+    }
+}
+
+/// Assert the incrementally maintained bitset view matches the rebuild and
+/// the `Vec` model (lists, lengths, counts, words, and the flat iterator).
+fn assert_view_consistent(state: &ClusterState, model: &VecModel) {
     let want = rebuilt_free_by_node(state);
-    let got: Vec<Vec<GpuId>> = state.view().per_node().map(<[GpuId]>::to_vec).collect();
+    let got: Vec<Vec<GpuId>> = state
+        .view()
+        .per_node()
+        .map(|nf| nf.iter().collect())
+        .collect();
     assert_eq!(got, want, "view free lists diverged from bitmap rebuild");
-    let counts: Vec<usize> = want.iter().map(Vec::len).collect();
+    assert_eq!(
+        got, model.free_by_node,
+        "bitset view diverged from the sorted-Vec model"
+    );
+    let lens: Vec<usize> = state.view().per_node().map(|nf| nf.len()).collect();
+    let model_lens: Vec<usize> = model.free_by_node.iter().map(Vec::len).collect();
+    assert_eq!(lens, model_lens, "NodeFree::len diverged from model");
     assert_eq!(
         state.free_count_by_node(),
-        &counts[..],
+        &model_lens[..],
         "free counters diverged from free lists"
     );
     let flat: Vec<GpuId> = state.view().free_iter().collect();
     assert_eq!(flat, state.free_gpus(), "free_iter diverged from free_gpus");
+    // The raw words must encode exactly the model's membership.
+    for (n, nf) in state.view().per_node().enumerate() {
+        for (w, &word) in nf.words().iter().enumerate() {
+            for b in 0..64usize {
+                let local = w * 64 + b;
+                let set = word & (1u64 << b) != 0;
+                let in_model = local < model.gpus_per_node
+                    && model.free_by_node[n]
+                        .binary_search(&GpuId((n * model.gpus_per_node + local) as u32))
+                        .is_ok();
+                assert_eq!(set, in_model, "word bit {local} of node {n} wrong");
+            }
+        }
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Arbitrary toggle sequences: each step allocates the GPU if free,
-    /// releases it otherwise. After every single step the view must equal
-    /// a from-scratch rebuild.
+    /// releases it otherwise. After every single step the bitset view must
+    /// equal both a from-scratch rebuild and the sorted-Vec model.
     #[test]
     fn incremental_view_equals_rebuild_under_arbitrary_ops(
         nodes in 1usize..=6,
@@ -50,14 +112,41 @@ proptest! {
     ) {
         let topo = ClusterTopology::new(nodes, gpn);
         let mut state = ClusterState::new(topo);
+        let mut model = VecModel::all_free(&topo);
         for op in ops {
             let g = GpuId((op % topo.total_gpus()) as u32);
             if state.is_free(g) {
                 state.allocate(&[g]);
+                model.allocate(g);
             } else {
                 state.release(&[g]);
+                model.release(g);
             }
-            assert_view_consistent(&state);
+            assert_view_consistent(&state, &model);
+        }
+    }
+
+    /// Multi-word spans: nodes wider than 64 GPUs exercise the word-
+    /// boundary arithmetic of the fixed-width layout.
+    #[test]
+    fn wide_nodes_keep_view_consistent(
+        nodes in 1usize..=3,
+        gpn in 60usize..=130,
+        ops in proptest::collection::vec(0usize..512, 1..80),
+    ) {
+        let topo = ClusterTopology::new(nodes, gpn);
+        let mut state = ClusterState::new(topo);
+        let mut model = VecModel::all_free(&topo);
+        for op in ops {
+            let g = GpuId((op % topo.total_gpus()) as u32);
+            if state.is_free(g) {
+                state.allocate(&[g]);
+                model.allocate(g);
+            } else {
+                state.release(&[g]);
+                model.release(g);
+            }
+            assert_view_consistent(&state, &model);
         }
     }
 
@@ -73,6 +162,7 @@ proptest! {
     ) {
         let topo = ClusterTopology::new(nodes, gpn);
         let mut state = ClusterState::new(topo);
+        let mut model = VecModel::all_free(&topo);
         let n = topo.total_gpus();
         let batch: Vec<GpuId> = picks
             .iter()
@@ -81,7 +171,10 @@ proptest! {
             .map(|(i, _)| GpuId(i as u32))
             .collect();
         state.allocate(&batch);
-        assert_view_consistent(&state);
+        for &g in &batch {
+            model.allocate(g);
+        }
+        assert_view_consistent(&state, &model);
         let released: Vec<GpuId> = batch
             .iter()
             .zip(&keep)
@@ -89,7 +182,10 @@ proptest! {
             .map(|(&g, _)| g)
             .collect();
         state.release(&released);
-        assert_view_consistent(&state);
+        for &g in &released {
+            model.release(g);
+        }
+        assert_view_consistent(&state, &model);
         // Round-trip the remainder so the state ends all-free.
         let rest: Vec<GpuId> = batch
             .iter()
@@ -98,7 +194,10 @@ proptest! {
             .map(|(&g, _)| g)
             .collect();
         state.release(&rest);
-        assert_view_consistent(&state);
+        for &g in &rest {
+            model.release(g);
+        }
+        assert_view_consistent(&state, &model);
         prop_assert_eq!(state.free_count(), n);
     }
 }

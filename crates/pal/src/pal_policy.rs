@@ -149,7 +149,6 @@ fn packed_candidate_into(
         filt.extend(
             node_gpus
                 .iter()
-                .copied()
                 .filter(|&g| table.score(class, g) <= v_cap + EPS),
         );
         if filt.len() < demand {

@@ -1,0 +1,456 @@
+//! The discrete-event engine core: hop from one decision round to the
+//! next *event* without touching the rounds in between.
+//!
+//! [`skip_stable_rounds`](super::round) replays skipped rounds but stops
+//! the moment the scheduling order shifts — and re-derives *every* cached
+//! key at *every* skipped boundary to find out. At 100k-job scale that is
+//! the wrong shape twice over: saturated traces shift their order
+//! constantly (every SRTF/SRSF round moves every running key), so the
+//! skip window collapses to a round or two, and each probe is O(active).
+//!
+//! This module replaces the probe with a classic kinetic data structure.
+//! Between decision rounds the engine advances a binary-heap event queue
+//! holding three event kinds:
+//!
+//! - **arrivals** — the next trace admission (O(1) check per boundary
+//!   against the arrival-sorted job table);
+//! - **completions** — per running job, a certificate for the round at
+//!   which its closed-form finish time can first land inside the round
+//!   (re-armed from the exact remaining work whenever it fires early);
+//! - **priority crossings** — per *adjacent pair* of the scheduling
+//!   order, a certificate for the round at which the pair can first
+//!   invert under constant-rate accrual
+//!   ([`SchedulingPolicy::crossing_rounds`]).
+//!
+//! The scheduling order itself is maintained *kinetically*: a sorted
+//! sequence of [`SchedKey`]s repaired by adjacent swaps when crossing
+//! certificates fire, instead of a fresh O(n log n) sort per round. Keys
+//! of waiting jobs are frozen (the [`incremental_keys`] contract), so
+//! only pairs touching the running prefix ever carry finite
+//! certificates: the certificate heap stays O(prefix), not O(active²).
+//!
+//! A full decision round is dispatched only when the *schedulable prefix
+//! set* changes — an arrival, a completion, or a crossing at the
+//! prefix boundary. Order shifts strictly inside the prefix are repaired
+//! in place and replayed through: an executed sticky decision round with
+//! an unchanged prefix set issues no placement requests and accrues the
+//! same values a replayed bookkeeping round does, so outcomes stay
+//! bit-identical to the fixed-round stepper (the `stepper_golden` and
+//! `event_driven_equivalence` suites pin this) while
+//! [`executed_rounds`](crate::SimResult::executed_rounds) — the dispatch
+//! count — collapses by orders of magnitude on saturated traces.
+//!
+//! Replayed accrual runs over [`SoaJobs`], dense parallel arrays of the
+//! per-job hot fields (remaining work, attained service, demand,
+//! progress, slowdown) keyed by a stable slot per hop, rather than
+//! striding the 100-plus-byte [`ActiveJob`] records; values are written
+//! back to the job table once when the hop ends.
+//!
+//! [`SchedulingPolicy::crossing_rounds`]:
+//!     crate::sched::SchedulingPolicy::crossing_rounds
+//! [`incremental_keys`]: crate::sched::SchedulingPolicy::incremental_keys
+//! [`ActiveJob`]: crate::job_state::ActiveJob
+
+use super::round::RoundCtx;
+use super::state::EngineState;
+use super::telemetry::Telemetry;
+use super::EPS;
+use crate::job_state::ActiveJob;
+use crate::placement::{PlacementPolicy, RoundObservation};
+use crate::sched::{KeyState, SchedKey, SchedulingPolicy};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Certificates are scheduled this many rounds *before* their computed
+/// expiry: closed-form crossing bounds can drift a round or two from the
+/// engine's repeated-subtraction accrual, and an early check is merely a
+/// cheap exact re-evaluation while a late one would corrupt the order.
+const MARGIN: usize = 2;
+
+/// Dense parallel arrays of the per-job fields the replay loop touches
+/// every round, indexed by a per-hop *slot* (0..prefix). `job_of` /
+/// `slot_of` map between slots and job-table indices; `slot_of` is
+/// resized once and only entries assigned this hop are read.
+#[derive(Debug, Default)]
+pub(crate) struct SoaJobs {
+    /// Slot → job-table index.
+    pub(crate) job_of: Vec<usize>,
+    /// Job-table index → slot (meaningful only for this hop's prefix).
+    pub(crate) slot_of: Vec<u32>,
+    /// Remaining ideal work, seconds.
+    pub(crate) remaining: Vec<f64>,
+    /// Attained GPU service, GPU-seconds.
+    pub(crate) attained: Vec<f64>,
+    /// GPU demand, pre-converted to the f64 the accrual multiplies by.
+    pub(crate) demand: Vec<f64>,
+    /// Ideal seconds retired per round at the current allocation.
+    pub(crate) progress: Vec<f64>,
+    /// Slowdown (locality × max per-GPU score) of the current allocation.
+    pub(crate) slowdown: Vec<f64>,
+}
+
+impl SoaJobs {
+    fn clear(&mut self) {
+        self.job_of.clear();
+        self.remaining.clear();
+        self.attained.clear();
+        self.demand.clear();
+        self.progress.clear();
+        self.slowdown.clear();
+        // `slot_of` keeps its length: only slots assigned below are read.
+    }
+}
+
+/// The event core's persistent buffers, owned by
+/// [`EngineState`](super::state::EngineState) so repeated hops allocate
+/// nothing at steady state. Contents are rebuilt at every hop entry;
+/// between hops only the capacity survives.
+#[derive(Debug, Default)]
+pub(crate) struct EventCore {
+    /// The kinetic scheduling order: sorted `SchedKey`s, repaired by
+    /// adjacent swaps. Stored keys of running jobs go stale as work
+    /// accrues; exact values are re-derived from the SoA on demand
+    /// (waiting jobs' stored keys stay exact — they are frozen).
+    seq: Vec<SchedKey>,
+    /// Completion certificates: `(check_round, slot)` min-heap.
+    completions: BinaryHeap<Reverse<(usize, u32)>>,
+    /// Crossing certificates: `(check_round, position)` min-heap over
+    /// adjacent pairs `(position, position + 1)` of `seq`.
+    certs: BinaryHeap<Reverse<(usize, u32)>>,
+    /// The currently armed check round per pair position; heap entries
+    /// that disagree are stale and skipped (lazy deletion).
+    cert_at: Vec<usize>,
+    /// Hot per-job fields for the replay loop.
+    soa: SoaJobs,
+}
+
+impl EventCore {
+    fn clear(&mut self) {
+        self.seq.clear();
+        self.completions.clear();
+        self.certs.clear();
+        self.cert_at.clear();
+        self.soa.clear();
+    }
+}
+
+/// The exact current primary key of the job at `pos`: re-derived from the
+/// SoA hot fields for running jobs (positions `< p`, whose stored keys go
+/// stale as the replay accrues), the frozen stored key for waiting ones.
+fn exact_key(
+    seq: &[SchedKey],
+    soa: &SoaJobs,
+    scheduler: &dyn SchedulingPolicy,
+    jobs: &[ActiveJob],
+    pos: usize,
+    p: usize,
+) -> f64 {
+    let k = &seq[pos];
+    if pos < p {
+        let slot = soa.slot_of[k.job] as usize;
+        scheduler.key_parts(&jobs[k.job].spec, soa.remaining[slot], soa.attained[slot])
+    } else {
+        k.key
+    }
+}
+
+/// The [`KeyState`] of the job at `pos` — exact key plus the constant
+/// per-round dynamics `crossing_rounds` extrapolates with.
+fn key_state(
+    seq: &[SchedKey],
+    soa: &SoaJobs,
+    scheduler: &dyn SchedulingPolicy,
+    jobs: &[ActiveJob],
+    pos: usize,
+    p: usize,
+) -> KeyState {
+    let k = &seq[pos];
+    if pos < p {
+        let slot = soa.slot_of[k.job] as usize;
+        KeyState {
+            key: scheduler.key_parts(&jobs[k.job].spec, soa.remaining[slot], soa.attained[slot]),
+            progress_per_round: soa.progress[slot],
+            gpu_demand: soa.demand[slot],
+            attained_service: soa.attained[slot],
+        }
+    } else {
+        KeyState {
+            key: k.key,
+            progress_per_round: 0.0,
+            gpu_demand: jobs[k.job].spec.gpu_demand as f64,
+            attained_service: jobs[k.job].attained_service,
+        }
+    }
+}
+
+/// Arm (or disarm) the crossing certificate for the adjacent pair
+/// `(pos, pos + 1)`, checking at `now + max(1, bound - MARGIN)` — or at
+/// `now` itself when `immediate` (the same-boundary re-check after a
+/// swap disturbs a neighborhood).
+#[allow(clippy::too_many_arguments)]
+fn arm_cert(
+    core: &mut EventCore,
+    scheduler: &dyn SchedulingPolicy,
+    jobs: &[ActiveJob],
+    pos: usize,
+    p: usize,
+    now: usize,
+    dt: f64,
+    immediate: bool,
+) {
+    if pos + 1 >= core.seq.len() {
+        return;
+    }
+    let check = if immediate {
+        now
+    } else {
+        let lo = key_state(&core.seq, &core.soa, scheduler, jobs, pos, p);
+        let hi = key_state(&core.seq, &core.soa, scheduler, jobs, pos + 1, p);
+        let bound = scheduler.crossing_rounds(&lo, &hi, dt);
+        if bound == usize::MAX {
+            core.cert_at[pos] = usize::MAX;
+            return;
+        }
+        now + bound.saturating_sub(MARGIN).max(1)
+    };
+    core.cert_at[pos] = check;
+    core.certs.push(Reverse((check, pos as u32)));
+}
+
+/// Hop from the sticky decision round just executed to the next event —
+/// arrival, completion, prefix-boundary priority crossing, or the
+/// `max_rounds` cap — replaying the bookkeeping of every round in
+/// between, bit-identically to executing them (see the module docs for
+/// the argument). Preconditions match `skip_stable_rounds`: sticky
+/// config, no job finished this round, non-empty active queue, and the
+/// round scratch (prefix, slowdown, progress, locality) still describes
+/// the current allocations. The scheduler must support
+/// [`incremental_keys`](crate::sched::SchedulingPolicy::incremental_keys).
+pub(crate) fn hop_to_next_event(
+    st: &mut EngineState,
+    tel: &mut Telemetry,
+    ctx: &RoundCtx<'_>,
+    scheduler: &dyn SchedulingPolicy,
+    placement: &mut dyn PlacementPolicy,
+) {
+    let dt = ctx.config.round_duration;
+    // Move the core out of the state so the borrow checker sees the
+    // disjointness between its buffers and the state's other fields.
+    let mut core = std::mem::take(&mut st.event_core);
+    core.clear();
+
+    // Fresh exact order over the active queue — the sort the next
+    // decision round would perform. From here on the order is maintained
+    // kinetically; this is the hop's only O(n log n) step.
+    for &ji in &st.active_queue {
+        let job = &st.jobs[ji];
+        core.seq.push(SchedKey {
+            key: scheduler.key(job),
+            arrival: job.spec.arrival,
+            id: job.spec.id,
+            job: ji,
+        });
+    }
+    core.seq.sort_unstable_by(SchedKey::cmp_total);
+
+    // Greedy prefix, exactly as the round marks it (Figure 4).
+    let mut p = 0usize;
+    let mut demand_sum = 0usize;
+    while p < core.seq.len() {
+        let d = st.jobs[core.seq[p].job].spec.gpu_demand;
+        if demand_sum + d > ctx.total_gpus {
+            break;
+        }
+        demand_sum += d;
+        p += 1;
+    }
+    // Hop only while the upcoming decision is a no-op: the fresh prefix
+    // must be exactly the currently running set (which, after a sticky
+    // round with no completions, is the executed round's prefix). A
+    // changed set means the next round preempts or places — a real
+    // decision round.
+    if p != st.scratch.prefix.len() || core.seq[..p].iter().any(|k| !st.jobs[k.job].is_running()) {
+        st.event_core = core;
+        return;
+    }
+
+    // Gather the hot fields into the SoA and arm completion certificates.
+    core.soa.slot_of.resize(st.jobs.len(), 0);
+    for (slot, k) in core.seq[..p].iter().enumerate() {
+        let ji = k.job;
+        let job = &st.jobs[ji];
+        core.soa.job_of.push(ji);
+        core.soa.slot_of[ji] = slot as u32;
+        core.soa.remaining.push(job.remaining_work);
+        core.soa.attained.push(job.attained_service);
+        core.soa.demand.push(job.spec.gpu_demand as f64);
+        core.soa.progress.push(st.scratch.progress_per_round[ji]);
+        core.soa.slowdown.push(st.scratch.slowdown[ji]);
+        let rounds_left = (job.remaining_work * st.scratch.slowdown[ji] / dt).floor() as usize;
+        let delay = rounds_left.saturating_sub(MARGIN);
+        core.completions
+            .push(Reverse((st.rounds + delay, slot as u32)));
+    }
+    // Arm a crossing certificate per adjacent pair. Waiting-waiting
+    // pairs disarm immediately (frozen keys never invert), so the live
+    // certificate set is O(prefix).
+    core.cert_at.resize(core.seq.len(), usize::MAX);
+    for pos in 0..core.seq.len().saturating_sub(1) {
+        arm_cert(&mut core, scheduler, &st.jobs, pos, p, st.rounds, dt, false);
+    }
+
+    let running_demand = demand_sum;
+    let deliver_observations = placement.wants_observations();
+
+    'boundary: loop {
+        let t = st.t;
+        // Livelock cap: stop; the next executed step re-derives the
+        // identical error at the identical round count.
+        if st.rounds >= ctx.config.max_rounds {
+            break;
+        }
+        // Arrival event: admission would pick this job up at `t`.
+        if st.next_admit < st.jobs.len() && st.jobs[st.next_admit].spec.arrival <= t + EPS {
+            break;
+        }
+        // Completion certificates due at this boundary: evaluate the
+        // exact closed-form finish (same expression, same tolerance as
+        // the executed round) and either dispatch or re-arm.
+        while let Some(&Reverse((check, slot))) = core.completions.peek() {
+            if check > st.rounds {
+                break;
+            }
+            core.completions.pop();
+            let slot = slot as usize;
+            let span = core.soa.remaining[slot] * core.soa.slowdown[slot];
+            if t + span <= t + dt + EPS {
+                break 'boundary; // the next executed round retires it
+            }
+            let delay = ((span / dt).floor() as usize).saturating_sub(MARGIN).max(1);
+            core.completions
+                .push(Reverse((st.rounds + delay, slot as u32)));
+        }
+        // Crossing certificates due at this boundary: re-derive the
+        // pair's exact keys; swap and bubble if it inverted, dispatch if
+        // the inversion straddles the prefix boundary, re-arm otherwise.
+        while let Some(&Reverse((check, pos))) = core.certs.peek() {
+            if check > st.rounds {
+                break;
+            }
+            core.certs.pop();
+            let pos = pos as usize;
+            if core.cert_at.get(pos).copied() != Some(check) {
+                continue; // superseded by a later re-arm
+            }
+            if pos + 1 >= core.seq.len() {
+                continue;
+            }
+            let lo_key = exact_key(&core.seq, &core.soa, scheduler, &st.jobs, pos, p);
+            let hi_key = exact_key(&core.seq, &core.soa, scheduler, &st.jobs, pos + 1, p);
+            let lo = SchedKey {
+                key: lo_key,
+                ..core.seq[pos]
+            };
+            let hi = SchedKey {
+                key: hi_key,
+                ..core.seq[pos + 1]
+            };
+            if lo.cmp_total(&hi) == std::cmp::Ordering::Greater {
+                if pos + 1 == p {
+                    // A waiting job overtook the prefix tail (or a
+                    // running job demoted past it): the prefix set
+                    // changes — dispatch a real decision round.
+                    break 'boundary;
+                }
+                core.seq.swap(pos, pos + 1);
+                // Re-examine the disturbed neighborhood at this same
+                // boundary so multi-position moves bubble fully before
+                // the commit below relies on the order.
+                if pos > 0 {
+                    arm_cert(
+                        &mut core,
+                        scheduler,
+                        &st.jobs,
+                        pos - 1,
+                        p,
+                        st.rounds,
+                        dt,
+                        true,
+                    );
+                }
+                arm_cert(&mut core, scheduler, &st.jobs, pos, p, st.rounds, dt, true);
+                arm_cert(
+                    &mut core,
+                    scheduler,
+                    &st.jobs,
+                    pos + 1,
+                    p,
+                    st.rounds,
+                    dt,
+                    true,
+                );
+            } else {
+                arm_cert(&mut core, scheduler, &st.jobs, pos, p, st.rounds, dt, false);
+            }
+        }
+
+        // The kinetic sequence must equal the fresh sort the compat
+        // stepper would perform at this boundary — the commit below
+        // accrues in sequence order, and floating-point accumulation
+        // is order-sensitive.
+        #[cfg(debug_assertions)]
+        for w in 0..core.seq.len().saturating_sub(1) {
+            let a = SchedKey {
+                key: exact_key(&core.seq, &core.soa, scheduler, &st.jobs, w, p),
+                ..core.seq[w]
+            };
+            let b = SchedKey {
+                key: exact_key(&core.seq, &core.soa, scheduler, &st.jobs, w + 1, p),
+                ..core.seq[w + 1]
+            };
+            debug_assert!(
+                a.cmp_total(&b) != std::cmp::Ordering::Greater,
+                "kinetic order violated at positions {w}..={} (round {})",
+                w + 1,
+                st.rounds,
+            );
+        }
+
+        // Commit: replay the bookkeeping of one unchanged round, in the
+        // current (fresh-sort-identical) prefix order.
+        st.rounds += 1;
+        tel.gpus_in_use.push(t, running_demand as f64);
+        for i in 0..p {
+            let ji = core.seq[i].job;
+            let slot = core.soa.slot_of[ji] as usize;
+            if deliver_observations {
+                let job = &st.jobs[ji];
+                let gpus = job.allocation().expect("prefix job running");
+                st.scratch.per_gpu.clear();
+                st.scratch
+                    .per_gpu
+                    .extend(gpus.iter().map(|&g| ctx.truth.score(job.spec.class, g)));
+                placement.observe(&RoundObservation {
+                    job: job.spec.id,
+                    class: job.spec.class,
+                    gpus,
+                    per_gpu_slowdown: &st.scratch.per_gpu,
+                    locality_penalty: st.scratch.locality_penalty[ji],
+                });
+            }
+            let d = core.soa.demand[slot];
+            tel.busy_gpu_seconds += d * dt;
+            core.soa.attained[slot] += d * dt;
+            core.soa.remaining[slot] -= core.soa.progress[slot];
+        }
+        st.t = t + dt;
+    }
+
+    // Write the accrued hot fields back to the job table.
+    for slot in 0..core.soa.job_of.len() {
+        let ji = core.soa.job_of[slot];
+        st.jobs[ji].remaining_work = core.soa.remaining[slot];
+        st.jobs[ji].attained_service = core.soa.attained[slot];
+    }
+    st.event_core = core;
+}

@@ -14,6 +14,14 @@
 //!   between a sticky round and the next event (arrival, completion, or
 //!   scheduler priority crossing) in one hop, bit-identically to
 //!   stepping them; only `executed_rounds` records the difference.
+//! - `events`: the discrete-event engine core
+//!   ([`SimConfig::event_core`]) — a binary-heap event queue of
+//!   arrivals, completion certificates, and priority-crossing
+//!   certificates that maintains the scheduling order *kinetically*
+//!   (adjacent swaps at certified crossings instead of per-round
+//!   re-sorts) and dispatches a decision round only when the
+//!   schedulable prefix set changes, replaying everything in between
+//!   over dense SoA job arrays.
 //! - `telemetry`: the `Telemetry` accumulators (GPUs-in-use series,
 //!   busy GPU-seconds, per-round policy compute time) and the final
 //!   [`SimResult`](crate::SimResult) assembly.
@@ -25,6 +33,7 @@
 //! deprecated in 0.2, have been removed — build a [`crate::Scenario`]
 //! instead.)
 
+mod events;
 mod round;
 mod state;
 mod stepper;

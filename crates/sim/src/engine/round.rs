@@ -401,7 +401,11 @@ pub(crate) fn step_round(
     let mut in_use = running_demand as f64;
     for &(ft, d) in st.scratch.completions.iter() {
         in_use -= d as f64;
-        tel.gpus_in_use.push(ft.max(t), in_use);
+        // Clamp the breakpoint into this round: a completion whose exact
+        // finish time lands within EPS past the boundary (boundary-exact
+        // durations) must not out-run the next round's breakpoint at
+        // `t + dt` — the job record keeps the exact finish time.
+        tel.gpus_in_use.push(ft.clamp(t, t + dt), in_use);
     }
 
     // Reset the per-job round flags and compact the active queue.
@@ -422,13 +426,17 @@ pub(crate) fn step_round(
     // an event — arrival, completion, or a scheduler priority crossing —
     // so fast-replay those rounds' bookkeeping in one hop. Non-sticky
     // rounds re-place (and so re-randomize, for seeded policies) every
-    // running job each round and are never skipped.
-    if ctx.config.event_driven
-        && ctx.config.sticky
-        && finished_this_round == 0
-        && !st.active_queue.is_empty()
-    {
-        skip_stable_rounds(st, tel, ctx, scheduler, placement);
+    // running job each round and are never skipped. The event core
+    // (kinetic order + certificate heaps, `engine::events`) subsumes the
+    // per-boundary order probe and additionally replays through order
+    // shifts that keep the prefix set; it needs the scheduler's
+    // incremental-key hooks, so other schedulers fall back to probing.
+    if ctx.config.sticky && finished_this_round == 0 && !st.active_queue.is_empty() {
+        if ctx.config.event_core && scheduler.incremental_keys() {
+            super::events::hop_to_next_event(st, tel, ctx, scheduler, placement);
+        } else if ctx.config.event_driven {
+            skip_stable_rounds(st, tel, ctx, scheduler, placement);
+        }
     }
 
     // Serving processing is continuous-time and depends only on the clock
@@ -447,17 +455,33 @@ pub(crate) fn step_round(
     )
 }
 
-/// Re-derive every cached key from the current job state and check the
+/// Re-derive the cached keys from the current job state and check the
 /// cached sequence is still sorted under the strict `(key, arrival, id)`
 /// order — which, the order being total, holds exactly when
 /// [`SchedulingPolicy::order_into`] would reproduce the sequence.
+///
+/// For schedulers declaring [`SchedulingPolicy::incremental_keys`], only
+/// *running* jobs' keys are re-derived: that contract freezes the key of
+/// a job that is not running (its remaining work and attained service
+/// cannot move), so the cached value is already exact and the probe cost
+/// drops from O(active) key evaluations per boundary to O(prefix).
+/// Value-identical either way.
 fn order_still_holds(
     scheduler: &dyn SchedulingPolicy,
     jobs: &[crate::job_state::ActiveJob],
+    progress_per_round: &[f64],
     sorted: &mut [crate::sched::SchedKey],
 ) -> bool {
-    for k in sorted.iter_mut() {
-        k.key = scheduler.key(&jobs[k.job]);
+    if scheduler.incremental_keys() {
+        for k in sorted.iter_mut() {
+            if progress_per_round[k.job] > 0.0 {
+                k.key = scheduler.key(&jobs[k.job]);
+            }
+        }
+    } else {
+        for k in sorted.iter_mut() {
+            k.key = scheduler.key(&jobs[k.job]);
+        }
     }
     sorted
         .windows(2)
@@ -492,7 +516,12 @@ fn skip_stable_rounds(
     let dt = ctx.config.round_duration;
     // The keys moved while the round executed; the cached order survives
     // into the upcoming boundary only if it re-derives identically now.
-    if !order_still_holds(scheduler, &st.jobs, &mut st.scratch.sched_keys) {
+    if !order_still_holds(
+        scheduler,
+        &st.jobs,
+        &st.scratch.progress_per_round,
+        &mut st.scratch.sched_keys,
+    ) {
         return;
     }
     // The scheduler's skip horizon: boundaries reached after `m` further
@@ -536,8 +565,16 @@ fn skip_stable_rounds(
             }
         }
         // The accrual replayed so far may have moved the keys.
-        if skipped > 0 && !order_still_holds(scheduler, &st.jobs, &mut st.scratch.sched_keys) {
-            break;
+        if skipped > 0 {
+            let scratch = &mut st.scratch;
+            if !order_still_holds(
+                scheduler,
+                &st.jobs,
+                &scratch.progress_per_round,
+                &mut scratch.sched_keys,
+            ) {
+                break;
+            }
         }
 
         // Commit: replay the bookkeeping of one unchanged round.

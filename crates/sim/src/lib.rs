@@ -68,5 +68,5 @@ pub use placement::{
     Allocation, PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation,
 };
 pub use scenario::Scenario;
-pub use sched::{SchedKey, SchedulingPolicy};
+pub use sched::{KeyState, SchedKey, SchedulingPolicy};
 pub use serving::{BatcherConfig, ServingJob, ServingMetrics, ServingSnapshot};

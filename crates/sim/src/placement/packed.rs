@@ -4,7 +4,7 @@
 //! *Gandiva*.
 
 use super::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest};
-use pal_cluster::{ClusterState, GpuId, NodeId};
+use pal_cluster::{ClusterState, GpuId, NodeFree, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -62,19 +62,21 @@ impl PackedPlacement {
         }
     }
 
-    /// Append `demand` GPUs from a node's free list to `out`, honoring the
-    /// tie-break mode. In randomized mode the *whole* free list is
+    /// Append `demand` GPUs from a node's free set to `out`, honoring the
+    /// tie-break mode. In randomized mode the *whole* free set is
     /// shuffled before truncation (via the `gpus` scratch buffer),
-    /// preserving the seed policy's exact RNG call sequence.
-    fn take(&mut self, free: &[GpuId], demand: usize, out: &mut Allocation) {
+    /// preserving the seed policy's exact RNG call sequence; both modes
+    /// read the set ascending by id (the bitset's native scan order), as
+    /// the earlier sorted free lists did.
+    fn take(&mut self, free: NodeFree<'_>, demand: usize, out: &mut Allocation) {
         match &mut self.rng {
             Some(rng) => {
                 self.gpus.clear();
-                self.gpus.extend_from_slice(free);
+                self.gpus.extend(free.iter());
                 self.gpus.shuffle(rng);
                 out.extend_from_slice(&self.gpus[..demand]);
             }
-            None => out.extend_from_slice(&free[..demand]),
+            None => out.extend(free.iter().take(demand)),
         }
     }
 }

@@ -106,6 +106,42 @@ impl Trace {
         }
     }
 
+    /// Build a trace from a stream of jobs already in arrival order,
+    /// without the sort (and its scratch) [`Trace::new`] performs: jobs
+    /// are validated and densely re-numbered as they are drained, so
+    /// peak memory is the output vector itself plus O(1) per job — the
+    /// shape that matters when generators stream 100k-job synthetic
+    /// traces straight into a trace (see
+    /// [`SynergyConfig::stream`](crate::SynergyConfig::stream)). Panics
+    /// if a job fails validation or arrives before its predecessor.
+    pub fn from_sorted_stream(
+        name: impl Into<String>,
+        jobs: impl IntoIterator<Item = JobSpec>,
+    ) -> Self {
+        let iter = jobs.into_iter();
+        let mut out: Vec<JobSpec> = Vec::with_capacity(iter.size_hint().0);
+        let mut last_arrival = f64::NEG_INFINITY;
+        for (i, mut j) in iter.enumerate() {
+            j.id = JobId(i as u32);
+            if let Err(e) = j.validate() {
+                panic!("invalid job in trace: {e}");
+            }
+            assert!(
+                j.arrival >= last_arrival,
+                "{}: arrival {} out of order (previous {})",
+                j.id,
+                j.arrival,
+                last_arrival
+            );
+            last_arrival = j.arrival;
+            out.push(j);
+        }
+        Trace {
+            name: name.into(),
+            jobs: out,
+        }
+    }
+
     /// Number of jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -192,6 +228,20 @@ mod tests {
         j.arrival = -1.0;
         assert!(j.validate().is_err());
         assert!(job(0, 0.0, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn from_sorted_stream_matches_new() {
+        let jobs = vec![job(7, 1.0, 1), job(3, 2.0, 2), job(9, 2.0, 4)];
+        let streamed = Trace::from_sorted_stream("t", jobs.clone());
+        assert_eq!(streamed, Trace::new("t", jobs));
+        assert_eq!(streamed.jobs[2].id, JobId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn from_sorted_stream_rejects_unsorted() {
+        Trace::from_sorted_stream("t", vec![job(0, 5.0, 1), job(1, 4.0, 1)]);
     }
 
     #[test]

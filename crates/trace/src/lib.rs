@@ -37,4 +37,4 @@ pub use job::{JobId, JobSpec, Trace};
 pub use models::ModelCatalog;
 pub use philly::SiaPhillyConfig;
 pub use serving::{ArrivalProcess, RequestId, RequestStream, ServingRequest, ServingWorkload};
-pub use synergy::SynergyConfig;
+pub use synergy::{SynergyConfig, SynergyJobs};

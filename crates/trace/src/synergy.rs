@@ -57,46 +57,33 @@ const MULTI_GPU_DEMANDS: [(usize, f64); 5] =
     [(2, 0.40), (4, 0.32), (8, 0.18), (16, 0.07), (32, 0.03)];
 
 impl SynergyConfig {
-    /// Generate a Synergy trace at this config's arrival rate.
-    pub fn generate(&self, catalog: &ModelCatalog) -> Trace {
+    /// Stream Synergy jobs one at a time, in arrival order, without
+    /// materializing the trace: each `next()` draws one job's samples
+    /// from the seeded RNG and returns it, so the generator's peak
+    /// scratch is O(1) per job (one `JobSpec`, reused sampling state)
+    /// however long the trace. [`generate`](SynergyConfig::generate)
+    /// collects this same stream — sample for sample — so a streamed
+    /// trace is bit-identical to a generated one.
+    pub fn stream<'a>(&self, catalog: &'a ModelCatalog) -> SynergyJobs<'a> {
         assert!(!catalog.is_empty(), "empty model catalog");
         assert!(self.jobs_per_hour > 0.0, "non-positive arrival rate");
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let rate_per_s = self.jobs_per_hour / 3600.0;
-        let model_weights: Vec<(usize, f64)> = (0..catalog.len()).map(|i| (i, 1.0)).collect();
-        let mut t = 0.0;
-        let mut jobs = Vec::with_capacity(self.num_jobs);
-        for i in 0..self.num_jobs {
-            t += exponential(&mut rng, rate_per_s);
-            let single = weighted_choice(
-                &mut rng,
-                &[
-                    (true, self.single_gpu_fraction),
-                    (false, 1.0 - self.single_gpu_fraction),
-                ],
-            );
-            let gpu_demand = if single {
-                1
-            } else {
-                weighted_choice(&mut rng, &MULTI_GPU_DEMANDS)
-            };
-            let entry = &catalog.entries()[weighted_choice(&mut rng, &model_weights)];
-            let size_factor = (gpu_demand as f64).powf(0.25);
-            let duration = (lognormal(&mut rng, self.median_duration_s, self.duration_sigma)
-                * size_factor)
-                .min(self.max_duration_s);
-            let iterations = (duration / entry.base_iter_time).ceil().max(1.0) as u64;
-            jobs.push(JobSpec {
-                id: JobId(i as u32),
-                model: entry.model,
-                class: entry.class,
-                arrival: t,
-                gpu_demand,
-                iterations,
-                base_iter_time: entry.base_iter_time,
-            });
+        SynergyJobs {
+            cfg: self.clone(),
+            catalog,
+            rng: StdRng::seed_from_u64(self.seed),
+            model_weights: (0..catalog.len()).map(|i| (i, 1.0)).collect(),
+            rate_per_s: self.jobs_per_hour / 3600.0,
+            t: 0.0,
+            produced: 0,
         }
-        Trace::new(format!("synergy-{:.0}jph", self.jobs_per_hour), jobs)
+    }
+
+    /// Generate a Synergy trace at this config's arrival rate.
+    pub fn generate(&self, catalog: &ModelCatalog) -> Trace {
+        Trace::from_sorted_stream(
+            format!("synergy-{:.0}jph", self.jobs_per_hour),
+            self.stream(catalog),
+        )
     }
 
     /// Same trace shape at a different arrival rate (the load sweeps keep
@@ -109,6 +96,70 @@ impl SynergyConfig {
         }
     }
 }
+
+/// Streaming Synergy job source: an iterator yielding
+/// [`SynergyConfig::num_jobs`] jobs in arrival order, one RNG draw set
+/// per `next()`. Created by [`SynergyConfig::stream`].
+#[derive(Debug)]
+pub struct SynergyJobs<'a> {
+    cfg: SynergyConfig,
+    catalog: &'a ModelCatalog,
+    rng: StdRng,
+    model_weights: Vec<(usize, f64)>,
+    rate_per_s: f64,
+    t: f64,
+    produced: usize,
+}
+
+impl Iterator for SynergyJobs<'_> {
+    type Item = JobSpec;
+
+    fn next(&mut self) -> Option<JobSpec> {
+        if self.produced >= self.cfg.num_jobs {
+            return None;
+        }
+        let i = self.produced;
+        self.produced += 1;
+        self.t += exponential(&mut self.rng, self.rate_per_s);
+        let single = weighted_choice(
+            &mut self.rng,
+            &[
+                (true, self.cfg.single_gpu_fraction),
+                (false, 1.0 - self.cfg.single_gpu_fraction),
+            ],
+        );
+        let gpu_demand = if single {
+            1
+        } else {
+            weighted_choice(&mut self.rng, &MULTI_GPU_DEMANDS)
+        };
+        let entry = &self.catalog.entries()[weighted_choice(&mut self.rng, &self.model_weights)];
+        let size_factor = (gpu_demand as f64).powf(0.25);
+        let duration = (lognormal(
+            &mut self.rng,
+            self.cfg.median_duration_s,
+            self.cfg.duration_sigma,
+        ) * size_factor)
+            .min(self.cfg.max_duration_s);
+        let iterations = (duration / entry.base_iter_time).ceil().max(1.0) as u64;
+        Some(JobSpec {
+            id: JobId(i as u32),
+            model: entry.model,
+            class: entry.class,
+            arrival: self.t,
+            gpu_demand,
+            iterations,
+            base_iter_time: entry.base_iter_time,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.cfg.num_jobs - self.produced;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SynergyJobs<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -163,6 +214,27 @@ mod tests {
         let d_base: Vec<usize> = t_base.jobs.iter().map(|j| j.gpu_demand).collect();
         let d_fast: Vec<usize> = t_fast.jobs.iter().map(|j| j.gpu_demand).collect();
         assert_eq!(d_base, d_fast);
+    }
+
+    #[test]
+    fn stream_is_bit_identical_to_generate() {
+        let c = catalog();
+        let cfg = SynergyConfig::default();
+        let generated = cfg.generate(&c);
+        let streamed: Vec<_> = cfg.stream(&c).collect();
+        assert_eq!(generated.jobs, streamed);
+        let hint = cfg.stream(&c);
+        assert_eq!(hint.len(), cfg.num_jobs);
+    }
+
+    #[test]
+    fn stream_arrivals_are_sorted() {
+        let c = catalog();
+        let mut last = 0.0;
+        for j in SynergyConfig::default().stream(&c) {
+            assert!(j.arrival >= last);
+            last = j.arrival;
+        }
     }
 
     #[test]
