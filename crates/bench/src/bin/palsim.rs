@@ -1,28 +1,243 @@
-//! `palsim` — command-line driver for one-off simulations.
+//! `palsim` — command-line driver for simulations.
+//!
+//! Three modes:
 //!
 //! ```text
-//! palsim [--trace sia|synergy] [--workload 1..8] [--load JOBS_PER_HOUR]
-//!        [--jobs N] [--nodes N] [--gpus-per-node N]
-//!        [--policy random-sticky|random|gandiva|tiresias|pmfirst|pal|adaptive-pal]
-//!        [--sched fifo|las|srtf|srsf] [--locality L] [--seed S]
-//!        [--csv] [--wait-times]
+//! palsim run <campaign.toml|.json> [--csv] [--sequential]
+//! palsim check <file-or-dir> [...]
+//! palsim [--trace sia|synergy] [--policy pal] [...]        (legacy one-off)
 //! ```
+//!
+//! `run` executes a declarative campaign file (see `configs/` for
+//! commented examples and the README for the format reference); `check`
+//! parses and validates files — or every `.toml`/`.json` in a directory —
+//! without running any cell. Bad arguments and unparseable configs exit
+//! nonzero with a one-line diagnostic (`file:line:col: message` for
+//! syntax errors, with a `caused by:` chain for wrapped errors); runtime
+//! simulation failures exit 1, usage errors exit 2.
 //!
 //! Examples:
 //!
 //! ```text
+//! palsim run configs/paper_sweep.toml --csv
+//! palsim check configs/
 //! palsim --trace sia --workload 5 --policy pal
-//! palsim --trace synergy --load 10 --nodes 64 --policy tiresias --sched las
 //! ```
 
 use pal::{AdaptivePal, PalPlacement, PmFirstPlacement};
 use pal_bench::{longhorn_profile, PROFILE_SEED};
 use pal_cluster::{ClusterTopology, LocalityModel};
+use pal_config::{campaign_from_path, render_chain, Registry};
 use pal_gpumodel::GpuSpec;
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
 use pal_sim::sched::{Fifo, Las, SchedulingPolicy, Srsf, Srtf};
-use pal_sim::{PlacementPolicy, Scenario};
+use pal_sim::{CampaignResult, PlacementPolicy, Scenario};
 use pal_trace::{ModelCatalog, SiaPhillyConfig, SynergyConfig, Trace};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(|s| s.as_str()) {
+        Some("run") => cmd_run(&argv[1..]),
+        Some("check") => cmd_check(&argv[1..]),
+        _ => legacy_main(&argv),
+    }
+}
+
+/// The CLI's registry: every builtin family plus the paper's Longhorn
+/// profile, registered here (not inside `pal-config`) — the intended
+/// pattern for downstream workload families.
+fn cli_registry() -> Registry {
+    let mut registry = Registry::with_builtins();
+    registry.register_profile("longhorn", |args, ctx| {
+        let seed = args.get_or("seed", PROFILE_SEED)?;
+        Ok(longhorn_profile(ctx.gpus, seed))
+    });
+    registry
+}
+
+const RUN_USAGE: &str = "usage: palsim run <campaign.toml|.json> [--csv] [--sequential]";
+
+fn cmd_run(argv: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut csv = false;
+    let mut sequential = false;
+    for arg in argv {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "--sequential" => sequential = true,
+            "--help" | "-h" => {
+                eprintln!("{RUN_USAGE}");
+                return ExitCode::from(2);
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => {
+                eprintln!("palsim run: unexpected argument `{other}`\n{RUN_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{RUN_USAGE}");
+        return ExitCode::from(2);
+    };
+    let campaign = match campaign_from_path(path, &cli_registry()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("palsim: {}", render_chain(&e));
+            return ExitCode::from(2);
+        }
+    };
+    if campaign.num_cells() == 0 {
+        eprintln!("palsim: {path}: campaign has no cells (no scenarios)");
+        return ExitCode::from(2);
+    }
+    let run = if sequential {
+        campaign.run_sequential()
+    } else {
+        campaign.run()
+    };
+    let results = match run {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("palsim: campaign failed: {}", render_chain(&e));
+            return ExitCode::FAILURE;
+        }
+    };
+    if csv {
+        print_csv(&results);
+    } else {
+        print_table(&results);
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_csv(results: &[CampaignResult]) {
+    println!(
+        "scenario,policy,seed,jobs,avg_jct_s,p99_jct_s,makespan_s,\
+         utilization,occupancy,migrations,rounds"
+    );
+    for r in results {
+        // Serving-only cells have no training records; JCT columns stay
+        // empty rather than inventing a number.
+        let jct = if r.result.records.is_empty() {
+            ",".into()
+        } else {
+            format!("{:.3},{:.3}", r.result.avg_jct(), r.result.p99_jct())
+        };
+        println!(
+            "{},{},{},{},{},{:.3},{:.5},{:.5},{},{}",
+            r.scenario,
+            r.policy,
+            r.seed,
+            r.result.records.len(),
+            jct,
+            r.result.makespan(),
+            r.result.utilization(),
+            r.result.occupancy(),
+            r.result.total_migrations(),
+            r.result.rounds,
+        );
+    }
+}
+
+fn print_table(results: &[CampaignResult]) {
+    for r in results {
+        if r.result.records.is_empty() {
+            // Serving-only cell: no training jobs, so no JCT stats.
+            println!(
+                "{:<28} {:<20} (no training jobs)  makespan {:>8.2} h",
+                r.scenario,
+                r.policy,
+                r.result.makespan() / 3600.0,
+            );
+        } else {
+            println!(
+                "{:<28} {:<20} avg JCT {:>8.2} h  p99 {:>8.2} h  makespan {:>8.2} h  util {:.3}",
+                r.scenario,
+                r.policy,
+                r.result.avg_jct() / 3600.0,
+                r.result.p99_jct() / 3600.0,
+                r.result.makespan() / 3600.0,
+                r.result.utilization(),
+            );
+        }
+        for s in &r.result.serving {
+            println!(
+                "{:<28} {:<20}   serving {}: goodput {:.2} req/s  \
+                 SLO {:.1}%  p99 {:.0} ms",
+                "",
+                "",
+                s.workload,
+                s.goodput(),
+                s.slo_attainment() * 100.0,
+                s.latency_p99 * 1e3,
+            );
+        }
+    }
+}
+
+const CHECK_USAGE: &str = "usage: palsim check <campaign-file-or-dir> [...]";
+
+fn cmd_check(argv: &[String]) -> ExitCode {
+    if argv.is_empty() || argv.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{CHECK_USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in argv {
+        let path = Path::new(arg);
+        if path.is_dir() {
+            let mut found = Vec::new();
+            match std::fs::read_dir(path) {
+                Ok(entries) => {
+                    for entry in entries.flatten() {
+                        let p = entry.path();
+                        let ext = p.extension().and_then(|e| e.to_str());
+                        if matches!(ext, Some("toml") | Some("json")) {
+                            found.push(p);
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("palsim: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            if found.is_empty() {
+                eprintln!("palsim: {}: no .toml or .json files", path.display());
+                return ExitCode::from(2);
+            }
+            found.sort();
+            files.extend(found);
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    let registry = cli_registry();
+    let mut failed = false;
+    for file in &files {
+        match campaign_from_path(file, &registry) {
+            Ok(campaign) => {
+                println!("{}: OK ({} cells)", file.display(), campaign.num_cells());
+            }
+            Err(e) => {
+                eprintln!("{}", render_chain(&e));
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy one-off mode: flags building a single scenario directly.
+// ---------------------------------------------------------------------
 
 #[derive(Debug)]
 struct Args {
@@ -59,82 +274,95 @@ impl Default for Args {
     }
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: palsim [--trace sia|synergy] [--workload 1..8] [--load JPH] \
-         [--jobs N] [--nodes N] [--gpus-per-node N] \
-         [--policy random-sticky|random|gandiva|tiresias|pmfirst|pal|adaptive-pal] \
-         [--sched fifo|las|srtf|srsf] [--locality L] [--seed S] [--csv] [--wait-times]"
-    );
-    std::process::exit(2)
-}
+const LEGACY_USAGE: &str = "usage: palsim run <campaign.toml|.json> [--csv] [--sequential]\n\
+     | palsim check <campaign-file-or-dir> [...]\n\
+     | palsim [--trace sia|synergy] [--workload 1..8] [--load JPH] \
+[--jobs N] [--nodes N] [--gpus-per-node N] \
+[--policy random-sticky|random|gandiva|tiresias|pmfirst|pal|adaptive-pal] \
+[--sched fifo|las|srtf|srsf] [--locality L] [--seed S] [--csv] [--wait-times]";
 
-fn parse_args() -> Args {
+/// Parse legacy flags; `Err` carries the one-line diagnostic.
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].as_str();
-        let value = |i: &mut usize| -> String {
-            *i += 1;
-            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        let mut value = || -> Result<&String, String> {
+            i += 1;
+            argv.get(i)
+                .ok_or_else(|| format!("flag {flag} needs a value"))
         };
+        fn parsed<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("flag {flag}: bad value `{v}`"))
+        }
         match flag {
-            "--trace" => args.trace = value(&mut i),
-            "--workload" => args.workload = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--load" => args.load = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--jobs" => args.jobs = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
-            "--nodes" => args.nodes = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--gpus-per-node" => {
-                args.gpus_per_node = value(&mut i).parse().unwrap_or_else(|_| usage())
-            }
-            "--policy" => args.policy = value(&mut i),
-            "--sched" => args.sched = value(&mut i),
-            "--locality" => args.locality = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--trace" => args.trace = value()?.clone(),
+            "--workload" => args.workload = parsed(flag, value()?)?,
+            "--load" => args.load = parsed(flag, value()?)?,
+            "--jobs" => args.jobs = Some(parsed(flag, value()?)?),
+            "--nodes" => args.nodes = parsed(flag, value()?)?,
+            "--gpus-per-node" => args.gpus_per_node = parsed(flag, value()?)?,
+            "--policy" => args.policy = value()?.clone(),
+            "--sched" => args.sched = value()?.clone(),
+            "--locality" => args.locality = parsed(flag, value()?)?,
+            "--seed" => args.seed = parsed(flag, value()?)?,
             "--csv" => args.csv = true,
             "--wait-times" => args.wait_times = true,
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown flag: {other}");
-                usage()
-            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
-    args
+    Ok(args)
 }
 
-fn build_trace(args: &Args) -> Trace {
+fn build_trace(args: &Args) -> Result<Trace, String> {
     let catalog = ModelCatalog::table2(&GpuSpec::v100());
     match args.trace.as_str() {
         "sia" => {
+            if !(1..=8).contains(&args.workload) {
+                return Err(format!("--workload must be in 1..8, got {}", args.workload));
+            }
             let mut cfg = SiaPhillyConfig::default();
             if let Some(n) = args.jobs {
                 cfg.num_jobs = n;
             }
-            cfg.generate(args.workload, &catalog)
+            Ok(cfg.generate(args.workload, &catalog))
         }
         "synergy" => {
             let mut cfg = SynergyConfig::default().at_load(args.load);
             if let Some(n) = args.jobs {
                 cfg.num_jobs = n;
             }
-            cfg.generate(&catalog)
+            Ok(cfg.generate(&catalog))
         }
-        other => {
-            eprintln!("unknown trace family: {other}");
-            usage()
-        }
+        other => Err(format!("unknown trace family: {other}")),
     }
 }
 
-fn main() {
-    let args = parse_args();
+fn legacy_main(argv: &[String]) -> ExitCode {
+    let usage_err = |msg: &str| {
+        if !msg.is_empty() {
+            eprintln!("palsim: {msg}");
+        }
+        eprintln!("{LEGACY_USAGE}");
+        ExitCode::from(2)
+    };
+    let args = match parse_args(argv) {
+        Ok(a) => a,
+        Err(msg) => return usage_err(&msg),
+    };
+    if args.nodes == 0 || args.gpus_per_node == 0 {
+        return usage_err("--nodes and --gpus-per-node must be positive");
+    }
     let topo = ClusterTopology::new(args.nodes, args.gpus_per_node);
     let profile = longhorn_profile(topo.total_gpus(), args.seed);
     let locality = LocalityModel::uniform(args.locality);
-    let trace = build_trace(&args);
+    let trace = match build_trace(&args) {
+        Ok(t) => t,
+        Err(msg) => return usage_err(&msg),
+    };
 
     let (sticky, policy): (bool, Box<dyn PlacementPolicy + Send>) = match args.policy.as_str() {
         "random-sticky" => (true, Box::new(RandomPlacement::new(args.seed))),
@@ -144,20 +372,14 @@ fn main() {
         "pmfirst" => (false, Box::new(PmFirstPlacement::new(&profile))),
         "pal" => (false, Box::new(PalPlacement::new(&profile))),
         "adaptive-pal" => (false, Box::new(AdaptivePal::new(&profile))),
-        other => {
-            eprintln!("unknown policy: {other}");
-            usage()
-        }
+        other => return usage_err(&format!("unknown policy: {other}")),
     };
     let sched: Box<dyn SchedulingPolicy + Send + Sync> = match args.sched.as_str() {
         "fifo" => Box::new(Fifo),
         "las" => Box::new(Las::default()),
         "srtf" => Box::new(Srtf),
         "srsf" => Box::new(Srsf),
-        other => {
-            eprintln!("unknown scheduler: {other}");
-            usage()
-        }
+        other => return usage_err(&format!("unknown scheduler: {other}")),
     };
 
     let r = match Scenario::new(trace, topo)
@@ -170,8 +392,8 @@ fn main() {
     {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("simulation failed: {e}");
-            std::process::exit(1);
+            eprintln!("palsim: simulation failed: {e}");
+            return ExitCode::FAILURE;
         }
     };
 
@@ -193,7 +415,7 @@ fn main() {
                 rec.preemptions
             );
         }
-        return;
+        return ExitCode::SUCCESS;
     }
 
     println!("trace      : {} ({} jobs)", r.trace, r.records.len());
@@ -220,4 +442,5 @@ fn main() {
             println!("{id},{:.3}", w / 3600.0);
         }
     }
+    ExitCode::SUCCESS
 }

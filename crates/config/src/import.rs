@@ -1,0 +1,120 @@
+//! JSONL trace importer: one JSON object per line, streaming.
+//!
+//! The JSONL shape mirrors the CSV trace format of
+//! [`pal_trace::read_trace_csv`] — same fields, self-describing keys:
+//!
+//! ```jsonl
+//! {"model": "resnet50", "class": 0, "arrival": 12.5, "gpu_demand": 4, "iterations": 1000, "base_iter_time": 0.04}
+//! ```
+//!
+//! `id` is optional (jobs are renumbered in arrival order by
+//! [`Trace::new`] anyway), `class` defaults to 0, and blank lines are
+//! skipped, so the format is friendly to hand-editing and to `jq`-style
+//! pipelines over exported logs. Each line is parsed and converted
+//! directly into the job list — no intermediate row vector.
+
+use crate::json::parse_json;
+use pal_cluster::JobClass;
+use pal_gpumodel::Workload;
+use pal_trace::{JobId, JobSpec, Trace, TraceIoError};
+use serde::{Deserialize, Value};
+use std::io::BufRead;
+
+/// Parse a JSONL trace (one job object per line). Errors carry the
+/// 1-based line number, matching [`pal_trace::read_trace_csv`].
+pub fn read_jsonl_trace<R: BufRead>(name: &str, input: R) -> Result<Trace, TraceIoError> {
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = parse_json(line)
+            .map_err(|e| TraceIoError::Parse(lineno, format!("col {}: {}", e.col, e.message)))?;
+        let job =
+            job_from_value(&value, jobs.len()).map_err(|msg| TraceIoError::Parse(lineno, msg))?;
+        job.validate().map_err(|e| TraceIoError::Parse(lineno, e))?;
+        jobs.push(job);
+    }
+    Ok(Trace::new(name, jobs))
+}
+
+fn job_from_value(value: &Value, index: usize) -> Result<JobSpec, String> {
+    let entries = match value {
+        Value::Map(entries) => entries,
+        other => return Err(format!("expected a JSON object per line, got {other:?}")),
+    };
+    const KNOWN: [&str; 7] = [
+        "id",
+        "model",
+        "class",
+        "arrival",
+        "gpu_demand",
+        "iterations",
+        "base_iter_time",
+    ];
+    for (key, _) in entries {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(format!("unknown field `{key}`"));
+        }
+    }
+    let field = |key: &str| value.get(key).unwrap_or(&Value::Unit);
+    let model_name = String::from_value(field("model")).map_err(|e| format!("model: {e}"))?;
+    let model =
+        Workload::from_name(&model_name).ok_or_else(|| format!("unknown model `{model_name}`"))?;
+    let class = match field("class") {
+        Value::Unit => JobClass(0),
+        v => JobClass(usize::from_value(v).map_err(|e| format!("class: {e}"))?),
+    };
+    Ok(JobSpec {
+        id: JobId(index as u32),
+        model,
+        class,
+        arrival: f64::from_value(field("arrival")).map_err(|e| format!("arrival: {e}"))?,
+        gpu_demand: usize::from_value(field("gpu_demand"))
+            .map_err(|e| format!("gpu_demand: {e}"))?,
+        iterations: u64::from_value(field("iterations")).map_err(|e| format!("iterations: {e}"))?,
+        base_iter_time: f64::from_value(field("base_iter_time"))
+            .map_err(|e| format!("base_iter_time: {e}"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn jsonl_roundtrips_jobs() {
+        let src = r#"
+{"model": "resnet50", "class": 0, "arrival": 0.0, "gpu_demand": 1, "iterations": 100, "base_iter_time": 0.5}
+
+{"model": "bert", "class": 2, "arrival": 60.0, "gpu_demand": 4, "iterations": 10, "base_iter_time": 1.0}
+"#;
+        let t = read_jsonl_trace("jl", BufReader::new(src.trim_start().as_bytes())).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.jobs[0].model, Workload::ResNet50);
+        assert_eq!(t.jobs[1].class, JobClass(2));
+        assert_eq!(t.jobs[1].gpu_demand, 4);
+    }
+
+    #[test]
+    fn id_is_optional_and_class_defaults() {
+        let src = r#"{"model": "bert", "arrival": 0.0, "gpu_demand": 1, "iterations": 1, "base_iter_time": 1.0}"#;
+        let t = read_jsonl_trace("jl", BufReader::new(src.as_bytes())).unwrap();
+        assert_eq!(t.jobs[0].class, JobClass(0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "{\"model\": \"bert\", \"arrival\": 0.0, \"gpu_demand\": 1, \"iterations\": 1, \"base_iter_time\": 1.0}\nnot json\n";
+        let err = read_jsonl_trace("jl", BufReader::new(src.as_bytes())).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(2, _)), "{err}");
+
+        let src = r#"{"model": "bert", "arrival": 0.0, "gpu_demand": 1, "iterations": 1, "base_iter_time": 1.0, "typo_field": 3}"#;
+        let err = read_jsonl_trace("jl", BufReader::new(src.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("typo_field"), "{err}");
+    }
+}

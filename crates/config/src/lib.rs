@@ -1,0 +1,52 @@
+//! # pal-config
+//!
+//! Config-driven scenarios: declarative campaign files, a pluggable
+//! workload-generator/policy registry, and external trace importers.
+//!
+//! Everything the [`pal_sim::Scenario`]/[`pal_sim::Campaign`] builder
+//! API can express — cluster topology, locality model, variability
+//! profiles and ground truth, scheduler, admission, placement-policy
+//! columns, training traces, serving workloads, load sweeps, seeds —
+//! can be written as a checked-in TOML (or JSON) file and run with
+//! `palsim run campaign.toml`. A file-built campaign reproduces its
+//! builder-built equivalent **bit-identically**: cell seeds derive from
+//! `(campaign seed, scenario tag, policy name)` only, and the builtin
+//! registry uses the exact figure-legend policy names, so
+//! [`pal_sim::SimResult::same_outcome`] holds cell for cell.
+//!
+//! The three layers:
+//!
+//! - [`schema`]: the typed file format ([`CampaignFile`]), round-trippable
+//!   through [`serde::Value`] via the workspace's derive shim.
+//! - [`registry`]: string-keyed builders for every pluggable dimension
+//!   ([`Registry::with_builtins`]); downstream crates extend it with
+//!   `register_*` without touching this crate.
+//! - [`build`]: [`load_campaign_file`] (parse + schema-check) and
+//!   [`build_campaign`] (resolve against a registry into a runnable
+//!   [`pal_sim::Campaign`], with eager validation so errors carry file
+//!   or scenario context).
+//!
+//! Formats: [`toml`] (hand-rolled TOML subset, 1-based line/col errors)
+//! and [`json`] (with `//` comments); [`import`] adds a JSONL trace
+//! reader alongside [`pal_trace::import_csv_trace`]'s external CSV
+//! importers.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod error;
+pub mod import;
+pub mod json;
+pub mod registry;
+pub mod schema;
+pub mod toml;
+
+pub use build::{build_campaign, campaign_from_path, load_campaign_file, parse_campaign_str};
+pub use error::{render_chain, ConfigError};
+pub use import::read_jsonl_trace;
+pub use json::parse_json;
+pub use registry::{Args, PolicyCtx, PolicyEntry, ProfileCtx, Registry, TraceCtx};
+pub use schema::{
+    CampaignFile, CampaignSection, GeneratorRef, PolicyRef, ScenarioSpec, ServingSpec, SimSection,
+};
+pub use toml::{parse_toml, write_toml, TomlError};

@@ -1,0 +1,819 @@
+//! The pluggable generator/policy registry.
+//!
+//! A campaign file names its pieces by string kind (`trace = { kind =
+//! "synergy" }`, `policy = ["pal"]`); a [`Registry`] maps those kinds to
+//! builder functions. [`Registry::with_builtins`] registers every family
+//! shipped in the workspace; downstream code adds its own with the
+//! `register_*` methods — **no edits inside this crate required**:
+//!
+//! ```
+//! use pal_config::{Args, ConfigError, Registry, TraceCtx};
+//! use pal_trace::Trace;
+//!
+//! let mut registry = Registry::with_builtins();
+//! registry.register_trace("always-empty", |args: &Args, _ctx: &TraceCtx| {
+//!     let name = args.str_or("name", "empty")?;
+//!     Ok::<_, ConfigError>(Trace::new(name, vec![]))
+//! });
+//! assert!(registry.trace_kinds().iter().any(|k| k == "always-empty"));
+//! ```
+//!
+//! Builders receive an [`Args`] view of the reference's parameter map —
+//! typed getters with defaults — plus a context struct with what the
+//! campaign knows (the swept load factor, the config file's directory
+//! for relative paths, the cell's profile and seed). Parameters no
+//! builder consumed are an error, so a typo like `num_job = 100` fails
+//! loudly instead of silently running the default.
+
+use crate::error::ConfigError;
+use crate::import::read_jsonl_trace;
+use pal::{AdaptiveConfig, AdaptivePal, PalPlacement, PmFirstPlacement, PmTableCache};
+use pal_cluster::VariabilityProfile;
+use pal_gpumodel::{GpuSpec, Workload};
+use pal_sim::admission::{
+    AdmissionPolicy, AdmitAll, DemandBackpressure, MaxActiveJobs, RejectOversized,
+};
+use pal_sim::placement::{PackedPlacement, PlacementPolicy, RandomPlacement};
+use pal_sim::sched::{Fifo, Las, SchedulingPolicy, Srsf, Srtf};
+use pal_trace::{
+    import_csv_trace, read_trace_csv, ExternalCsvFormat, HeavyTailConfig, ImportOptions,
+    ModelCatalog, SiaPhillyConfig, SynergyConfig, Trace,
+};
+use serde::{Deserialize, Value};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Typed access to a generator reference's parameter map.
+///
+/// Getters record which keys were read; [`Args::finish`] (called by the
+/// campaign builder after the factory returns) rejects any key no getter
+/// touched, so misspelled parameters surface as errors.
+pub struct Args<'a> {
+    context: String,
+    entries: &'a [(String, Value)],
+    seen: RefCell<Vec<usize>>,
+}
+
+impl<'a> Args<'a> {
+    /// Wrap `params` (a [`Value::Map`] or [`Value::Unit`]) for the
+    /// builder identified by `context` (e.g. ``trace `synergy` ``).
+    pub fn new(context: impl Into<String>, params: &'a Value) -> Result<Self, ConfigError> {
+        let context = context.into();
+        let entries: &[(String, Value)] = match params {
+            Value::Map(entries) => entries,
+            Value::Unit => &[],
+            other => {
+                return Err(ConfigError::BadParam {
+                    context,
+                    message: format!("parameters must be a table, got {other:?}"),
+                })
+            }
+        };
+        Ok(Args {
+            context,
+            entries,
+            seen: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// The builder identity, for error messages.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    fn bad(&self, message: impl Into<String>) -> ConfigError {
+        ConfigError::BadParam {
+            context: self.context.clone(),
+            message: message.into(),
+        }
+    }
+
+    /// The raw value of `key`, if present (marks it consumed).
+    pub fn value(&self, key: &str) -> Option<&'a Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        let mut seen = self.seen.borrow_mut();
+        if !seen.contains(&idx) {
+            seen.push(idx);
+        }
+        Some(&self.entries[idx].1)
+    }
+
+    /// Deserialize `key` into `T`, or `None` if absent.
+    pub fn get<T: for<'de> Deserialize<'de>>(&self, key: &str) -> Result<Option<T>, ConfigError> {
+        match self.value(key) {
+            None => Ok(None),
+            Some(v) => T::from_value(v)
+                .map(Some)
+                .map_err(|e| self.bad(format!("parameter `{key}`: {e}"))),
+        }
+    }
+
+    /// Deserialize `key` into `T`, or `default` if absent.
+    pub fn get_or<T: for<'de> Deserialize<'de>>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ConfigError> {
+        Ok(self.get(key)?.unwrap_or(default))
+    }
+
+    /// Deserialize `key` into `T`; absence is an error.
+    pub fn require<T: for<'de> Deserialize<'de>>(&self, key: &str) -> Result<T, ConfigError> {
+        self.get(key)?
+            .ok_or_else(|| self.bad(format!("missing required parameter `{key}`")))
+    }
+
+    /// String parameter with a default (convenience over [`Args::get_or`]).
+    pub fn str_or(&self, key: &str, default: &str) -> Result<String, ConfigError> {
+        self.get_or(key, default.to_string())
+    }
+
+    /// Error on any parameter no getter consumed.
+    pub fn finish(&self) -> Result<(), ConfigError> {
+        let seen = self.seen.borrow();
+        for (idx, (key, _)) in self.entries.iter().enumerate() {
+            if !seen.contains(&idx) {
+                return Err(self.bad(format!("unknown parameter `{key}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Context handed to trace builders.
+pub struct TraceCtx<'a> {
+    /// The swept load factor, when the scenario is a load sweep.
+    /// Synthetic generators scale their arrival rate by it; trace
+    /// replayers compress arrival gaps by it.
+    pub load: Option<f64>,
+    /// Directory of the campaign file — relative `path` parameters
+    /// resolve against it.
+    pub base_dir: &'a Path,
+}
+
+impl TraceCtx<'_> {
+    /// Resolve a possibly-relative path parameter against the campaign
+    /// file's directory.
+    pub fn resolve(&self, path: &str) -> PathBuf {
+        let p = Path::new(path);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            self.base_dir.join(p)
+        }
+    }
+}
+
+/// Context handed to profile builders.
+pub struct ProfileCtx {
+    /// Total GPUs in the campaign's cluster — profiles size themselves
+    /// to it.
+    pub gpus: usize,
+}
+
+/// Context handed to placement-policy builders, once per campaign cell.
+pub struct PolicyCtx<'a> {
+    /// The policy-visible variability profile of the cell's scenario.
+    pub profile: &'a Arc<VariabilityProfile>,
+    /// The cell's deterministic seed.
+    pub seed: u64,
+    /// PM-score table cache shared across the whole campaign, so PAL and
+    /// PM-First columns over the same profile build one table.
+    pub table_cache: &'a Arc<PmTableCache>,
+}
+
+type TraceFactory = Arc<dyn Fn(&Args, &TraceCtx) -> Result<Trace, ConfigError> + Send + Sync>;
+type ProfileFactory =
+    Arc<dyn Fn(&Args, &ProfileCtx) -> Result<VariabilityProfile, ConfigError> + Send + Sync>;
+type SchedulerFactory = Arc<
+    dyn Fn(&Args) -> Result<Box<dyn SchedulingPolicy + Send + Sync>, ConfigError> + Send + Sync,
+>;
+type AdmissionFactory =
+    Arc<dyn Fn(&Args) -> Result<Box<dyn AdmissionPolicy + Send + Sync>, ConfigError> + Send + Sync>;
+type PolicyFactory = Arc<
+    dyn Fn(&Args, &PolicyCtx) -> Result<Box<dyn PlacementPolicy + Send>, ConfigError> + Send + Sync,
+>;
+
+/// A registered placement-policy family.
+#[derive(Clone)]
+pub struct PolicyEntry {
+    /// Column name a [`PolicyRef`](crate::PolicyRef) without a `name`
+    /// override gets — feeds the deterministic per-cell seeds, so it
+    /// matches the paper's figure labels for the builtin families.
+    pub display_name: String,
+    /// Whether the family runs sticky by default.
+    pub default_sticky: bool,
+    pub(crate) factory: PolicyFactory,
+}
+
+/// Maps kind strings to builders for every pluggable campaign dimension.
+/// See the [module docs](self).
+#[derive(Clone)]
+pub struct Registry {
+    traces: BTreeMap<String, TraceFactory>,
+    profiles: BTreeMap<String, ProfileFactory>,
+    schedulers: BTreeMap<String, SchedulerFactory>,
+    admissions: BTreeMap<String, AdmissionFactory>,
+    policies: BTreeMap<String, PolicyEntry>,
+}
+
+impl Registry {
+    /// An empty registry (rarely what you want — see
+    /// [`with_builtins`](Registry::with_builtins)).
+    pub fn new() -> Self {
+        Registry {
+            traces: BTreeMap::new(),
+            profiles: BTreeMap::new(),
+            schedulers: BTreeMap::new(),
+            admissions: BTreeMap::new(),
+            policies: BTreeMap::new(),
+        }
+    }
+
+    /// A registry with every family shipped in the workspace. See the
+    /// README's file-format reference for the full list and their
+    /// parameters.
+    pub fn with_builtins() -> Self {
+        let mut r = Registry::new();
+        register_builtin_traces(&mut r);
+        register_builtin_profiles(&mut r);
+        register_builtin_schedulers(&mut r);
+        register_builtin_admissions(&mut r);
+        register_builtin_policies(&mut r);
+        r
+    }
+
+    /// Register (or replace) a trace-generator family.
+    pub fn register_trace(
+        &mut self,
+        kind: impl Into<String>,
+        factory: impl Fn(&Args, &TraceCtx) -> Result<Trace, ConfigError> + Send + Sync + 'static,
+    ) {
+        self.traces.insert(kind.into(), Arc::new(factory));
+    }
+
+    /// Register (or replace) a variability-profile family.
+    pub fn register_profile(
+        &mut self,
+        kind: impl Into<String>,
+        factory: impl Fn(&Args, &ProfileCtx) -> Result<VariabilityProfile, ConfigError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.profiles.insert(kind.into(), Arc::new(factory));
+    }
+
+    /// Register (or replace) a scheduling-policy family.
+    pub fn register_scheduler(
+        &mut self,
+        kind: impl Into<String>,
+        factory: impl Fn(&Args) -> Result<Box<dyn SchedulingPolicy + Send + Sync>, ConfigError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.schedulers.insert(kind.into(), Arc::new(factory));
+    }
+
+    /// Register (or replace) an admission-policy family.
+    pub fn register_admission(
+        &mut self,
+        kind: impl Into<String>,
+        factory: impl Fn(&Args) -> Result<Box<dyn AdmissionPolicy + Send + Sync>, ConfigError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.admissions.insert(kind.into(), Arc::new(factory));
+    }
+
+    /// Register (or replace) a placement-policy family. `display_name`
+    /// becomes the default campaign column name and `default_sticky` its
+    /// stickiness; the factory runs once per campaign cell.
+    pub fn register_policy(
+        &mut self,
+        kind: impl Into<String>,
+        display_name: impl Into<String>,
+        default_sticky: bool,
+        factory: impl Fn(&Args, &PolicyCtx) -> Result<Box<dyn PlacementPolicy + Send>, ConfigError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.policies.insert(
+            kind.into(),
+            PolicyEntry {
+                display_name: display_name.into(),
+                default_sticky,
+                factory: Arc::new(factory),
+            },
+        );
+    }
+
+    /// Registered trace kinds, sorted.
+    pub fn trace_kinds(&self) -> Vec<String> {
+        self.traces.keys().cloned().collect()
+    }
+
+    /// Registered profile kinds, sorted.
+    pub fn profile_kinds(&self) -> Vec<String> {
+        self.profiles.keys().cloned().collect()
+    }
+
+    /// Registered scheduler kinds, sorted.
+    pub fn scheduler_kinds(&self) -> Vec<String> {
+        self.schedulers.keys().cloned().collect()
+    }
+
+    /// Registered admission kinds, sorted.
+    pub fn admission_kinds(&self) -> Vec<String> {
+        self.admissions.keys().cloned().collect()
+    }
+
+    /// Registered policy kinds, sorted.
+    pub fn policy_kinds(&self) -> Vec<String> {
+        self.policies.keys().cloned().collect()
+    }
+
+    fn unknown(&self, category: &'static str, kind: &str, known: Vec<String>) -> ConfigError {
+        ConfigError::UnknownKind {
+            category,
+            kind: kind.to_string(),
+            known,
+        }
+    }
+
+    /// Look up a trace factory.
+    pub fn trace(&self, kind: &str) -> Result<&TraceFactory, ConfigError> {
+        self.traces
+            .get(kind)
+            .ok_or_else(|| self.unknown("trace", kind, self.trace_kinds()))
+    }
+
+    /// Look up a profile factory.
+    pub fn profile(&self, kind: &str) -> Result<&ProfileFactory, ConfigError> {
+        self.profiles
+            .get(kind)
+            .ok_or_else(|| self.unknown("profile", kind, self.profile_kinds()))
+    }
+
+    /// Look up a scheduler factory.
+    pub fn scheduler(&self, kind: &str) -> Result<&SchedulerFactory, ConfigError> {
+        self.schedulers
+            .get(kind)
+            .ok_or_else(|| self.unknown("scheduler", kind, self.scheduler_kinds()))
+    }
+
+    /// Look up an admission factory.
+    pub fn admission(&self, kind: &str) -> Result<&AdmissionFactory, ConfigError> {
+        self.admissions
+            .get(kind)
+            .ok_or_else(|| self.unknown("admission", kind, self.admission_kinds()))
+    }
+
+    /// Look up a policy entry.
+    pub fn policy(&self, kind: &str) -> Result<&PolicyEntry, ConfigError> {
+        self.policies
+            .get(kind)
+            .ok_or_else(|| self.unknown("policy", kind, self.policy_kinds()))
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_builtins()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("traces", &self.trace_kinds())
+            .field("profiles", &self.profile_kinds())
+            .field("schedulers", &self.scheduler_kinds())
+            .field("admissions", &self.admission_kinds())
+            .field("policies", &self.policy_kinds())
+            .finish()
+    }
+}
+
+fn catalog() -> ModelCatalog {
+    ModelCatalog::table2(&GpuSpec::v100())
+}
+
+/// Compress a replayed trace's arrival gaps by the load factor (arrival
+/// times divide by `load`), the standard load knob for fixed traces.
+fn scale_replay_load(mut trace: Trace, load: Option<f64>) -> Trace {
+    if let Some(load) = load {
+        if load != 1.0 {
+            for job in &mut trace.jobs {
+                job.arrival /= load;
+            }
+            trace.name = format!("{}@x{load}", trace.name);
+        }
+    }
+    trace
+}
+
+fn open_trace_file(path: &Path) -> Result<BufReader<File>, ConfigError> {
+    File::open(path)
+        .map(BufReader::new)
+        .map_err(|source| ConfigError::Io {
+            path: path.to_path_buf(),
+            source,
+        })
+}
+
+fn register_builtin_traces(r: &mut Registry) {
+    r.register_trace("sia-philly", |args, ctx| {
+        let d = SiaPhillyConfig::default();
+        let workload_id: u32 = args.get_or("workload_id", 1)?;
+        if !(1..=8).contains(&workload_id) {
+            return Err(ConfigError::BadParam {
+                context: args.context().to_string(),
+                message: format!("workload_id must be in 1..=8, got {workload_id}"),
+            });
+        }
+        let cfg = SiaPhillyConfig {
+            num_jobs: args.get_or("num_jobs", d.num_jobs)?,
+            arrival_rate_per_hour: args.get_or("arrival_rate_per_hour", d.arrival_rate_per_hour)?
+                * ctx.load.unwrap_or(1.0),
+            single_gpu_fraction: args.get_or("single_gpu_fraction", d.single_gpu_fraction)?,
+            median_duration_s: args.get_or("median_duration_s", d.median_duration_s)?,
+            duration_sigma: args.get_or("duration_sigma", d.duration_sigma)?,
+            max_duration_s: args.get_or("max_duration_s", d.max_duration_s)?,
+        };
+        Ok(cfg.generate(workload_id, &catalog()))
+    });
+    r.register_trace("synergy", |args, ctx| {
+        let d = SynergyConfig::default();
+        let cfg = SynergyConfig {
+            num_jobs: args.get_or("num_jobs", d.num_jobs)?,
+            jobs_per_hour: args.get_or("jobs_per_hour", d.jobs_per_hour)? * ctx.load.unwrap_or(1.0),
+            single_gpu_fraction: args.get_or("single_gpu_fraction", d.single_gpu_fraction)?,
+            median_duration_s: args.get_or("median_duration_s", d.median_duration_s)?,
+            duration_sigma: args.get_or("duration_sigma", d.duration_sigma)?,
+            max_duration_s: args.get_or("max_duration_s", d.max_duration_s)?,
+            seed: args.get_or("seed", d.seed)?,
+        };
+        Ok(cfg.generate(&catalog()))
+    });
+    r.register_trace("heavy-tail", |args, ctx| {
+        let d = HeavyTailConfig::default();
+        let cfg = HeavyTailConfig {
+            num_jobs: args.get_or("num_jobs", d.num_jobs)?,
+            jobs_per_hour: args.get_or("jobs_per_hour", d.jobs_per_hour)? * ctx.load.unwrap_or(1.0),
+            alpha: args.get_or("alpha", d.alpha)?,
+            min_duration_s: args.get_or("min_duration_s", d.min_duration_s)?,
+            max_duration_s: args.get_or("max_duration_s", d.max_duration_s)?,
+            single_gpu_fraction: args.get_or("single_gpu_fraction", d.single_gpu_fraction)?,
+            seed: args.get_or("seed", d.seed)?,
+        };
+        Ok(cfg.generate(&catalog()))
+    });
+    r.register_trace("empty", |args, _ctx| {
+        Ok(Trace::new(args.str_or("name", "empty")?, vec![]))
+    });
+    r.register_trace("csv", |args, ctx| {
+        let path: String = args.require("path")?;
+        let resolved = ctx.resolve(&path);
+        let default_name = resolved
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "csv".to_string());
+        let name = args.str_or("name", &default_name)?;
+        let reader = open_trace_file(&resolved)?;
+        let trace = read_trace_csv(&name, reader).map_err(|source| ConfigError::Trace {
+            context: format!("{} from {}", args.context(), resolved.display()),
+            source,
+        })?;
+        Ok(scale_replay_load(trace, ctx.load))
+    });
+    r.register_trace("jsonl", |args, ctx| {
+        let path: String = args.require("path")?;
+        let resolved = ctx.resolve(&path);
+        let default_name = resolved
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "jsonl".to_string());
+        let name = args.str_or("name", &default_name)?;
+        let reader = open_trace_file(&resolved)?;
+        let trace = read_jsonl_trace(&name, reader).map_err(|source| ConfigError::Trace {
+            context: format!("{} from {}", args.context(), resolved.display()),
+            source,
+        })?;
+        Ok(scale_replay_load(trace, ctx.load))
+    });
+    for (kind, format) in [
+        ("philly-csv", ExternalCsvFormat::philly as fn() -> _),
+        ("alibaba-csv", ExternalCsvFormat::alibaba),
+        ("google-csv", ExternalCsvFormat::google),
+    ] {
+        r.register_trace(kind, move |args, ctx| {
+            let path: String = args.require("path")?;
+            let resolved = ctx.resolve(&path);
+            let defaults = ImportOptions::default();
+            let model_name: Option<String> = args.get("model")?;
+            let model = match model_name {
+                None => defaults.model,
+                Some(name) => Workload::from_name(&name).ok_or_else(|| ConfigError::BadParam {
+                    context: args.context().to_string(),
+                    message: format!("unknown model `{name}`"),
+                })?,
+            };
+            let opts = ImportOptions {
+                model,
+                class: args.get_or("class", defaults.class)?,
+                base_iter_time: args.get_or("base_iter_time", defaults.base_iter_time)?,
+                max_jobs: args.get("max_jobs")?,
+            };
+            let default_name = resolved
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| kind.to_string());
+            let name = args.str_or("name", &default_name)?;
+            let reader = open_trace_file(&resolved)?;
+            let trace = import_csv_trace(&name, &format(), &opts, reader).map_err(|source| {
+                ConfigError::Trace {
+                    context: format!("{} from {}", args.context(), resolved.display()),
+                    source,
+                }
+            })?;
+            Ok(scale_replay_load(trace, ctx.load))
+        });
+    }
+}
+
+fn register_builtin_profiles(r: &mut Registry) {
+    r.register_profile("flat", |args, ctx| {
+        let classes: usize = args.get_or("classes", 3)?;
+        let value: f64 = args.get_or("value", 1.0)?;
+        if classes == 0 {
+            return Err(ConfigError::BadParam {
+                context: args.context().to_string(),
+                message: "classes must be positive".to_string(),
+            });
+        }
+        if !(value > 0.0 && value.is_finite()) {
+            return Err(ConfigError::BadParam {
+                context: args.context().to_string(),
+                message: format!("value must be positive and finite, got {value}"),
+            });
+        }
+        Ok(VariabilityProfile::from_raw(vec![
+            vec![value; ctx.gpus];
+            classes
+        ]))
+    });
+}
+
+fn register_builtin_schedulers(r: &mut Registry) {
+    r.register_scheduler("fifo", |_args| Ok(Box::new(Fifo)));
+    r.register_scheduler("las", |args| {
+        let d = Las::default();
+        Ok(Box::new(Las {
+            threshold_gpu_seconds: args.get_or("threshold_gpu_seconds", d.threshold_gpu_seconds)?,
+        }))
+    });
+    r.register_scheduler("srtf", |_args| Ok(Box::new(Srtf)));
+    r.register_scheduler("srsf", |_args| Ok(Box::new(Srsf)));
+}
+
+fn register_builtin_admissions(r: &mut Registry) {
+    r.register_admission("admit-all", |_args| Ok(Box::new(AdmitAll)));
+    r.register_admission("reject-oversized", |_args| Ok(Box::new(RejectOversized)));
+    r.register_admission("max-active-jobs", |args| {
+        Ok(Box::new(MaxActiveJobs {
+            limit: args.require("limit")?,
+        }))
+    });
+    r.register_admission("demand-backpressure", |args| {
+        Ok(Box::new(DemandBackpressure {
+            capacity_multiple: args.require("capacity_multiple")?,
+        }))
+    });
+}
+
+fn register_builtin_policies(r: &mut Registry) {
+    // The six paper configurations, with the exact figure-legend names
+    // `PolicyKind` uses — cell seeds hash the column name, so a
+    // file-built campaign reproduces a builder-built one bit-for-bit.
+    r.register_policy("random-sticky", "Random-Sticky", true, |_args, ctx| {
+        Ok(Box::new(RandomPlacement::new(ctx.seed)))
+    });
+    r.register_policy("random", "Random-Non-Sticky", false, |_args, ctx| {
+        Ok(Box::new(RandomPlacement::new(ctx.seed)))
+    });
+    r.register_policy("gandiva", "Gandiva", false, |_args, ctx| {
+        Ok(Box::new(PackedPlacement::randomized(ctx.seed)))
+    });
+    r.register_policy("tiresias", "Tiresias", true, |_args, ctx| {
+        Ok(Box::new(PackedPlacement::randomized(ctx.seed)))
+    });
+    r.register_policy("pm-first", "PM-First", false, |_args, ctx| {
+        Ok(Box::new(PmFirstPlacement::from_shared(
+            ctx.table_cache.get_or_build_default(ctx.profile),
+        )))
+    });
+    r.register_policy("pal", "PAL", false, |_args, ctx| {
+        Ok(Box::new(PalPlacement::from_shared(
+            ctx.table_cache.get_or_build_default(ctx.profile),
+        )))
+    });
+    r.register_policy("adaptive-pal", "Adaptive-PAL", false, |args, ctx| {
+        let d = AdaptiveConfig::default();
+        let config = AdaptiveConfig {
+            alpha: args.get_or("alpha", d.alpha)?,
+            rebin_every: args.get_or("rebin_every", d.rebin_every)?,
+            binning: d.binning,
+        };
+        Ok(Box::new(AdaptivePal::from_shared(
+            ctx.profile,
+            ctx.table_cache.get_or_build_default(ctx.profile),
+            config,
+        )))
+    });
+    r.register_policy("packed", "Packed-Randomized", false, |_args, ctx| {
+        Ok(Box::new(PackedPlacement::randomized(ctx.seed)))
+    });
+    r.register_policy(
+        "packed-deterministic",
+        "Packed-Deterministic",
+        false,
+        |_args, _ctx| Ok(Box::new(PackedPlacement::deterministic())),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args_map(entries: Vec<(&str, Value)>) -> Value {
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn args_typed_getters_and_defaults() {
+        let params = args_map(vec![
+            ("num_jobs", Value::Int(50)),
+            ("rate", Value::Float(2.5)),
+        ]);
+        let args = Args::new("test", &params).unwrap();
+        assert_eq!(args.get_or("num_jobs", 10usize).unwrap(), 50);
+        assert_eq!(args.get_or("rate", 1.0f64).unwrap(), 2.5);
+        assert_eq!(args.get_or("missing", 7u64).unwrap(), 7);
+        args.finish().expect("all keys consumed");
+    }
+
+    #[test]
+    fn args_rejects_unconsumed_keys() {
+        let params = args_map(vec![("num_job", Value::Int(50))]); // typo
+        let args = Args::new("trace `synergy`", &params).unwrap();
+        let _ = args.get_or("num_jobs", 10usize);
+        let err = args.finish().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown parameter `num_job`"), "{msg}");
+        assert!(msg.contains("trace `synergy`"), "{msg}");
+    }
+
+    #[test]
+    fn args_type_mismatch_names_key_and_context() {
+        let params = args_map(vec![("num_jobs", Value::Str("many".into()))]);
+        let args = Args::new("trace `synergy`", &params).unwrap();
+        let err = args.get_or("num_jobs", 10usize).unwrap_err();
+        assert!(err.to_string().contains("num_jobs"), "{err}");
+    }
+
+    #[test]
+    fn builtins_cover_every_category() {
+        let r = Registry::with_builtins();
+        for kind in [
+            "sia-philly",
+            "synergy",
+            "heavy-tail",
+            "csv",
+            "jsonl",
+            "philly-csv",
+            "alibaba-csv",
+            "google-csv",
+            "empty",
+        ] {
+            assert!(r.trace(kind).is_ok(), "missing trace {kind}");
+        }
+        assert!(r.profile("flat").is_ok());
+        for kind in ["fifo", "las", "srtf", "srsf"] {
+            assert!(r.scheduler(kind).is_ok(), "missing scheduler {kind}");
+        }
+        for kind in [
+            "admit-all",
+            "reject-oversized",
+            "max-active-jobs",
+            "demand-backpressure",
+        ] {
+            assert!(r.admission(kind).is_ok(), "missing admission {kind}");
+        }
+        for (kind, name, sticky) in [
+            ("random-sticky", "Random-Sticky", true),
+            ("random", "Random-Non-Sticky", false),
+            ("gandiva", "Gandiva", false),
+            ("tiresias", "Tiresias", true),
+            ("pm-first", "PM-First", false),
+            ("pal", "PAL", false),
+        ] {
+            let entry = r.policy(kind).expect(kind);
+            assert_eq!(entry.display_name, name);
+            assert_eq!(entry.default_sticky, sticky);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_error_lists_known() {
+        let r = Registry::with_builtins();
+        let err = match r.trace("philly2") {
+            Err(e) => e,
+            Ok(_) => panic!("unknown kind should error"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("`philly2`"), "{msg}");
+        assert!(msg.contains("sia-philly"), "{msg}");
+    }
+
+    #[test]
+    fn synergy_builder_scales_with_load() {
+        let r = Registry::with_builtins();
+        let params = args_map(vec![("num_jobs", Value::Int(40))]);
+        let base_dir = Path::new(".");
+        let build = |load| {
+            let args = Args::new("trace `synergy`", &params).unwrap();
+            let t = (r.trace("synergy").unwrap())(&args, &TraceCtx { load, base_dir }).unwrap();
+            args.finish().unwrap();
+            t
+        };
+        let t1 = build(None);
+        let t2 = build(Some(2.0));
+        assert_eq!(t1.len(), 40);
+        assert_eq!(t2.len(), 40);
+        // Double load → arrivals compressed ~2× on average.
+        let span1 = t1.jobs.last().unwrap().arrival;
+        let span2 = t2.jobs.last().unwrap().arrival;
+        assert!(span2 < span1 * 0.75, "span1={span1} span2={span2}");
+    }
+
+    #[test]
+    fn downstream_registration_needs_no_crate_edits() {
+        let mut r = Registry::with_builtins();
+        r.register_trace("two-jobs", |args, _ctx| {
+            args.finish()?;
+            let catalog = catalog();
+            let cfg = SynergyConfig {
+                num_jobs: 2,
+                ..Default::default()
+            };
+            Ok(cfg.generate(&catalog))
+        });
+        let params = Value::Map(vec![]);
+        let args = Args::new("trace `two-jobs`", &params).unwrap();
+        let t = (r.trace("two-jobs").unwrap())(
+            &args,
+            &TraceCtx {
+                load: None,
+                base_dir: Path::new("."),
+            },
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn policy_builders_run() {
+        let r = Registry::with_builtins();
+        let profile = Arc::new(VariabilityProfile::from_raw(vec![vec![1.0; 8]; 3]));
+        let cache = Arc::new(PmTableCache::new());
+        let params = Value::Map(vec![]);
+        for kind in r.policy_kinds() {
+            let entry = r.policy(&kind).unwrap();
+            let args = Args::new(format!("policy `{kind}`"), &params).unwrap();
+            let built = (entry.factory)(
+                &args,
+                &PolicyCtx {
+                    profile: &profile,
+                    seed: 42,
+                    table_cache: &cache,
+                },
+            );
+            assert!(built.is_ok(), "policy {kind} failed to build");
+        }
+        // PAL, PM-First, and Adaptive-PAL shared one table build.
+        assert!(cache.builds() <= 1, "cache missed sharing");
+    }
+}

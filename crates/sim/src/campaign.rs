@@ -228,6 +228,19 @@ impl Campaign {
         z ^ (z >> 31)
     }
 
+    /// Statically validate every scenario without running any cell: each
+    /// factory is invoked once and its output checked with
+    /// [`Scenario::validate`]. Catches the whole class of
+    /// configuration errors (oversized jobs, class-count mismatches,
+    /// bad knobs) up front, in scenario registration order, instead of
+    /// mid-sweep after earlier cells have already burned CPU time.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (_, factory) in &self.scenarios {
+            factory().validate()?;
+        }
+        Ok(())
+    }
+
     /// Run every cell in parallel. Results come back in deterministic
     /// cell order (scenario-major), regardless of which thread finished
     /// first; the first failing cell's error (again in cell order) is

@@ -165,6 +165,13 @@ impl Scenario {
         self
     }
 
+    /// Boxed-policy variant of [`admission`](Scenario::admission), for
+    /// callers that pick the policy dynamically (e.g. from a config file).
+    pub fn admission_boxed(mut self, admission: Box<dyn AdmissionPolicy + Send + Sync>) -> Self {
+        self.admission = admission;
+        self
+    }
+
     /// Replace the whole knob set.
     pub fn config(mut self, config: SimConfig) -> Self {
         self.config = config;

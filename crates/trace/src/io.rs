@@ -35,7 +35,14 @@ impl std::fmt::Display for TraceIoError {
     }
 }
 
-impl std::error::Error for TraceIoError {}
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse(..) => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for TraceIoError {
     fn from(e: std::io::Error) -> Self {

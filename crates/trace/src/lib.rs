@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod heavytail;
+pub mod import;
 pub mod io;
 pub mod job;
 pub mod models;
@@ -32,6 +34,8 @@ pub mod philly;
 pub mod serving;
 pub mod synergy;
 
+pub use heavytail::{HeavyTailConfig, HeavyTailJobs};
+pub use import::{import_csv_trace, ExternalCsvFormat, ImportOptions};
 pub use io::{read_trace_csv, write_trace_csv, TraceIoError};
 pub use job::{JobId, JobSpec, Trace};
 pub use models::ModelCatalog;

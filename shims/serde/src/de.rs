@@ -1,0 +1,103 @@
+//! Helpers the derived `Deserialize` impls call into.
+//!
+//! The derive macro in `serde_derive` generates straight-line code against
+//! these functions rather than inlining the map/variant bookkeeping at
+//! every use site, keeping the generated token streams small and the
+//! error messages uniform.
+
+use crate::{DeError, Value};
+
+/// View `value` as the field map of struct `type_name`, rejecting unknown
+/// and duplicate keys (`fields` is the full set of legal field names).
+pub fn as_struct_map<'v>(
+    value: &'v Value,
+    type_name: &str,
+    fields: &[&str],
+) -> Result<&'v [(String, Value)], DeError> {
+    let entries = match value {
+        Value::Map(entries) => entries,
+        other => {
+            return Err(DeError::mismatch(
+                &format!("map for struct {type_name}"),
+                other,
+            ))
+        }
+    };
+    for (i, (key, _)) in entries.iter().enumerate() {
+        if !fields.contains(&key.as_str()) {
+            return Err(DeError::new(format!(
+                "unknown field `{key}` in {type_name} (expected one of: {})",
+                fields.join(", ")
+            )));
+        }
+        if entries[..i].iter().any(|(k, _)| k == key) {
+            return Err(DeError::new(format!(
+                "duplicate field `{key}` in {type_name}"
+            )));
+        }
+    }
+    Ok(entries)
+}
+
+/// Fetch a struct field by name; a missing key reads as [`Value::Unit`]
+/// (so `Option` fields default to `None` and collections to empty).
+pub fn struct_field<'v>(entries: &'v [(String, Value)], name: &str) -> &'v Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Unit)
+}
+
+/// View `value` as an enum variant of `type_name`: either `Str(name)` for
+/// a unit variant or a single-entry map `{ name: payload }` for a data
+/// variant. Returns the variant name and its payload (`Unit` for the
+/// string form).
+pub fn enum_variant<'v>(
+    value: &'v Value,
+    type_name: &str,
+) -> Result<(&'v str, &'v Value), DeError> {
+    match value {
+        Value::Str(name) => Ok((name, &Value::Unit)),
+        Value::Map(entries) if entries.len() == 1 => {
+            let (name, payload) = &entries[0];
+            Ok((name, payload))
+        }
+        Value::Map(entries) => Err(DeError::new(format!(
+            "expected single-variant map for enum {type_name}, found {} entries",
+            entries.len()
+        ))),
+        other => Err(DeError::mismatch(
+            &format!("string or single-entry map for enum {type_name}"),
+            other,
+        )),
+    }
+}
+
+/// The error for a variant name no arm matched.
+pub fn unknown_variant(type_name: &str, found: &str, variants: &[&str]) -> DeError {
+    DeError::new(format!(
+        "unknown variant `{found}` for enum {type_name} (expected one of: {})",
+        variants.join(", ")
+    ))
+}
+
+/// View `value` as the payload sequence of tuple struct/variant
+/// `type_name` with `len` fields.
+pub fn as_tuple_seq<'v>(
+    value: &'v Value,
+    type_name: &str,
+    len: usize,
+) -> Result<&'v [Value], DeError> {
+    match value {
+        Value::Seq(items) if items.len() == len => Ok(items),
+        Value::Seq(items) => Err(DeError::new(format!(
+            "expected {len} values for {type_name}, found {}",
+            items.len()
+        ))),
+        other => Err(DeError::mismatch(
+            &format!("sequence for {type_name}"),
+            other,
+        )),
+    }
+}

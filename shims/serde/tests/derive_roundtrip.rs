@@ -1,0 +1,293 @@
+//! Round-trip tests for the `serde_derive` shim: every shape the
+//! workspace derives (named structs, newtype/tuple/unit structs, enums
+//! with unit/newtype/tuple/struct variants, `Option`, `Vec`, maps,
+//! arrays, tuples, nesting) must survive `from_value(to_value(x)) == x`.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::{BTreeMap, HashMap};
+
+fn roundtrip<T>(x: &T) -> T
+where
+    T: Serialize + for<'de> Deserialize<'de> + std::fmt::Debug,
+{
+    T::from_value(&x.to_value()).expect("round-trip failed")
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Named {
+    flag: bool,
+    count: u32,
+    big: u64,
+    rate: f64,
+    label: String,
+}
+
+#[test]
+fn named_struct() {
+    let x = Named {
+        flag: true,
+        count: 42,
+        big: u64::MAX,
+        rate: -0.25,
+        label: "hello world".into(),
+    };
+    assert_eq!(roundtrip(&x), x);
+    // Field order and names are preserved in the tree.
+    let v = x.to_value();
+    assert_eq!(v.get("count"), Some(&Value::Int(42)));
+    assert_eq!(v.get("big"), Some(&Value::Int(u64::MAX as i128)));
+}
+
+#[test]
+fn named_struct_rejects_unknown_and_duplicate_keys() {
+    let mut v = Named {
+        flag: false,
+        count: 0,
+        big: 0,
+        rate: 0.0,
+        label: String::new(),
+    }
+    .to_value();
+    if let Value::Map(entries) = &mut v {
+        entries.push(("bogus".into(), Value::Int(1)));
+    }
+    let err = Named::from_value(&v).unwrap_err();
+    assert!(err.to_string().contains("unknown field `bogus`"), "{err}");
+
+    let dup = Value::Map(vec![
+        ("flag".into(), Value::Bool(true)),
+        ("flag".into(), Value::Bool(false)),
+    ]);
+    let err = Named::from_value(&dup).unwrap_err();
+    assert!(err.to_string().contains("duplicate field `flag`"), "{err}");
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Newtype(pub u32);
+
+#[test]
+fn newtype_struct_is_transparent() {
+    let x = Newtype(7);
+    assert_eq!(x.to_value(), Value::Int(7));
+    assert_eq!(roundtrip(&x), x);
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Pair(pub f64, pub String);
+
+#[test]
+fn tuple_struct_is_seq() {
+    let x = Pair(1.5, "ab".into());
+    assert_eq!(
+        x.to_value(),
+        Value::Seq(vec![Value::Float(1.5), Value::Str("ab".into())])
+    );
+    assert_eq!(roundtrip(&x), x);
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Unit;
+
+#[test]
+fn unit_struct() {
+    assert_eq!(Unit.to_value(), Value::Unit);
+    assert_eq!(roundtrip(&Unit), Unit);
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Shape {
+    Dot,
+    Circle(f64),
+    Box(f64, f64),
+    Poly { sides: u32, closed: bool },
+}
+
+#[test]
+fn enum_variants() {
+    assert_eq!(Shape::Dot.to_value(), Value::Str("Dot".into()));
+    assert_eq!(
+        Shape::Circle(2.0).to_value(),
+        Value::Map(vec![("Circle".into(), Value::Float(2.0))])
+    );
+    assert_eq!(
+        Shape::Box(1.0, 2.0).to_value(),
+        Value::Map(vec![(
+            "Box".into(),
+            Value::Seq(vec![Value::Float(1.0), Value::Float(2.0)])
+        )])
+    );
+    for x in [
+        Shape::Dot,
+        Shape::Circle(0.5),
+        Shape::Box(3.0, 4.0),
+        Shape::Poly {
+            sides: 6,
+            closed: true,
+        },
+    ] {
+        assert_eq!(roundtrip(&x), x);
+    }
+}
+
+#[test]
+fn enum_unknown_variant_errors() {
+    let err = Shape::from_value(&Value::Str("Blob".into())).unwrap_err();
+    assert!(err.to_string().contains("unknown variant `Blob`"), "{err}");
+    assert!(err.to_string().contains("Dot"), "{err}");
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Nested {
+    shapes: Vec<Shape>,
+    best: Option<Shape>,
+    matrix: Vec<Vec<f64>>,
+    coeffs: [f64; 5],
+    span: (f64, f64),
+    weights: HashMap<String, f64>,
+    ordered: BTreeMap<String, u32>,
+}
+
+#[test]
+fn containers_roundtrip() {
+    let mut weights = HashMap::new();
+    weights.insert("a".to_string(), 1.0);
+    weights.insert("b".to_string(), 2.0);
+    let mut ordered = BTreeMap::new();
+    ordered.insert("x".to_string(), 9);
+    let x = Nested {
+        shapes: vec![Shape::Dot, Shape::Circle(1.0)],
+        best: Some(Shape::Poly {
+            sides: 3,
+            closed: false,
+        }),
+        matrix: vec![vec![1.0, 2.0], vec![], vec![3.0]],
+        coeffs: [0.1, 0.2, 0.3, 0.4, 0.5],
+        span: (-1.0, 1.0),
+        weights,
+        ordered,
+    };
+    assert_eq!(roundtrip(&x), x);
+}
+
+#[test]
+fn option_none_and_missing_fields() {
+    let x = Nested {
+        shapes: vec![],
+        best: None,
+        matrix: vec![],
+        coeffs: [0.0; 5],
+        span: (0.0, 0.0),
+        weights: HashMap::new(),
+        ordered: BTreeMap::new(),
+    };
+    assert_eq!(roundtrip(&x), x);
+    // A map missing optional/collection fields still deserializes: absent
+    // keys read as Unit, so Option → None and collections → empty.
+    let minimal = Value::Map(vec![
+        ("coeffs".into(), [0.0f64; 5].to_value()),
+        ("span".into(), (0.0f64, 0.0f64).to_value()),
+    ]);
+    let y = Nested::from_value(&minimal).expect("partial map");
+    assert_eq!(y, x);
+}
+
+#[test]
+fn hashmap_serializes_sorted() {
+    let mut m = HashMap::new();
+    m.insert("zeta".to_string(), 1u32);
+    m.insert("alpha".to_string(), 2u32);
+    m.insert("mid".to_string(), 3u32);
+    match m.to_value() {
+        Value::Map(entries) => {
+            let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, ["alpha", "mid", "zeta"]);
+        }
+        other => panic!("expected map, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_paths_name_the_failing_field() {
+    let v = Value::Map(vec![(
+        "shapes".into(),
+        Value::Seq(vec![Value::Str("Dot".into()), Value::Int(3)]),
+    )]);
+    let err = Nested::from_value(&v).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.starts_with("shapes.[1]"), "{msg}");
+}
+
+#[test]
+fn int_out_of_range_errors() {
+    let err = u8::from_value(&Value::Int(300)).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+    let err = u32::from_value(&Value::Int(-1)).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+}
+
+#[test]
+fn float_accepts_integer_literals() {
+    assert_eq!(f64::from_value(&Value::Int(3)).unwrap(), 3.0);
+}
+
+#[test]
+fn de_error_context_builds_path() {
+    let e = DeError::new("boom").context("inner").context("outer");
+    assert_eq!(e.to_string(), "outer.inner: boom");
+    assert_eq!(e.message(), "boom");
+    assert_eq!(e.path(), "outer.inner");
+}
+
+#[test]
+fn eq_unordered_ignores_map_order() {
+    let a = Value::Map(vec![
+        ("x".into(), Value::Int(1)),
+        ("y".into(), Value::Int(2)),
+    ]);
+    let b = Value::Map(vec![
+        ("y".into(), Value::Int(2)),
+        ("x".into(), Value::Int(1)),
+    ]);
+    assert!(a.eq_unordered(&b));
+    assert_ne!(a, b);
+    let c = Value::Map(vec![
+        ("x".into(), Value::Int(1)),
+        ("y".into(), Value::Int(3)),
+    ]);
+    assert!(!a.eq_unordered(&c));
+}
+
+// Mirrors of real workspace shapes that exercised derive edge cases.
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Phase {
+    Waiting,
+    Running { gpus: Vec<Newtype> },
+    Finished { at: f64 },
+}
+
+#[test]
+fn workspace_like_enum() {
+    for x in [
+        Phase::Waiting,
+        Phase::Running {
+            gpus: vec![Newtype(0), Newtype(3)],
+        },
+        Phase::Finished { at: 12.5 },
+    ] {
+        assert_eq!(roundtrip(&x), x);
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WithTuplesInside {
+    curve: Vec<(f64, f64)>,
+}
+
+#[test]
+fn vec_of_tuples() {
+    let x = WithTuplesInside {
+        curve: vec![(0.0, 1.0), (0.5, 0.8)],
+    };
+    assert_eq!(roundtrip(&x), x);
+}

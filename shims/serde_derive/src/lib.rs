@@ -1,19 +1,472 @@
-//! No-op stand-ins for serde's derive macros (see `shims/README.md`).
+//! Real (if minimal) stand-ins for serde's derive macros (see
+//! `shims/README.md`).
 //!
-//! The workspace only ever derives `Serialize`/`Deserialize` — it never
-//! serializes through a serde data format — so the derives can expand to
-//! nothing and the marker traits in the `serde` shim stay unimplemented.
+//! With no registry access there is no `syn`/`quote`, so this macro
+//! hand-parses the item's [`TokenStream`] — just far enough to recover the
+//! type name, field names, and variant shapes — and emits implementations
+//! of the `serde` shim's value-tree traits as formatted source strings.
+//!
+//! Supported shapes (everything the workspace derives):
+//!
+//! - named-field structs → `Value::Map` in declaration order;
+//! - newtype structs (`struct JobId(pub u32);`) → transparent inner value;
+//! - other tuple structs → `Value::Seq`;
+//! - unit structs → `Value::Unit`;
+//! - enums with unit variants (`Value::Str(name)`), newtype variants
+//!   (`{name: inner}`), tuple variants (`{name: [..]}`), and struct
+//!   variants (`{name: {field: ..}}`) — serde's externally-tagged layout.
+//!
+//! Generic types are rejected with a `compile_error!`; none exist in the
+//! workspace, and container impls live in the `serde` shim itself.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op `#[derive(Serialize)]`.
+/// `#[derive(Serialize)]`: implements `serde::Serialize::to_value`.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
 }
 
-/// No-op `#[derive(Deserialize)]`.
+/// `#[derive(Deserialize)]`: implements `serde::Deserialize::from_value`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match which {
+            Which::Serialize => gen_serialize(&item),
+            Which::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+/// The shape of one struct's or variant's payload.
+enum Fields {
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `( T, U )` — arity only.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err(format!("serde shim derive: expected name after `{kw}`")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic types ({name})"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                _ => return Err(format!("serde shim derive: malformed struct {name}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err(format!("serde shim derive: malformed enum {name}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!(
+            "serde shim derive: cannot derive for `{other}` items"
+        )),
+    }
+}
+
+/// Advance past attributes (`#[...]`, which is how doc comments arrive)
+/// and visibility (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            (Some(TokenTree::Ident(id)), next) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = next {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip a type (after `name:`) up to the next top-level comma. Only `<`/`>`
+/// need depth tracking: parenthesized and bracketed type syntax arrives as
+/// single `Group` tokens, so their inner commas are already hidden.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            None => return Ok(names),
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: expected field name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde shim derive: expected `:` after `{name}`")),
+        }
+        skip_type(&toks, &mut i);
+        names.push(name);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+/// Arity of a tuple struct/variant: one field per top-level comma-separated
+/// chunk (visibility and attributes don't affect the count).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        count += 1;
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: expected variant name, found `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= 3`) up to the variant comma.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&toks, &mut i);
+        }
+        variants.push(Variant { name, fields });
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// `Value::Map(vec![("a", to_value(&(expr_prefix a))), ...])` for named
+/// fields; `expr_prefix` is `self.` for structs, empty for match bindings.
+fn ser_named(names: &[String], expr_prefix: &str) -> String {
+    let entries: Vec<String> = names
+        .iter()
+        .map(|n| format!("({n:?}.to_string(), ::serde::Serialize::to_value(&{expr_prefix}{n}))",))
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => ser_named(names, "self."),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Unit".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        Fields::Named(names) => {
+                            let bindings = names.join(", ");
+                            let payload = ser_named(names, "");
+                            format!(
+                                "{name}::{vn} {{ {bindings} }} => ::serde::Value::Map(vec![({vn:?}.to_string(), {payload})]),"
+                            )
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let bindings: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                bindings.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Field initializers for named fields read out of a struct map binding
+/// named `entries`; `ctx` prefixes error paths (e.g. the variant name).
+fn de_named(names: &[String], ctx: &str) -> String {
+    names
+        .iter()
+        .map(|n| {
+            let path = if ctx.is_empty() {
+                n.clone()
+            } else {
+                format!("{ctx}.{n}")
+            };
+            format!(
+                "{n}: ::serde::Deserialize::from_value(::serde::de::struct_field(entries, {n:?}))\
+                     .map_err(|e| e.context({path:?}))?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn quoted_list(names: impl IntoIterator<Item = impl AsRef<str>>) -> String {
+    names
+        .into_iter()
+        .map(|n| format!("{:?}", n.as_ref()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(names) => format!(
+                "let entries = ::serde::de::as_struct_map(value, {name:?}, &[{keys}])?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}\n}})",
+                keys = quoted_list(names),
+                inits = de_named(names, ""),
+            ),
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+            ),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(&items[{i}])\
+                                 .map_err(|e| e.context(\"[{i}]\"))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let items = ::serde::de::as_tuple_seq(value, {name:?}, {n})?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                )
+            }
+            Fields::Unit => format!(
+                "match value {{\n\
+                     ::serde::Value::Unit => ::std::result::Result::Ok({name}),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::mismatch(\"unit\", other)),\n\
+                 }}"
+            ),
+        },
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+                        ),
+                        Fields::Named(names) => format!(
+                            "{vn:?} => {{\n\
+                                 let entries = ::serde::de::as_struct_map(payload, \"{name}::{vn}\", &[{keys}])\
+                                     .map_err(|e| e.context({vn:?}))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{\n{inits}\n}})\n\
+                             }}",
+                            keys = quoted_list(names),
+                            inits = de_named(names, vn),
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(payload)\
+                                     .map_err(|e| e.context({vn:?}))?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(&items[{i}])\
+                                             .map_err(|e| e.context(\"{vn}[{i}]\"))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let items = ::serde::de::as_tuple_seq(payload, \"{name}::{vn}\", {n})\
+                                         .map_err(|e| e.context({vn:?}))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                // The `let _` keeps all-unit enums (which never read the
+                // payload) warning-free.
+                "let (variant, payload) = ::serde::de::enum_variant(value, {name:?})?;\n\
+                 let _ = payload;\n\
+                 match variant {{\n{arms}\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::de::unknown_variant({name:?}, other, &[{vars}])),\n\
+                 }}",
+                arms = arms.join("\n"),
+                vars = quoted_list(variants.iter().map(|v| v.name.as_str())),
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
 }
