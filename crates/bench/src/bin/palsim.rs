@@ -1,25 +1,35 @@
 //! `palsim` — command-line driver for simulations.
 //!
-//! Three modes:
+//! Four modes:
 //!
 //! ```text
-//! palsim run <campaign.toml|.json> [--csv] [--sequential]
+//! palsim run <campaign.toml|.json> [--csv] [--sequential] [--spill <dir>]
+//! palsim resume <spill-dir> [--csv]
 //! palsim check <file-or-dir> [...]
 //! palsim [--trace sia|synergy] [--policy pal] [...]        (legacy one-off)
 //! ```
 //!
 //! `run` executes a declarative campaign file (see `configs/` for
-//! commented examples and the README for the format reference); `check`
-//! parses and validates files — or every `.toml`/`.json` in a directory —
-//! without running any cell. Bad arguments and unparseable configs exit
-//! nonzero with a one-line diagnostic (`file:line:col: message` for
-//! syntax errors, with a `caused by:` chain for wrapped errors); runtime
-//! simulation failures exit 1, usage errors exit 2.
+//! commented examples and the README for the format reference); with
+//! `--spill <dir>` each completed cell is streamed to `<dir>/results.jsonl`
+//! under a digest-carrying manifest (bounded memory, crash-safe), and a
+//! copy of the config lands in the directory so `resume` can rebuild the
+//! campaign. `resume` picks an interrupted spill back up, re-running only
+//! the never-completed cells — the final output is byte-identical to an
+//! uninterrupted run. `check` parses and validates files — or every
+//! `.toml`/`.json` in a directory — without running any cell. Bad
+//! arguments and unparseable configs exit nonzero with a one-line
+//! diagnostic (`file:line:col: message` for syntax errors, with a
+//! `caused by:` chain for wrapped errors); runtime simulation failures
+//! exit 1, usage errors exit 2. Results go to stdout; progress (cell and
+//! worker counts) goes to stderr, so piped CSV stays clean.
 //!
 //! Examples:
 //!
 //! ```text
 //! palsim run configs/paper_sweep.toml --csv
+//! palsim run configs/paper_sweep.toml --spill out/sweep --csv
+//! palsim resume out/sweep --csv
 //! palsim check configs/
 //! palsim --trace sia --workload 5 --policy pal
 //! ```
@@ -27,11 +37,14 @@
 use pal::{AdaptivePal, PalPlacement, PmFirstPlacement};
 use pal_bench::{longhorn_profile, PROFILE_SEED};
 use pal_cluster::{ClusterTopology, LocalityModel};
-use pal_config::{campaign_from_path, render_chain, Registry};
+use pal_config::{
+    campaign_from_path, render_chain, resume_spilled, spilled_config, spilled_results, Registry,
+    SpillSink,
+};
 use pal_gpumodel::GpuSpec;
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
 use pal_sim::sched::{Fifo, Las, SchedulingPolicy, Srsf, Srtf};
-use pal_sim::{CampaignResult, PlacementPolicy, Scenario};
+use pal_sim::{CampaignResult, MemorySink, PlacementPolicy, Scenario};
 use pal_trace::{ModelCatalog, SiaPhillyConfig, SynergyConfig, Trace};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -40,6 +53,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(&argv[1..]),
+        Some("resume") => cmd_resume(&argv[1..]),
         Some("check") => cmd_check(&argv[1..]),
         _ => legacy_main(&argv),
     }
@@ -57,16 +71,29 @@ fn cli_registry() -> Registry {
     registry
 }
 
-const RUN_USAGE: &str = "usage: palsim run <campaign.toml|.json> [--csv] [--sequential]";
+const RUN_USAGE: &str =
+    "usage: palsim run <campaign.toml|.json> [--csv] [--sequential] [--spill <dir>]";
 
 fn cmd_run(argv: &[String]) -> ExitCode {
     let mut path: Option<&str> = None;
     let mut csv = false;
     let mut sequential = false;
-    for arg in argv {
-        match arg.as_str() {
+    let mut spill: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
             "--csv" => csv = true,
             "--sequential" => sequential = true,
+            "--spill" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(dir) => spill = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("palsim run: --spill needs a directory\n{RUN_USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!("{RUN_USAGE}");
                 return ExitCode::from(2);
@@ -77,11 +104,16 @@ fn cmd_run(argv: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        i += 1;
     }
     let Some(path) = path else {
         eprintln!("{RUN_USAGE}");
         return ExitCode::from(2);
     };
+    if sequential && spill.is_some() {
+        eprintln!("palsim run: --sequential and --spill are mutually exclusive\n{RUN_USAGE}");
+        return ExitCode::from(2);
+    }
     let campaign = match campaign_from_path(path, &cli_registry()) {
         Ok(c) => c,
         Err(e) => {
@@ -93,17 +125,37 @@ fn cmd_run(argv: &[String]) -> ExitCode {
         eprintln!("palsim: {path}: campaign has no cells (no scenarios)");
         return ExitCode::from(2);
     }
-    let run = if sequential {
-        campaign.run_sequential()
-    } else {
-        campaign.run()
-    };
-    let results = match run {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("palsim: campaign failed: {}", render_chain(&e));
-            return ExitCode::FAILURE;
+    let results = if sequential {
+        match campaign.run_sequential() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("palsim: campaign failed: {}", render_chain(&e));
+                return ExitCode::FAILURE;
+            }
         }
+    } else if let Some(dir) = spill {
+        match run_spill(path, &campaign, &dir) {
+            Ok(r) => r,
+            Err(code) => return code,
+        }
+    } else {
+        let sink = MemorySink::new(campaign.num_cells());
+        match campaign.run_with_sink(&sink) {
+            Ok(stats) => {
+                eprintln!(
+                    "palsim: ran {} cells on {} workers",
+                    stats.cells_run, stats.workers
+                );
+            }
+            Err(e) => {
+                eprintln!("palsim: campaign failed: {}", render_chain(&e));
+                return ExitCode::FAILURE;
+            }
+        }
+        sink.into_results()
+            .into_iter()
+            .map(|slot| slot.expect("every cell completed without error"))
+            .collect()
     };
     if csv {
         print_csv(&results);
@@ -111,6 +163,118 @@ fn cmd_run(argv: &[String]) -> ExitCode {
         print_table(&results);
     }
     ExitCode::SUCCESS
+}
+
+/// `palsim run --spill`: create the spill, copy the config file into it
+/// (so `resume` can rebuild the campaign), and stream-run the grid.
+fn run_spill(
+    config_path: &str,
+    campaign: &pal_sim::Campaign,
+    dir: &Path,
+) -> Result<Vec<CampaignResult>, ExitCode> {
+    let sink = match SpillSink::create(dir, campaign) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("palsim: {}", render_chain(&e));
+            return Err(ExitCode::from(2));
+        }
+    };
+    // Byte copy, named by format: resume re-parses it exactly as run did.
+    let ext = if config_path.ends_with(".json") {
+        "json"
+    } else {
+        "toml"
+    };
+    let copy = dir.join(format!("campaign.{ext}"));
+    if let Err(e) = std::fs::copy(config_path, &copy) {
+        eprintln!(
+            "palsim: cannot copy {config_path} to {}: {e}",
+            copy.display()
+        );
+        return Err(ExitCode::from(2));
+    }
+    eprintln!(
+        "palsim: spilling {} cells to {}",
+        campaign.num_cells(),
+        dir.display()
+    );
+    match campaign.run_with_sink(&sink) {
+        Ok(stats) => {
+            eprintln!(
+                "palsim: ran {} cells on {} workers",
+                stats.cells_run, stats.workers
+            );
+        }
+        Err(e) => {
+            eprintln!("palsim: campaign failed: {}", render_chain(&e));
+            return Err(ExitCode::FAILURE);
+        }
+    }
+    drop(sink);
+    spilled_results(dir, campaign).map_err(|e| {
+        eprintln!("palsim: {}", render_chain(&e));
+        ExitCode::FAILURE
+    })
+}
+
+const RESUME_USAGE: &str = "usage: palsim resume <spill-dir> [--csv]";
+
+fn cmd_resume(argv: &[String]) -> ExitCode {
+    let mut dir: Option<&str> = None;
+    let mut csv = false;
+    for arg in argv {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                eprintln!("{RESUME_USAGE}");
+                return ExitCode::from(2);
+            }
+            other if !other.starts_with('-') && dir.is_none() => dir = Some(other),
+            other => {
+                eprintln!("palsim resume: unexpected argument `{other}`\n{RESUME_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir.map(Path::new) else {
+        eprintln!("{RESUME_USAGE}");
+        return ExitCode::from(2);
+    };
+    let Some(config) = spilled_config(dir) else {
+        eprintln!(
+            "palsim: {}: no campaign.toml or campaign.json — not a spill directory?",
+            dir.display()
+        );
+        return ExitCode::from(2);
+    };
+    let campaign = match campaign_from_path(&config, &cli_registry()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("palsim: {}", render_chain(&e));
+            return ExitCode::from(2);
+        }
+    };
+    match resume_spilled(&campaign, dir) {
+        Ok((stats, results)) => {
+            eprintln!(
+                "palsim: resumed {}: {} cells already done, ran {} on {} workers",
+                dir.display(),
+                stats.cells_skipped,
+                stats.cells_run,
+                stats.workers
+            );
+            if csv {
+                print_csv(&results);
+            } else {
+                print_table(&results);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("palsim: {}", render_chain(&e));
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn print_csv(results: &[CampaignResult]) {
@@ -274,7 +438,9 @@ impl Default for Args {
     }
 }
 
-const LEGACY_USAGE: &str = "usage: palsim run <campaign.toml|.json> [--csv] [--sequential]\n\
+const LEGACY_USAGE: &str = "usage: palsim run <campaign.toml|.json> [--csv] [--sequential] \
+[--spill <dir>]\n\
+     | palsim resume <spill-dir> [--csv]\n\
      | palsim check <campaign-file-or-dir> [...]\n\
      | palsim [--trace sia|synergy] [--workload 1..8] [--load JPH] \
 [--jobs N] [--nodes N] [--gpus-per-node N] \

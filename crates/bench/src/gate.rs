@@ -2,13 +2,14 @@
 //!
 //! [`check`] compares a freshly measured bench file against the committed
 //! baseline and reports hard failures across the gated sections
-//! ([`GATED_SECTIONS`]: `engine_rounds`, `campaign_startup`, and
-//! `serving_latency`):
+//! ([`GATED_SECTIONS`]: `engine_rounds`, `campaign_startup`,
+//! `campaign_throughput`, and `serving_latency`):
 //!
 //! - any **deterministic** metric (the `rounds/*` simulated/executed
 //!   round counts, the `builds/*` PM-score table build counts, the
-//!   `served/*` serving outcomes of a seeded 1M-request stream —
-//!   bit-exact and machine-independent by construction) more than
+//!   `cells/*` campaign cells-completed counts of the fleet-execution
+//!   grid, the `served/*` serving outcomes of a seeded 1M-request
+//!   stream — bit-exact and machine-independent by construction) more than
 //!   [`DETERMINISTIC_TOLERANCE`] (1.05×) over its baseline — these need
 //!   no noise allowance, so even a small skip-efficiency or
 //!   cache-efficiency regression fails; intentional changes to the bench
@@ -63,6 +64,7 @@ pub const DETERMINISTIC_TOLERANCE: f64 = 1.05;
 pub const GATED_SECTIONS: &[(&str, &str)] = &[
     ("engine_rounds", "rounds/"),
     ("campaign_startup", "builds/"),
+    ("campaign_throughput", "cells/"),
     ("serving_latency", "served/"),
 ];
 
@@ -372,6 +374,27 @@ mod tests {
         assert!(!r.passed());
         assert!(
             r.failures[0].contains("campaign_startup"),
+            "{}",
+            r.failures[0]
+        );
+    }
+
+    #[test]
+    fn cells_completed_drift_fails_bit_exactly() {
+        // The 16×16 grid must always complete all 256 cells. Upward
+        // drift (cells running more than once) fails here; *dropped*
+        // cells read below baseline, which this one-sided gate does not
+        // fire on — the bench itself asserts full completion and fails
+        // the CI step directly in that case.
+        let base = sections(&[("campaign_throughput", &[("cells/16x16/completed", 256.0)])]);
+        let cur = sections(&[("campaign_throughput", &[("cells/16x16/completed", 248.0)])]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(r.passed(), "under-baseline counts are the bench's assert");
+        let cur = sections(&[("campaign_throughput", &[("cells/16x16/completed", 512.0)])]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!r.passed());
+        assert!(
+            r.failures[0].contains("deterministic count"),
             "{}",
             r.failures[0]
         );

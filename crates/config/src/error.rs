@@ -76,6 +76,21 @@ pub enum ConfigError {
         /// The import failure (reachable via `source()`).
         source: TraceIoError,
     },
+    /// A spill directory's contents are inconsistent with the campaign
+    /// being run or resumed (manifest cell not in the grid, seed or
+    /// digest mismatch, malformed result line, …).
+    Spill {
+        /// Path of the offending spill file.
+        path: PathBuf,
+        /// What is inconsistent.
+        message: String,
+    },
+    /// The simulation itself failed while running a spilled campaign
+    /// (source-chained to the underlying [`SimError`]).
+    Sim {
+        /// The simulation failure (reachable via `source()`).
+        source: SimError,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -105,6 +120,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "scenario `{tag}` failed validation")
             }
             ConfigError::Trace { context, .. } => write!(f, "{context} failed"),
+            ConfigError::Spill { path, message } => {
+                write!(f, "spill file {}: {message}", path.display())
+            }
+            ConfigError::Sim { .. } => write!(f, "campaign run failed"),
         }
     }
 }
@@ -115,10 +134,12 @@ impl std::error::Error for ConfigError {
             ConfigError::Io { source, .. } => Some(source),
             ConfigError::Scenario { source, .. } => Some(source),
             ConfigError::Trace { source, .. } => Some(source),
+            ConfigError::Sim { source } => Some(source),
             ConfigError::Syntax { .. }
             | ConfigError::Schema { .. }
             | ConfigError::UnknownKind { .. }
-            | ConfigError::BadParam { .. } => None,
+            | ConfigError::BadParam { .. }
+            | ConfigError::Spill { .. } => None,
         }
     }
 }

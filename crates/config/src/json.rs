@@ -10,9 +10,92 @@
 //!
 //! Errors reuse [`TomlError`] so both formats
 //! report positions identically (`file:line:col: message`).
+//!
+//! [`write_json`] is the inverse: a canonical single-line writer used by
+//! the campaign spill sink (JSONL result/manifest files). Canonical means
+//! deterministic bytes for a given value — fields in tree order, no
+//! whitespace, shortest-round-trip float formatting — so identical
+//! results serialize to identical lines and a resumed run's output can be
+//! compared byte-for-byte against an uninterrupted one.
 
 use crate::toml::TomlError;
 use serde::Value;
+
+/// Serialize a [`Value`] tree as one line of canonical JSON.
+///
+/// The round trip through [`parse_json`] is exact: floats use Rust's
+/// shortest-round-trip `Display` (integral floats like `2.0` print as
+/// `2` and come back as [`Value::Int`], which the shim's `f64`
+/// deserializer accepts losslessly; `-0.0` is special-cased to `-0.0`
+/// so the sign survives the int path). Non-finite floats have no JSON
+/// encoding and are an error.
+pub fn write_json(value: &Value) -> Result<String, String> {
+    let mut out = String::new();
+    write_value(value, &mut out)?;
+    Ok(out)
+}
+
+fn write_value(value: &Value, out: &mut String) -> Result<(), String> {
+    match value {
+        Value::Unit => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if !x.is_finite() {
+                return Err(format!("cannot serialize non-finite float {x} as JSON"));
+            }
+            if *x == 0.0 && x.is_sign_negative() {
+                out.push_str("-0.0");
+            } else {
+                out.push_str(&x.to_string());
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
 
 /// Parse one JSON document; trailing content after the value is an error.
 pub fn parse_json(src: &str) -> Result<Value, TomlError> {
@@ -290,5 +373,66 @@ mod tests {
     fn string_escapes() {
         let v = parse_json(r#"{"s": "a\nbA\"c\""}"#).expect("parse failed");
         assert_eq!(v.get("s"), Some(&Value::Str("a\nbA\"c\"".into())));
+    }
+
+    #[test]
+    fn write_json_is_single_line_canonical() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("sweep\n\"x\"".into())),
+            ("seed".into(), Value::Int(53710)),
+            (
+                "loads".into(),
+                Value::Seq(vec![Value::Float(0.5), Value::Float(1.0)]),
+            ),
+            ("note".into(), Value::Unit),
+            ("ok".into(), Value::Bool(true)),
+        ]);
+        let line = write_json(&v).expect("write failed");
+        assert_eq!(
+            line,
+            r#"{"name":"sweep\n\"x\"","seed":53710,"loads":[0.5,1],"note":null,"ok":true}"#
+        );
+        assert!(!line.contains('\n'), "{line}");
+    }
+
+    #[test]
+    fn write_json_round_trips_exactly() {
+        // Floats that print without a fraction come back as Int; the shim's
+        // f64 deserializer accepts Int, so struct round trips stay exact.
+        for x in [
+            0.0,
+            -0.0,
+            2.0,
+            0.1,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            -123456.789e12,
+        ] {
+            let line = write_json(&Value::Float(x)).expect("write failed");
+            let back = match parse_json(&line).expect("reparse failed") {
+                Value::Float(f) => f,
+                Value::Int(i) => i as f64,
+                other => panic!("float serialized as {other:?}"),
+            };
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} → {line} → {back}");
+        }
+        // Structures round-trip to identical bytes.
+        let v = parse_json(r#"{"a": [1, 2.5, "s"], "b": {"c": null}}"#).unwrap();
+        let line = write_json(&v).unwrap();
+        assert_eq!(write_json(&parse_json(&line).unwrap()).unwrap(), line);
+    }
+
+    #[test]
+    fn write_json_rejects_non_finite() {
+        assert!(write_json(&Value::Float(f64::NAN)).is_err());
+        assert!(write_json(&Value::Float(f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn write_json_escapes_control_chars() {
+        let line = write_json(&Value::Str("a\u{1}b\tc".into())).unwrap();
+        assert_eq!(line, r#""a\u0001b\tc""#);
+        assert_eq!(parse_json(&line).unwrap(), Value::Str("a\u{1}b\tc".into()));
     }
 }

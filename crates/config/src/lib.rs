@@ -27,9 +27,15 @@
 //!   or scenario context).
 //!
 //! Formats: [`toml`] (hand-rolled TOML subset, 1-based line/col errors)
-//! and [`json`] (with `//` comments); [`import`] adds a JSONL trace
-//! reader alongside [`pal_trace::import_csv_trace`]'s external CSV
-//! importers.
+//! and [`json`] (with `//` comments plus the canonical [`write_json`]
+//! writer); [`import`] adds a JSONL trace reader alongside
+//! [`pal_trace::import_csv_trace`]'s external CSV importers.
+//!
+//! [`spill`] is the fleet-scale layer: a streaming
+//! [`pal_sim::ResultSink`] that spills each completed campaign cell to
+//! JSONL under a digest-carrying manifest, and [`resume_spilled`], which
+//! re-runs only the cells an interrupted run never finished —
+//! byte-identical to an uninterrupted run.
 
 #![warn(missing_docs)]
 
@@ -39,14 +45,18 @@ pub mod import;
 pub mod json;
 pub mod registry;
 pub mod schema;
+pub mod spill;
 pub mod toml;
 
 pub use build::{build_campaign, campaign_from_path, load_campaign_file, parse_campaign_str};
 pub use error::{render_chain, ConfigError};
 pub use import::read_jsonl_trace;
-pub use json::parse_json;
+pub use json::{parse_json, write_json};
 pub use registry::{Args, PolicyCtx, PolicyEntry, ProfileCtx, Registry, TraceCtx};
 pub use schema::{
     CampaignFile, CampaignSection, GeneratorRef, PolicyRef, ScenarioSpec, ServingSpec, SimSection,
+};
+pub use spill::{
+    resume_spilled, run_spilled, spilled_config, spilled_results, ManifestEntry, SpillSink,
 };
 pub use toml::{parse_toml, write_toml, TomlError};

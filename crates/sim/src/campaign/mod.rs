@@ -23,14 +23,43 @@
 //! builders that derive expensive per-profile artifacts (e.g. the `pal`
 //! crate's PM-score tables) can key a memoization cache on it and build
 //! each distinct artifact once per campaign instead of once per cell.
+//!
+//! ## Fleet-scale execution
+//!
+//! [`Campaign::run`] collects every [`CampaignResult`] in memory — fine
+//! for paper-sized sweeps, quadratically painful for thousand-cell grids.
+//! The fleet-scale surface decomposes that into three parts:
+//!
+//! - [`runner`]: [`Campaign::run_with_sink`] /
+//!   [`Campaign::run_cells_with_sink`] drive cells through a
+//!   work-stealing [`queue::CellQueue`] (large grids) or the original
+//!   scoped thread pool (small grids) and hand each completed result to a
+//!   sink instead of accumulating it;
+//! - [`sink`]: the [`ResultSink`] trait with the in-memory
+//!   [`MemorySink`] collector. Streaming sinks (the `pal-config` crate's
+//!   JSONL spill sink) bound memory to O(workers × one result) and make
+//!   runs crash-resumable;
+//! - [`Campaign::cells`]: the deterministic cell enumeration — index,
+//!   tag, policy name, injective seed — that durable sinks record so an
+//!   interrupted grid can be resumed by skipping completed cells
+//!   (re-running a cell is byte-identical because its seed is a pure
+//!   function of `(campaign seed, tag, policy)`).
+
+pub mod queue;
+pub mod runner;
+pub mod sink;
+
+pub use queue::CellQueue;
+pub use runner::{CampaignRunStats, FALLBACK_WORKERS};
+pub use sink::{MemorySink, ResultSink};
 
 use crate::error::SimError;
 use crate::metrics::SimResult;
 use crate::placement::PlacementPolicy;
 use crate::scenario::Scenario;
 use pal_cluster::VariabilityProfile;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 type ScenarioFactory = Box<dyn Fn() -> Scenario + Send + Sync>;
 type PolicyBuilder =
@@ -103,7 +132,12 @@ impl std::fmt::Debug for PolicySpec {
 }
 
 /// One completed campaign cell.
-#[derive(Debug, Clone)]
+///
+/// Serializable (via the workspace serde shim), so streaming sinks can
+/// spill completed cells to disk and resume runners can load them back;
+/// the JSON round-trip is exact ([`SimResult::same_outcome`] holds
+/// against the original).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// Tag of the scenario that ran.
     pub scenario: String,
@@ -112,8 +146,33 @@ pub struct CampaignResult {
     pub policy: String,
     /// The deterministic seed the cell's policy was built with.
     pub seed: u64,
+    /// Worker threads the producing run was using (1 for
+    /// [`Campaign::run_sequential`]). Execution metadata, not simulation
+    /// state: two runs with different worker counts still produce
+    /// [`SimResult::same_outcome`]-identical `result`s.
+    pub workers: usize,
     /// The simulation output. `result.placement` carries the policy name.
     pub result: SimResult,
+}
+
+/// Static description of one campaign cell, in deterministic cell order
+/// (scenario-major). This is the identity a durable [`ResultSink`]
+/// records per completed cell: `index` keys the cell within *this*
+/// campaign composition, while `(scenario, policy, seed)` lets a resume
+/// runner verify the spill directory actually belongs to the campaign it
+/// was asked to resume (the seed is an injective function of
+/// `(campaign seed, scenario tag, policy name)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellInfo {
+    /// Position in [`Campaign::cells`] order.
+    pub index: usize,
+    /// Scenario tag.
+    pub scenario: String,
+    /// Policy-spec name (empty for a scenario-only campaign, which runs
+    /// each scenario's own placement).
+    pub policy: String,
+    /// The cell's deterministic seed ([`Campaign::cell_seed`]).
+    pub seed: u64,
 }
 
 /// A sweep over scenarios × placement policies. See the
@@ -241,41 +300,41 @@ impl Campaign {
         Ok(())
     }
 
+    /// Every cell of this campaign in deterministic cell order
+    /// (scenario-major), without running anything. Durable sinks record
+    /// these alongside results; resume runners re-derive them to decide
+    /// which cells to skip.
+    pub fn cells(&self) -> Vec<CellInfo> {
+        self.cell_indices()
+            .into_iter()
+            .enumerate()
+            .map(|(index, (si, pi))| CellInfo {
+                index,
+                scenario: self.scenarios[si].0.clone(),
+                policy: pi
+                    .map(|pi| self.policies[pi].name().to_string())
+                    .unwrap_or_default(),
+                seed: self.cell_seed(si, pi.unwrap_or(0)),
+            })
+            .collect()
+    }
+
     /// Run every cell in parallel. Results come back in deterministic
     /// cell order (scenario-major), regardless of which thread finished
     /// first; the first failing cell's error (again in cell order) is
     /// returned if any cell fails.
+    ///
+    /// Collects everything in memory — a convenience wrapper over
+    /// [`Campaign::run_with_sink`] with a [`MemorySink`]. Thousand-cell
+    /// grids should prefer a streaming sink.
     pub fn run(&self) -> Result<Vec<CampaignResult>, SimError> {
-        let cells = self.cell_indices();
-        let n = cells.len();
-        if n == 0 {
-            return Ok(Vec::new());
-        }
-        let workers = self
-            .max_parallelism
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()))
-            .min(n);
-        let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<Result<CampaignResult, SimError>>>> =
-            Mutex::new((0..n).map(|_| None).collect());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let (si, pi) = cells[i];
-                    let out = self.run_cell(si, pi);
-                    slots.lock().expect("campaign slot lock")[i] = Some(out);
-                });
-            }
-        });
-        let results = slots.into_inner().expect("campaign slot lock");
-        results
+        let sink = MemorySink::new(self.num_cells());
+        self.run_with_sink(&sink)?;
+        Ok(sink
+            .into_results()
             .into_iter()
             .map(|slot| slot.expect("every cell ran"))
-            .collect()
+            .collect())
     }
 
     /// Run every cell on the calling thread, in cell order. Exists mainly
@@ -284,11 +343,11 @@ impl Campaign {
     pub fn run_sequential(&self) -> Result<Vec<CampaignResult>, SimError> {
         self.cell_indices()
             .into_iter()
-            .map(|(si, pi)| self.run_cell(si, pi))
+            .map(|(si, pi)| self.run_cell(si, pi, 1))
             .collect()
     }
 
-    fn cell_indices(&self) -> Vec<(usize, Option<usize>)> {
+    pub(crate) fn cell_indices(&self) -> Vec<(usize, Option<usize>)> {
         self.scenarios
             .iter()
             .enumerate()
@@ -302,10 +361,11 @@ impl Campaign {
             .collect()
     }
 
-    fn run_cell(
+    pub(crate) fn run_cell(
         &self,
         scenario_idx: usize,
         policy_idx: Option<usize>,
+        workers: usize,
     ) -> Result<CampaignResult, SimError> {
         let (tag, factory) = &self.scenarios[scenario_idx];
         let mut scenario = factory();
@@ -336,6 +396,7 @@ impl Campaign {
             scenario: tag.clone(),
             policy,
             seed,
+            workers,
             result,
         })
     }
@@ -363,6 +424,7 @@ mod tests {
     use pal_cluster::{ClusterTopology, JobClass, VariabilityProfile};
     use pal_gpumodel::Workload;
     use pal_trace::{JobId, JobSpec, Trace};
+    use std::sync::Mutex;
 
     fn small_trace(n: u32) -> Trace {
         Trace::new(

@@ -1,0 +1,235 @@
+//! [`CellQueue`]: the work-stealing queue behind large-grid campaign
+//! execution.
+//!
+//! Cells are distributed up front as contiguous chunks, one chunked deque
+//! per worker, so each worker starts on a disjoint slice of the grid (and
+//! neighbouring cells — which usually share a scenario row and therefore
+//! its `Arc`'d inputs — stay on one thread). A worker that drains its own
+//! deque steals the **back half** of the fullest victim's deque in one
+//! locked move, halving the imbalance per steal instead of trading single
+//! cells; campaigns whose cell costs vary by orders of magnitude (load
+//! sweeps, mixed trace sizes) rebalance in O(log cells) steals.
+//!
+//! The queue only ever *distributes* a fixed cell set — no work is
+//! produced mid-run — so the termination rule is simple: a worker that
+//! finds its own deque and every victim deque empty is done. Cells still
+//! in flight belong to the worker executing them. Two locks are never
+//! held at once (a steal drains the victim under its lock, releases it,
+//! then refills the thief's deque), so the queue cannot deadlock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed set of cell indices, chunked across per-worker deques with
+/// steal-half rebalancing. See the [module docs](self).
+pub struct CellQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    steals: AtomicUsize,
+    stolen_cells: AtomicUsize,
+}
+
+impl CellQueue {
+    /// Distribute `0..cells` across `workers` deques in contiguous
+    /// chunks (the first `cells % workers` chunks get one extra cell).
+    pub fn new(cells: usize, workers: usize) -> Self {
+        Self::from_cells((0..cells).collect(), workers)
+    }
+
+    /// Distribute an explicit cell list (e.g. the not-yet-completed cells
+    /// of a resumed grid) across `workers` deques in contiguous chunks.
+    pub fn from_cells(cells: Vec<usize>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let n = cells.len();
+        let base = n / workers;
+        let extra = n % workers;
+        let mut iter = cells.into_iter();
+        let deques = (0..workers)
+            .map(|w| {
+                let take = base + usize::from(w < extra);
+                Mutex::new(iter.by_ref().take(take).collect())
+            })
+            .collect();
+        CellQueue {
+            deques,
+            steals: AtomicUsize::new(0),
+            stolen_cells: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Take the next cell for `worker`: the front of its own deque, or —
+    /// once that drains — half of the fullest victim's deque. `None`
+    /// means no queued work is left anywhere (in-flight cells belong to
+    /// the workers executing them).
+    pub fn pop(&self, worker: usize) -> Option<usize> {
+        if let Some(cell) = self.lock(worker).pop_front() {
+            return Some(cell);
+        }
+        self.steal_into(worker)
+    }
+
+    /// How many successful steal operations occurred (diagnostics).
+    pub fn steals(&self) -> usize {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// How many cells changed worker via stealing (diagnostics).
+    pub fn stolen_cells(&self) -> usize {
+        self.stolen_cells.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self, worker: usize) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+        self.deques[worker].lock().expect("cell queue lock")
+    }
+
+    /// Steal the back half of the fullest victim deque into `thief`'s
+    /// deque, returning the first stolen cell. Victims are sized under
+    /// their locks one at a time; the steal itself re-checks the chosen
+    /// victim (it may have drained since the scan).
+    fn steal_into(&self, thief: usize) -> Option<usize> {
+        loop {
+            let victim = (0..self.deques.len())
+                .filter(|&w| w != thief)
+                .map(|w| (self.lock(w).len(), w))
+                .max()?;
+            let (len, victim) = victim;
+            if len == 0 {
+                return None;
+            }
+            let mut batch: VecDeque<usize> = {
+                let mut v = self.lock(victim);
+                let take = v.len().div_ceil(2);
+                if take == 0 {
+                    // Drained between the scan and the lock: rescan.
+                    continue;
+                }
+                let split_at = v.len() - take;
+                v.split_off(split_at)
+            };
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            self.stolen_cells.fetch_add(batch.len(), Ordering::Relaxed);
+            let first = batch.pop_front().expect("non-empty stolen batch");
+            if !batch.is_empty() {
+                self.lock(thief).extend(batch);
+            }
+            return Some(first);
+        }
+    }
+}
+
+impl std::fmt::Debug for CellQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellQueue")
+            .field("workers", &self.deques.len())
+            .field("steals", &self.steals())
+            .field("stolen_cells", &self.stolen_cells())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn chunks_are_contiguous_and_cover_all_cells() {
+        let q = CellQueue::new(10, 4);
+        // 10 cells over 4 workers: chunks of 3, 3, 2, 2 in cell order.
+        let chunks: Vec<Vec<usize>> = (0..4)
+            .map(|w| q.lock(w).iter().copied().collect())
+            .collect();
+        assert_eq!(
+            chunks,
+            vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7], vec![8, 9]]
+        );
+    }
+
+    #[test]
+    fn pop_consumes_own_chunk_front_first() {
+        let q = CellQueue::new(6, 2);
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(1), Some(3));
+        assert_eq!(q.steals(), 0);
+    }
+
+    #[test]
+    fn exhausted_worker_steals_half_from_the_fullest_victim() {
+        let q = CellQueue::from_cells((0..8).collect(), 2);
+        // Worker 1 drains its own chunk {4..8}.
+        for expect in 4..8 {
+            assert_eq!(q.pop(1), Some(expect));
+        }
+        // Next pop steals the back half of worker 0's {0,1,2,3}: {2,3}.
+        assert_eq!(q.pop(1), Some(2));
+        assert_eq!(q.steals(), 1);
+        assert_eq!(q.stolen_cells(), 2);
+        // The rest of the batch landed in worker 1's own deque...
+        assert_eq!(q.pop(1), Some(3));
+        assert_eq!(q.steals(), 1, "second cell came from the thief's deque");
+        // ...while the victim keeps its front half.
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+    }
+
+    #[test]
+    fn empty_queue_pops_none_for_every_worker() {
+        let q = CellQueue::new(0, 3);
+        for w in 0..3 {
+            assert_eq!(q.pop(w), None);
+        }
+    }
+
+    #[test]
+    fn single_worker_never_steals() {
+        let q = CellQueue::new(5, 1);
+        let drained: Vec<usize> = std::iter::from_fn(|| q.pop(0)).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.steals(), 0);
+    }
+
+    #[test]
+    fn concurrent_workers_consume_each_cell_exactly_once() {
+        let cells = 500;
+        let workers = 4;
+        let q = CellQueue::new(cells, workers);
+        let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let q = &q;
+                let seen = &seen;
+                scope.spawn(move || {
+                    while let Some(cell) = q.pop(w) {
+                        seen.lock().unwrap().push(cell);
+                        // Skew per-cell cost so stealing actually happens.
+                        if cell % 7 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), cells);
+        let unique: BTreeSet<usize> = seen.iter().copied().collect();
+        assert_eq!(unique.len(), cells, "a cell ran twice or never");
+        assert_eq!(unique.iter().copied().max(), Some(cells - 1));
+    }
+
+    #[test]
+    fn explicit_cell_lists_preserve_order_within_chunks() {
+        let q = CellQueue::from_cells(vec![9, 3, 7, 1], 2);
+        assert_eq!(q.pop(0), Some(9));
+        assert_eq!(q.pop(0), Some(3));
+        assert_eq!(q.pop(1), Some(7));
+        assert_eq!(q.pop(1), Some(1));
+    }
+}

@@ -85,6 +85,15 @@ pub enum SimError {
         /// GPUs in the cluster.
         total_gpus: usize,
     },
+    /// A campaign result sink failed to accept a completed cell (disk
+    /// full, spill-directory I/O error, out-of-range cell index, …).
+    /// Unlike per-cell simulation errors, a sink error aborts the worker
+    /// that hit it: the sink is shared state, and continuing to stream
+    /// into a broken sink would silently drop results.
+    Sink {
+        /// What the sink reported.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -131,6 +140,7 @@ impl fmt::Display for SimError {
                 f,
                 "serving replicas demand {demand} GPUs but the cluster has {total_gpus}"
             ),
+            SimError::Sink { message } => write!(f, "result sink failed: {message}"),
         }
     }
 }
@@ -178,6 +188,12 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains('9') && msg.contains('8'), "{msg}");
+
+        let e = SimError::Sink {
+            message: "disk full".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("sink") && msg.contains("disk full"), "{msg}");
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub mod sched;
 pub mod serving;
 
 pub use admission::{AdmissionCtx, AdmissionPolicy, AdmitAll};
-pub use campaign::{Campaign, CampaignResult, PolicySpec};
+pub use campaign::{
+    Campaign, CampaignResult, CampaignRunStats, CellInfo, CellQueue, MemorySink, PolicySpec,
+    ResultSink, FALLBACK_WORKERS,
+};
 pub use config::SimConfig;
 pub use engine::{SimSnapshot, Simulation, StepOutcome};
 pub use error::{ProfileRole, SimError};

@@ -1,0 +1,178 @@
+//! The fleet-scale spill/resume contract: for *any* campaign grid,
+//! spilling, interrupting after k cells, and resuming must reconstruct
+//! results `SimResult::same_outcome`-identical to the plain in-memory
+//! collector, under arbitrary grid shapes, interrupt points, and worker
+//! counts.
+//!
+//! Interrupts are simulated the way a SIGKILL actually manifests:
+//! truncating `manifest.jsonl` to its first `k` entries (results already
+//! flushed but no longer referenced are exactly what a mid-grid kill
+//! leaves behind), and optionally tearing the final line mid-byte. The
+//! property holds because cell seeds are pure functions of
+//! `(campaign seed, scenario tag, policy name)` and the canonical JSON
+//! round trip is exact — nothing about *when* a run was interrupted can
+//! leak into *what* it computes.
+
+use pal_cluster::{ClusterTopology, JobClass, VariabilityProfile};
+use pal_config::spill::{self, MANIFEST_FILE};
+use pal_gpumodel::Workload;
+use pal_sim::placement::{PackedPlacement, RandomPlacement};
+use pal_sim::sched::Fifo;
+use pal_sim::{Campaign, PolicySpec, Scenario};
+use pal_trace::{JobId, JobSpec, Trace};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A fresh scratch directory under the target tmpdir, unique per call.
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pal-spill-prop-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An `scenarios × policies` campaign with non-trivial, row-varying
+/// cells: every row gets its own trace size, so cell outcomes (and cell
+/// costs) differ across the grid.
+fn grid(scenarios: usize, policies: usize, seed: u64, workers: usize) -> Campaign {
+    let profile = Arc::new(VariabilityProfile::from_raw(
+        (0..3)
+            .map(|c| {
+                (0..8)
+                    .map(|g| 1.0 + ((g * 7 + c * 13) % 10) as f64 * 0.05)
+                    .collect()
+            })
+            .collect(),
+    ));
+    let mut campaign = Campaign::new().seed(seed).max_parallelism(workers);
+    for row in 0..scenarios {
+        let jobs = 3 + row as u32;
+        let trace = Arc::new(Trace::new(
+            format!("row-{row}"),
+            (0..jobs)
+                .map(|i| JobSpec {
+                    id: JobId(i),
+                    model: Workload::ResNet50,
+                    class: JobClass(i as usize % 3),
+                    arrival: i as f64 * 200.0,
+                    gpu_demand: 1 + (i as usize % 3),
+                    iterations: 150 + 60 * i as u64,
+                    base_iter_time: 1.0,
+                })
+                .collect::<Vec<_>>(),
+        ));
+        let profile = Arc::clone(&profile);
+        campaign = campaign.scenario(format!("row-{row}"), move || {
+            Scenario::new(Arc::clone(&trace), ClusterTopology::new(2, 4))
+                .profile(Arc::clone(&profile))
+                .scheduler(Fifo)
+        });
+    }
+    campaign.policies((0..policies).map(|col| {
+        let name = format!("col-{col}");
+        if col % 2 == 0 {
+            PolicySpec::new(name, |_, seed| Box::new(RandomPlacement::new(seed)))
+        } else {
+            PolicySpec::new(name, |_, seed| Box::new(PackedPlacement::randomized(seed)))
+                .sticky(col % 4 == 1)
+        }
+    }))
+}
+
+/// Truncate the spill manifest to its first `k` entries, optionally
+/// tearing the new final line mid-byte — the on-disk state a SIGKILL
+/// after `k` completed cells leaves behind.
+fn interrupt_after(dir: &std::path::Path, k: usize, torn: bool) {
+    let path = dir.join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&path).expect("manifest readable");
+    let mut kept: String = text.lines().take(k).map(|l| format!("{l}\n")).collect();
+    if torn {
+        if let Some(extra) = text.lines().nth(k) {
+            // A partial final line: the first half of the next entry.
+            kept.push_str(&extra[..extra.len() / 2]);
+        }
+    }
+    std::fs::write(&path, kept).expect("manifest writable");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+    #[test]
+    fn spill_interrupt_resume_matches_memory_collector(
+        scenarios in 1usize..5,
+        policies in 1usize..4,
+        seed in any::<u64>(),
+        workers in 1usize..4,
+        interrupt_frac in 0.0f64..1.0,
+        torn in any::<bool>(),
+    ) {
+        let campaign = grid(scenarios, policies, seed, workers);
+        let cells = campaign.num_cells();
+
+        // Reference: the plain in-memory collector.
+        let reference = campaign.run().expect("in-memory run");
+
+        // Spill a full run, then forge the interrupt at k completed cells.
+        let dir = scratch("grid");
+        spill::run_spilled(&campaign, &dir).expect("spilled run");
+        let k = ((cells as f64) * interrupt_frac) as usize;
+        interrupt_after(&dir, k, torn);
+
+        let (stats, resumed) = spill::resume_spilled(&campaign, &dir).expect("resume");
+        prop_assert_eq!(stats.cells_skipped, k, "exactly k cells skip re-running");
+        prop_assert_eq!(stats.cells_run, cells - k);
+        prop_assert_eq!(resumed.len(), reference.len());
+        for (a, b) in resumed.iter().zip(&reference) {
+            prop_assert_eq!(&a.scenario, &b.scenario);
+            prop_assert_eq!(&a.policy, &b.policy);
+            prop_assert_eq!(a.seed, b.seed);
+            prop_assert!(
+                a.result.same_outcome(&b.result),
+                "cell {}/{} diverged after interrupt at {}/{} (torn: {})",
+                a.scenario, a.policy, k, cells, torn
+            );
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+/// Scenario-only campaigns (no policy axis) spill and resume too — the
+/// manifest's empty policy name must round-trip and match.
+#[test]
+fn scenario_only_campaign_resumes() {
+    let campaign = grid(3, 0, 99, 2);
+    assert_eq!(campaign.num_cells(), 3);
+    let reference = campaign.run().expect("in-memory run");
+    let dir = scratch("scen-only");
+    spill::run_spilled(&campaign, &dir).expect("spilled run");
+    interrupt_after(&dir, 1, false);
+    let (stats, resumed) = spill::resume_spilled(&campaign, &dir).expect("resume");
+    assert_eq!(stats.cells_skipped, 1);
+    assert_eq!(stats.cells_run, 2);
+    for (a, b) in resumed.iter().zip(&reference) {
+        assert!(a.result.same_outcome(&b.result), "{}", a.scenario);
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Resuming with a campaign whose seed differs must fail loudly, not
+/// silently re-run the grid under the wrong identity.
+#[test]
+fn resume_rejects_a_different_campaign() {
+    let campaign = grid(2, 2, 1, 2);
+    let dir = scratch("reject");
+    spill::run_spilled(&campaign, &dir).expect("spilled run");
+    let other = grid(2, 2, 2, 2);
+    let err = spill::resume_spilled(&other, &dir).unwrap_err();
+    assert!(
+        err.to_string().contains("wrong spill directory"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
