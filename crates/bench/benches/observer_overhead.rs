@@ -1,0 +1,104 @@
+//! Criterion benchmark for the observability tax: the engine dispatches
+//! every measurement through a `MetricsSink` observer, and the contract
+//! is that an attached [`NullSink`](pal_sim::NullSink) costs one dead
+//! branch per event site — nothing a workload can feel.
+//!
+//! The wall-time group measures a full non-sticky run (placement every
+//! round, so job-lifecycle and round events fire constantly) with no sink
+//! and with a `NullSink` attached. Beyond wall time, `main` records the
+//! **within-run ratio** of the two (`overhead/null_sink_ratio`, minimum
+//! wall time with `NullSink` over minimum without, interleaved so both
+//! see the same machine conditions) into `BENCH_engine.json`, where the
+//! CI gate pins it within 1.05× of the committed 1.0 baseline: an event
+//! site that starts allocating, formatting, or locking on the null path
+//! fails the build even on a noisy runner, because the common-mode
+//! machine speed cancels out of the ratio. `main` also asserts the
+//! observed run is `same_outcome`-identical to the unobserved one —
+//! observers must never perturb.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use pal_cluster::{ClusterTopology, JobClass, VariabilityProfile};
+use pal_gpumodel::Workload;
+use pal_sim::{NullSink, Scenario, SimResult};
+use pal_trace::{JobId, JobSpec, Trace};
+use std::time::Instant;
+
+/// Churny non-sticky workload on a 32-GPU cluster: staggered arrivals
+/// and mixed demands keep jobs starting, migrating, and finishing, so
+/// every observer event site stays hot for the whole run.
+fn scenario() -> Scenario {
+    let jobs: Vec<JobSpec> = (0..6000)
+        .map(|i| JobSpec {
+            id: JobId(i),
+            model: Workload::ALL[i as usize % Workload::ALL.len()],
+            class: JobClass(i as usize % 3),
+            arrival: i as f64 * 45.0,
+            gpu_demand: 1 + i as usize % 4,
+            iterations: 2400 + 300 * (i as u64 % 7),
+            base_iter_time: 1.0,
+        })
+        .collect();
+    let scores: Vec<f64> = (0..32).map(|g| 1.0 + 0.02 * (g % 13) as f64).collect();
+    Scenario::new(
+        Trace::new("observer-bench", jobs),
+        ClusterTopology::new(8, 4),
+    )
+    .profile(VariabilityProfile::from_raw(vec![scores; 3]))
+}
+
+fn run(with_null_sink: bool) -> SimResult {
+    let mut sim = scenario().start().expect("observer bench scenario runs");
+    if with_null_sink {
+        sim.attach_sink(Box::new(NullSink));
+    }
+    sim.run_to_completion()
+        .expect("observer bench run completes")
+}
+
+fn bench_observer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observed_run");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("full_run", "no_sink"), |b| {
+        b.iter(|| black_box(run(false).rounds))
+    });
+    group.bench_function(BenchmarkId::new("full_run", "null_sink"), |b| {
+        b.iter(|| black_box(run(true).rounds))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observer_overhead);
+
+fn main() {
+    benches();
+    let mut entries = criterion::take_measurements();
+
+    // Observers must not perturb: the observed run's outcome is the
+    // unobserved run's, bit for bit.
+    let plain = run(false);
+    assert!(
+        plain.same_outcome(&run(true)),
+        "NullSink perturbed the simulation outcome"
+    );
+
+    // The gated ratio: interleave the two configurations so they share
+    // machine conditions, take each side's minimum (the standard
+    // noise-robust wall-time estimator), and record null-sink over
+    // no-sink. Ideal is 1.0; the gate fails past 1.05.
+    const REPS: usize = 12;
+    let mut no_sink = f64::INFINITY;
+    let mut null_sink = f64::INFINITY;
+    run(false); // warm-up
+    run(true);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        black_box(run(false).rounds);
+        no_sink = no_sink.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(run(true).rounds);
+        null_sink = null_sink.min(t.elapsed().as_secs_f64());
+    }
+    entries.push(("overhead/null_sink_ratio".to_string(), null_sink / no_sink));
+    pal_bench::bench_json::update_workspace("observer_overhead", &entries)
+        .expect("update BENCH_engine.json");
+}

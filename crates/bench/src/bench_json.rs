@@ -264,7 +264,12 @@ mod tests {
         let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
         let text = std::fs::read_to_string(&path).expect("BENCH_engine.json is committed");
         let sections = parse(&text).expect("committed BENCH_engine.json parses");
-        for bench in ["engine_rounds", "placement_hot_path", "serving_latency"] {
+        for bench in [
+            "engine_rounds",
+            "placement_hot_path",
+            "serving_latency",
+            "observer_overhead",
+        ] {
             assert!(
                 sections.contains_key(bench),
                 "BENCH_engine.json lost its {bench} section"

@@ -1,9 +1,10 @@
 //! `palsim` — command-line driver for simulations.
 //!
-//! Four modes:
+//! Five modes:
 //!
 //! ```text
-//! palsim run <campaign.toml|.json> [--csv] [--sequential] [--spill <dir>]
+//! palsim run <campaign.toml|.json> [--csv] [--sequential] [--spill <dir>] [--metrics <dir>]
+//! palsim what-if <campaign.toml|.json> --fork-at <seconds> [--csv] [--export <dir>]
 //! palsim resume <spill-dir> [--csv]
 //! palsim check <file-or-dir> [...]
 //! palsim [--trace sia|synergy] [--policy pal] [...]        (legacy one-off)
@@ -14,21 +15,31 @@
 //! `--spill <dir>` each completed cell is streamed to `<dir>/results.jsonl`
 //! under a digest-carrying manifest (bounded memory, crash-safe), and a
 //! copy of the config lands in the directory so `resume` can rebuild the
-//! campaign. `resume` picks an interrupted spill back up, re-running only
-//! the never-completed cells — the final output is byte-identical to an
-//! uninterrupted run. `check` parses and validates files — or every
-//! `.toml`/`.json` in a directory — without running any cell. Bad
-//! arguments and unparseable configs exit nonzero with a one-line
-//! diagnostic (`file:line:col: message` for syntax errors, with a
-//! `caused by:` chain for wrapped errors); runtime simulation failures
-//! exit 1, usage errors exit 2. Results go to stdout; progress (cell and
-//! worker counts) goes to stderr, so piped CSV stays clean.
+//! campaign; with `--metrics <dir>` every cell streams its job-lifecycle
+//! events (JSONL) and per-round table (CSV) to files as it runs, via the
+//! engine's metrics-sink observer. `what-if` runs each scenario once up
+//! to the fork time under its own placement, then replays the suffix from
+//! that frozen state once per policy column — the counterfactual "what
+//! would each policy do from *here*" — printing fork diagnostics (time,
+//! rounds, state digest) to stderr and branch results to stdout;
+//! `--export <dir>` also writes each scenario's fork state as a
+//! versioned canonical-JSON state file. `resume` picks an interrupted
+//! spill back up, re-running only the never-completed cells — the final
+//! output is byte-identical to an uninterrupted run. `check` parses and
+//! validates files — or every `.toml`/`.json` in a directory — without
+//! running any cell. Bad arguments and unparseable configs exit nonzero
+//! with a one-line diagnostic (`file:line:col: message` for syntax
+//! errors, with a `caused by:` chain for wrapped errors); runtime
+//! simulation failures exit 1, usage errors exit 2. Results go to
+//! stdout; progress (cell and worker counts) goes to stderr, so piped
+//! CSV stays clean.
 //!
 //! Examples:
 //!
 //! ```text
 //! palsim run configs/paper_sweep.toml --csv
-//! palsim run configs/paper_sweep.toml --spill out/sweep --csv
+//! palsim run configs/paper_sweep.toml --spill out/sweep --metrics out/metrics
+//! palsim what-if configs/paper_sweep.toml --fork-at 86400 --csv
 //! palsim resume out/sweep --csv
 //! palsim check configs/
 //! palsim --trace sia --workload 5 --policy pal
@@ -38,8 +49,8 @@ use pal::{AdaptivePal, PalPlacement, PmFirstPlacement};
 use pal_bench::{longhorn_profile, PROFILE_SEED};
 use pal_cluster::{ClusterTopology, LocalityModel};
 use pal_config::{
-    campaign_from_path, render_chain, resume_spilled, spilled_config, spilled_results, Registry,
-    SpillSink,
+    campaign_from_path, render_chain, resume_spilled, save_state, spilled_config, spilled_results,
+    MetricsDir, Registry, SpillSink,
 };
 use pal_gpumodel::GpuSpec;
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
@@ -53,6 +64,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(|s| s.as_str()) {
         Some("run") => cmd_run(&argv[1..]),
+        Some("what-if") => cmd_what_if(&argv[1..]),
         Some("resume") => cmd_resume(&argv[1..]),
         Some("check") => cmd_check(&argv[1..]),
         _ => legacy_main(&argv),
@@ -71,14 +83,15 @@ fn cli_registry() -> Registry {
     registry
 }
 
-const RUN_USAGE: &str =
-    "usage: palsim run <campaign.toml|.json> [--csv] [--sequential] [--spill <dir>]";
+const RUN_USAGE: &str = "usage: palsim run <campaign.toml|.json> [--csv] [--sequential] \
+     [--spill <dir>] [--metrics <dir>]";
 
 fn cmd_run(argv: &[String]) -> ExitCode {
     let mut path: Option<&str> = None;
     let mut csv = false;
     let mut sequential = false;
     let mut spill: Option<PathBuf> = None;
+    let mut metrics_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -90,6 +103,16 @@ fn cmd_run(argv: &[String]) -> ExitCode {
                     Some(dir) => spill = Some(PathBuf::from(dir)),
                     None => {
                         eprintln!("palsim run: --spill needs a directory\n{RUN_USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--metrics" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(dir) => metrics_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("palsim run: --metrics needs a directory\n{RUN_USAGE}");
                         return ExitCode::from(2);
                     }
                 }
@@ -114,7 +137,7 @@ fn cmd_run(argv: &[String]) -> ExitCode {
         eprintln!("palsim run: --sequential and --spill are mutually exclusive\n{RUN_USAGE}");
         return ExitCode::from(2);
     }
-    let campaign = match campaign_from_path(path, &cli_registry()) {
+    let mut campaign = match campaign_from_path(path, &cli_registry()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("palsim: {}", render_chain(&e));
@@ -125,6 +148,21 @@ fn cmd_run(argv: &[String]) -> ExitCode {
         eprintln!("palsim: {path}: campaign has no cells (no scenarios)");
         return ExitCode::from(2);
     }
+    // Live per-cell event/round streaming through the engine's sink path.
+    let metrics = match metrics_dir {
+        Some(dir) => match MetricsDir::create(&dir) {
+            Ok(metrics) => {
+                let factory = metrics.clone();
+                campaign = campaign.metrics_sinks(move |cell| factory.sink_for(cell));
+                Some(metrics)
+            }
+            Err(e) => {
+                eprintln!("palsim: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let results = if sequential {
         match campaign.run_sequential() {
             Ok(r) => r,
@@ -141,12 +179,7 @@ fn cmd_run(argv: &[String]) -> ExitCode {
     } else {
         let sink = MemorySink::new(campaign.num_cells());
         match campaign.run_with_sink(&sink) {
-            Ok(stats) => {
-                eprintln!(
-                    "palsim: ran {} cells on {} workers",
-                    stats.cells_run, stats.workers
-                );
-            }
+            Ok(stats) => report_stats(&stats),
             Err(e) => {
                 eprintln!("palsim: campaign failed: {}", render_chain(&e));
                 return ExitCode::FAILURE;
@@ -157,11 +190,11 @@ fn cmd_run(argv: &[String]) -> ExitCode {
             .map(|slot| slot.expect("every cell completed without error"))
             .collect()
     };
-    if csv {
-        print_csv(&results);
-    } else {
-        print_table(&results);
+    if let Some(err) = metrics.as_ref().and_then(MetricsDir::first_error) {
+        eprintln!("palsim: metrics incomplete: {err}");
+        return ExitCode::FAILURE;
     }
+    output_results(&results, csv);
     ExitCode::SUCCESS
 }
 
@@ -199,12 +232,7 @@ fn run_spill(
         dir.display()
     );
     match campaign.run_with_sink(&sink) {
-        Ok(stats) => {
-            eprintln!(
-                "palsim: ran {} cells on {} workers",
-                stats.cells_run, stats.workers
-            );
-        }
+        Ok(stats) => report_stats(&stats),
         Err(e) => {
             eprintln!("palsim: campaign failed: {}", render_chain(&e));
             return Err(ExitCode::FAILURE);
@@ -256,24 +284,155 @@ fn cmd_resume(argv: &[String]) -> ExitCode {
     };
     match resume_spilled(&campaign, dir) {
         Ok((stats, results)) => {
-            eprintln!(
-                "palsim: resumed {}: {} cells already done, ran {} on {} workers",
-                dir.display(),
-                stats.cells_skipped,
-                stats.cells_run,
-                stats.workers
-            );
-            if csv {
-                print_csv(&results);
-            } else {
-                print_table(&results);
-            }
+            eprintln!("palsim: resumed {}:", dir.display());
+            report_stats(&stats);
+            output_results(&results, csv);
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("palsim: {}", render_chain(&e));
             ExitCode::FAILURE
         }
+    }
+}
+
+const WHAT_IF_USAGE: &str = "usage: palsim what-if <campaign.toml|.json> --fork-at <seconds> \
+     [--csv] [--export <dir>]";
+
+/// `palsim what-if`: fork every scenario of a campaign at one simulated
+/// time and replay the suffix once per policy column
+/// ([`pal_sim::Campaign::what_if`]). Fork diagnostics go to stderr;
+/// branch results go to stdout through the same formatter `run` uses.
+fn cmd_what_if(argv: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut fork_at: Option<f64> = None;
+    let mut csv = false;
+    let mut export: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--csv" => csv = true,
+            "--fork-at" => {
+                i += 1;
+                match argv.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(t) => fork_at = Some(t),
+                    None => {
+                        eprintln!(
+                            "palsim what-if: --fork-at needs a time in seconds\n{WHAT_IF_USAGE}"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--export" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(dir) => export = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("palsim what-if: --export needs a directory\n{WHAT_IF_USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("{WHAT_IF_USAGE}");
+                return ExitCode::from(2);
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => {
+                eprintln!("palsim what-if: unexpected argument `{other}`\n{WHAT_IF_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let (Some(path), Some(fork_at)) = (path, fork_at) else {
+        eprintln!("{WHAT_IF_USAGE}");
+        return ExitCode::from(2);
+    };
+    let campaign = match campaign_from_path(path, &cli_registry()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("palsim: {}", render_chain(&e));
+            return ExitCode::from(2);
+        }
+    };
+    if campaign.num_cells() == 0 {
+        eprintln!("palsim: {path}: campaign has no cells (no scenarios)");
+        return ExitCode::from(2);
+    }
+    if let Some(dir) = &export {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("palsim: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    let report = match campaign.what_if(fork_at) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("palsim: what-if failed: {}", render_chain(&e));
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut results = Vec::new();
+    for sc in report.scenarios {
+        eprintln!(
+            "palsim: {}: forked at t={:.0}s after {} rounds, {} branches, \
+             prefix digest {:016x}",
+            sc.scenario,
+            sc.forked_at,
+            sc.prefix_rounds,
+            sc.branches.len(),
+            sc.prefix_digest
+        );
+        if let Some(dir) = &export {
+            let file = dir.join(format!("{}.state.json", sanitize_file_stem(&sc.scenario)));
+            if let Err(e) = save_state(&file, &sc.fork_state) {
+                eprintln!("palsim: {}", render_chain(&e));
+                return ExitCode::FAILURE;
+            }
+            eprintln!("palsim: {}: fork state -> {}", sc.scenario, file.display());
+        }
+        results.extend(sc.branches);
+    }
+    output_results(&results, csv);
+    ExitCode::SUCCESS
+}
+
+fn sanitize_file_stem(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// One implementation of the run-progress line every campaign-driving
+/// mode (`run`, `run --spill`, `resume`) reports.
+fn report_stats(stats: &pal_sim::CampaignRunStats) {
+    if stats.cells_skipped > 0 {
+        eprintln!(
+            "palsim: {} cells already done, ran {} on {} workers",
+            stats.cells_skipped, stats.cells_run, stats.workers
+        );
+    } else {
+        eprintln!(
+            "palsim: ran {} cells on {} workers",
+            stats.cells_run, stats.workers
+        );
+    }
+}
+
+/// One place that picks the stdout format for campaign results.
+fn output_results(results: &[CampaignResult], csv: bool) {
+    if csv {
+        print_csv(results);
+    } else {
+        print_table(results);
     }
 }
 

@@ -3,13 +3,14 @@
 //! [`check`] compares a freshly measured bench file against the committed
 //! baseline and reports hard failures across the gated sections
 //! ([`GATED_SECTIONS`]: `engine_rounds`, `campaign_startup`,
-//! `campaign_throughput`, and `serving_latency`):
+//! `campaign_throughput`, `serving_latency`, and `observer_overhead`):
 //!
 //! - any **deterministic** metric (the `rounds/*` simulated/executed
 //!   round counts, the `builds/*` PM-score table build counts, the
 //!   `cells/*` campaign cells-completed counts of the fleet-execution
 //!   grid, the `served/*` serving outcomes of a seeded 1M-request
-//!   stream — bit-exact and machine-independent by construction) more than
+//!   stream, the `overhead/*` within-run null-sink wall-time ratio —
+//!   bit-exact or machine-common-mode-free by construction) more than
 //!   [`DETERMINISTIC_TOLERANCE`] (1.05×) over its baseline — these need
 //!   no noise allowance, so even a small skip-efficiency or
 //!   cache-efficiency regression fails; intentional changes to the bench
@@ -66,6 +67,7 @@ pub const GATED_SECTIONS: &[(&str, &str)] = &[
     ("campaign_startup", "builds/"),
     ("campaign_throughput", "cells/"),
     ("serving_latency", "served/"),
+    ("observer_overhead", "overhead/"),
 ];
 
 /// Key prefix of informational metrics (peak-RSS readings): reported in
@@ -424,6 +426,25 @@ mod tests {
             &[("serving_run/open_loop/1m_requests", 180.0)],
         )]);
         assert!(check(&base, &cur, DEFAULT_TOLERANCE).passed());
+    }
+
+    #[test]
+    fn null_sink_overhead_ratio_gates_without_wall_noise_allowance() {
+        // The ratio is machine-common-mode-free (both sides run
+        // interleaved on the same machine), so the 2x wall tolerance does
+        // not apply: a 20% null-sink tax must fail against the 1.0
+        // baseline, while sub-5% measurement jitter passes.
+        let base = sections(&[("observer_overhead", &[("overhead/null_sink_ratio", 1.0)])]);
+        let cur = sections(&[("observer_overhead", &[("overhead/null_sink_ratio", 1.04)])]);
+        assert!(check(&base, &cur, DEFAULT_TOLERANCE).passed());
+        let cur = sections(&[("observer_overhead", &[("overhead/null_sink_ratio", 1.2)])]);
+        let r = check(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!r.passed());
+        assert!(
+            r.failures[0].contains("deterministic count"),
+            "{}",
+            r.failures[0]
+        );
     }
 
     #[test]

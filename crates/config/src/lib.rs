@@ -36,6 +36,12 @@
 //! JSONL under a digest-carrying manifest, and [`resume_spilled`], which
 //! re-runs only the cells an interrupted run never finished —
 //! byte-identical to an uninterrupted run.
+//!
+//! [`state`] persists exported engine state ([`pal_sim::SimState`]) as
+//! canonical-JSON files with an up-front format-version check — the
+//! on-disk half of pause-resume and `palsim what-if` forking — and
+//! [`metrics`] streams live engine events to per-cell JSONL/CSV files
+//! through [`pal_sim::Campaign::metrics_sinks`].
 
 #![warn(missing_docs)]
 
@@ -43,15 +49,18 @@ pub mod build;
 pub mod error;
 pub mod import;
 pub mod json;
+pub mod metrics;
 pub mod registry;
 pub mod schema;
 pub mod spill;
+pub mod state;
 pub mod toml;
 
 pub use build::{build_campaign, campaign_from_path, load_campaign_file, parse_campaign_str};
 pub use error::{render_chain, ConfigError};
 pub use import::read_jsonl_trace;
 pub use json::{parse_json, write_json};
+pub use metrics::{CellMetricsSink, MetricsDir, ROUNDS_CSV_HEADER};
 pub use registry::{Args, PolicyCtx, PolicyEntry, ProfileCtx, Registry, TraceCtx};
 pub use schema::{
     CampaignFile, CampaignSection, GeneratorRef, PolicyRef, ScenarioSpec, ServingSpec, SimSection,
@@ -59,4 +68,5 @@ pub use schema::{
 pub use spill::{
     resume_spilled, run_spilled, spilled_config, spilled_results, ManifestEntry, SpillSink,
 };
+pub use state::{load_state, save_state, state_from_json, state_to_json};
 pub use toml::{parse_toml, write_toml, TomlError};

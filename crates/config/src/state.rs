@@ -1,0 +1,165 @@
+//! On-disk persistence for [`SimState`] — canonical-JSON state files
+//! behind pause-resume and `palsim what-if`.
+//!
+//! A state file is one line of canonical JSON ([`write_json`]) plus a
+//! trailing newline. Canonical means deterministic bytes for a given
+//! state — fields in declaration order, shortest-round-trip floats — so
+//! the same exported state always serializes to the same file and two
+//! states can be compared by comparing bytes (the what-if smoke test
+//! relies on this).
+//!
+//! [`load_state`] checks [`STATE_FORMAT_VERSION`] *before* deserializing
+//! the rest of the document: a future-format file fails with a clear
+//! "written by a newer version" diagnostic instead of a confusing
+//! missing-field error from whatever the schema happens to be today.
+
+use crate::error::ConfigError;
+use crate::json::{parse_json, write_json};
+use pal_sim::{SimState, STATE_FORMAT_VERSION};
+use serde::{Deserialize, Serialize, Value};
+use std::path::Path;
+
+/// Serialize `state` as one line of canonical JSON.
+///
+/// Infallible for real exported states (every float in engine state is
+/// finite); returns the writer's error otherwise.
+pub fn state_to_json(state: &SimState) -> Result<String, String> {
+    write_json(&state.to_value())
+}
+
+/// Write `state` to `path` as canonical JSON (one line + trailing
+/// newline). Overwrites any existing file.
+pub fn save_state(path: impl AsRef<Path>, state: &SimState) -> Result<(), ConfigError> {
+    let path = path.as_ref();
+    let line = state_to_json(state).map_err(|message| ConfigError::Schema {
+        file: path.display().to_string(),
+        message,
+    })?;
+    std::fs::write(path, line + "\n").map_err(|source| ConfigError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Parse a state document from JSON text, checking the format version.
+///
+/// `file` names the source in diagnostics (a path, or a synthetic name
+/// for in-memory input).
+pub fn state_from_json(file: &str, src: &str) -> Result<SimState, ConfigError> {
+    let value = parse_json(src).map_err(|e| ConfigError::Syntax {
+        file: file.to_string(),
+        line: e.line,
+        col: e.col,
+        message: e.message,
+    })?;
+    // Version first: a mismatched file should say so, not fail on
+    // whatever field the current schema misses.
+    match value.get("version") {
+        Some(&Value::Int(v)) if v == i128::from(STATE_FORMAT_VERSION) => {}
+        Some(&Value::Int(v)) => {
+            return Err(ConfigError::Schema {
+                file: file.to_string(),
+                message: format!(
+                    "state format v{v} is not supported (this build reads \
+                     v{STATE_FORMAT_VERSION}); the file was written by a \
+                     different version"
+                ),
+            })
+        }
+        _ => {
+            return Err(ConfigError::Schema {
+                file: file.to_string(),
+                message: "not a state file: missing integer `version` field".to_string(),
+            })
+        }
+    }
+    SimState::from_value(&value).map_err(|e| ConfigError::Schema {
+        file: file.to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Read a [`SimState`] from a canonical-JSON state file.
+pub fn load_state(path: impl AsRef<Path>) -> Result<SimState, ConfigError> {
+    let path = path.as_ref();
+    let src = std::fs::read_to_string(path).map_err(|source| ConfigError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    state_from_json(&path.display().to_string(), &src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pal_cluster::{ClusterTopology, JobClass};
+    use pal_gpumodel::Workload;
+    use pal_sim::Scenario;
+    use pal_trace::{JobId, JobSpec, Trace};
+
+    fn spec(id: u32, arrival: f64, demand: usize, ideal_secs: f64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            model: Workload::ResNet50,
+            class: JobClass::A,
+            arrival,
+            gpu_demand: demand,
+            iterations: ideal_secs.max(1.0) as u64,
+            base_iter_time: 1.0,
+        }
+    }
+
+    fn exported_state() -> SimState {
+        let trace = Trace::new("pair", vec![spec(0, 0.0, 2, 40.0), spec(1, 150.0, 1, 80.0)]);
+        let mut sim = Scenario::new(trace, ClusterTopology::new(2, 2))
+            .start()
+            .expect("scenario should start");
+        sim.step().expect("step should succeed");
+        sim.export_state()
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let state = exported_state();
+        let dir = std::env::temp_dir().join("pal_config_state_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        save_state(&path, &state).expect("save should succeed");
+        let back = load_state(&path).expect("load should succeed");
+        assert_eq!(back, state);
+        // Canonical writer: re-saving the loaded state reproduces the
+        // file byte for byte.
+        let bytes = std::fs::read(&path).unwrap();
+        save_state(&path, &back).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_a_clear_error() {
+        let state = exported_state();
+        let line = state_to_json(&state).unwrap();
+        let future = line.replacen("\"version\":1", "\"version\":999", 1);
+        assert_ne!(future, line, "version field should be present");
+        let err = state_from_json("mem.json", &future).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("v999"), "{msg}");
+        assert!(msg.contains("different version"), "{msg}");
+    }
+
+    #[test]
+    fn non_state_documents_are_rejected_up_front() {
+        let err = state_from_json("mem.json", r#"{"seed": 1}"#).unwrap_err();
+        assert!(err.to_string().contains("not a state file"), "{err}");
+
+        let err = state_from_json("mem.json", "{oops").unwrap_err();
+        assert!(matches!(err, ConfigError::Syntax { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = load_state("/nonexistent/dir/state.json").unwrap_err();
+        assert!(matches!(err, ConfigError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("state.json"), "{err}");
+    }
+}

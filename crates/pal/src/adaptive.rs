@@ -19,6 +19,7 @@ use crate::pm_scores::PmScoreTable;
 use pal_cluster::{ClusterState, GpuId, JobClass, VariabilityProfile};
 use pal_kmeans::ScoreBinning;
 use pal_sim::{Allocation, PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
 
 /// Configuration for the online estimator.
@@ -52,6 +53,12 @@ pub struct AdaptivePal {
     rounds_since_rebin: usize,
     /// Whether any estimate changed since the last re-bin.
     dirty: bool,
+    /// The estimates the current `inner` table was binned from — `None`
+    /// until the first re-bin (the table is still the design-time one).
+    /// Recorded so state export can rebuild `inner` exactly: re-binning
+    /// the *current* estimates on import would bake in observations the
+    /// original table never saw.
+    rebin_source: Option<Vec<Vec<f64>>>,
     /// The PAL policy built on the current binned estimates.
     inner: PalPlacement,
 }
@@ -101,6 +108,7 @@ impl AdaptivePal {
             estimates,
             rounds_since_rebin: 0,
             dirty: false,
+            rebin_source: None,
             inner,
         }
     }
@@ -123,6 +131,7 @@ impl AdaptivePal {
     pub fn rebin(&mut self) {
         let profile = VariabilityProfile::from_raw(self.estimates.clone());
         self.inner = PalPlacement::with_binning(&profile, &self.config.binning);
+        self.rebin_source = Some(self.estimates.clone());
         self.rounds_since_rebin = 0;
         self.dirty = false;
     }
@@ -131,6 +140,65 @@ impl AdaptivePal {
 impl PlacementPolicy for AdaptivePal {
     fn name(&self) -> &str {
         "Adaptive-PAL"
+    }
+
+    /// The EWMA estimates, the re-bin clock, and the source of the
+    /// current table. The design-time profile and `AdaptiveConfig` are
+    /// configuration, not run state — import assumes a freshly built
+    /// policy with the same configuration (which is what the simulator's
+    /// state-import contract provides).
+    fn export_state(&self) -> Option<Value> {
+        Some(Value::Map(vec![
+            ("estimates".into(), self.estimates.to_value()),
+            (
+                "rounds_since_rebin".into(),
+                self.rounds_since_rebin.to_value(),
+            ),
+            ("dirty".into(), self.dirty.to_value()),
+            ("rebin_source".into(), self.rebin_source.to_value()),
+        ]))
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), String> {
+        let field = |key: &str| {
+            state
+                .get(key)
+                .ok_or_else(|| format!("Adaptive-PAL state: missing field `{key}`"))
+        };
+        let de = |key: &str, e: serde::DeError| format!("Adaptive-PAL state `{key}`: {e}");
+        let estimates =
+            Vec::<Vec<f64>>::from_value(field("estimates")?).map_err(|e| de("estimates", e))?;
+        if estimates.len() != self.estimates.len()
+            || estimates
+                .iter()
+                .zip(&self.estimates)
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(format!(
+                "Adaptive-PAL state: estimate shape {}x{} does not match this policy's {}x{}",
+                estimates.len(),
+                estimates.first().map_or(0, Vec::len),
+                self.estimates.len(),
+                self.estimates.first().map_or(0, Vec::len)
+            ));
+        }
+        let rounds_since_rebin = usize::from_value(field("rounds_since_rebin")?)
+            .map_err(|e| de("rounds_since_rebin", e))?;
+        let dirty = bool::from_value(field("dirty")?).map_err(|e| de("dirty", e))?;
+        let rebin_source = Option::<Vec<Vec<f64>>>::from_value(field("rebin_source")?)
+            .map_err(|e| de("rebin_source", e))?;
+        // With no re-bin on record the factory-fresh `inner` (design-time
+        // table) is already correct; otherwise rebuild it from the exact
+        // estimates the exported run last binned (deterministic K-Means).
+        if let Some(src) = &rebin_source {
+            let profile = VariabilityProfile::from_raw(src.clone());
+            self.inner = PalPlacement::with_binning(&profile, &self.config.binning);
+        }
+        self.estimates = estimates;
+        self.rounds_since_rebin = rounds_since_rebin;
+        self.dirty = dirty;
+        self.rebin_source = rebin_source;
+        Ok(())
     }
 
     fn observe(&mut self, obs: &RoundObservation) {
@@ -277,6 +345,39 @@ mod tests {
         let mut p = AdaptivePal::with_config(&flat_profile(4), cfg);
         observe_gpu(&mut p, GpuId(1), 5.0, 30);
         assert_eq!(p.estimate(JobClass::A, GpuId(1)), 1.0);
+    }
+
+    #[test]
+    fn state_round_trip_restores_estimates_and_table() {
+        let profile = flat_profile(8);
+        let mut original = AdaptivePal::new(&profile);
+        observe_gpu(&mut original, GpuId(3), 3.0, 40); // crosses a re-bin
+        observe_gpu(&mut original, GpuId(5), 1.8, 3); // plus un-binned drift
+        let exported = original.export_state().expect("Adaptive-PAL is stateful");
+        let mut restored = AdaptivePal::new(&profile);
+        restored.import_state(&exported).unwrap();
+        for c in 0..3 {
+            for g in 0..8 {
+                assert_eq!(
+                    restored.estimate(JobClass(c), GpuId(g as u32)),
+                    original.estimate(JobClass(c), GpuId(g as u32))
+                );
+                assert_eq!(
+                    restored.table().score(JobClass(c), GpuId(g as u32)),
+                    original.table().score(JobClass(c), GpuId(g as u32))
+                );
+            }
+        }
+        // Resumed policy re-bins at the same future round as the original.
+        observe_gpu(&mut original, GpuId(5), 1.8, 16);
+        observe_gpu(&mut restored, GpuId(5), 1.8, 16);
+        assert_eq!(
+            restored.table().score(JobClass::A, GpuId(5)),
+            original.table().score(JobClass::A, GpuId(5))
+        );
+        // Wrong-shape estimates are refused.
+        let mut small = AdaptivePal::new(&flat_profile(4));
+        assert!(small.import_state(&exported).is_err());
     }
 
     #[test]

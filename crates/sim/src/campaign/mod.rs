@@ -48,13 +48,16 @@
 pub mod queue;
 pub mod runner;
 pub mod sink;
+pub mod what_if;
 
 pub use queue::CellQueue;
 pub use runner::{CampaignRunStats, FALLBACK_WORKERS};
 pub use sink::{MemorySink, ResultSink};
+pub use what_if::{fork_digest, WhatIfReport, WhatIfScenario};
 
 use crate::error::SimError;
 use crate::metrics::SimResult;
+use crate::observe::MetricsSink;
 use crate::placement::PlacementPolicy;
 use crate::scenario::Scenario;
 use pal_cluster::VariabilityProfile;
@@ -64,6 +67,8 @@ use std::sync::Arc;
 type ScenarioFactory = Box<dyn Fn() -> Scenario + Send + Sync>;
 type PolicyBuilder =
     Box<dyn Fn(&Arc<VariabilityProfile>, u64) -> Box<dyn PlacementPolicy + Send> + Send + Sync>;
+type MetricsSinkFactory =
+    Box<dyn Fn(&CellInfo) -> Option<Box<dyn MetricsSink + Send>> + Send + Sync>;
 
 /// A named placement-policy configuration for sweeps.
 ///
@@ -186,6 +191,7 @@ pub struct Campaign {
     policies: Vec<PolicySpec>,
     base_seed: u64,
     max_parallelism: Option<usize>,
+    metrics: Option<MetricsSinkFactory>,
 }
 
 impl Campaign {
@@ -247,6 +253,25 @@ impl Campaign {
     /// Register many policy columns at once.
     pub fn policies(mut self, specs: impl IntoIterator<Item = PolicySpec>) -> Self {
         self.policies.extend(specs);
+        self
+    }
+
+    /// Register a per-cell [`MetricsSink`] factory. Before each cell
+    /// runs, the factory receives the cell's [`CellInfo`] and may return
+    /// a sink to attach for that cell ([`Simulation::attach_sink`]) —
+    /// `None` leaves the cell unobserved. Sinks observe without
+    /// perturbing, so a campaign with metrics attached produces
+    /// outcomes identical to one without; the factory is called from
+    /// worker threads and must hand each cell its *own* sink (share
+    /// state across cells behind `Arc<Mutex<…>>` inside the sinks if
+    /// needed).
+    ///
+    /// [`Simulation::attach_sink`]: crate::Simulation::attach_sink
+    pub fn metrics_sinks(
+        mut self,
+        factory: impl Fn(&CellInfo) -> Option<Box<dyn MetricsSink + Send>> + Send + Sync + 'static,
+    ) -> Self {
+        self.metrics = Some(Box::new(factory));
         self
     }
 
@@ -382,7 +407,19 @@ impl Campaign {
             }
             None => None,
         };
-        let mut result = scenario.run()?;
+        let mut sim = scenario.start()?;
+        if let Some(factory) = &self.metrics {
+            let info = CellInfo {
+                index: scenario_idx * self.policies.len().max(1) + policy_idx.unwrap_or(0),
+                scenario: tag.clone(),
+                policy: policy_name.clone().unwrap_or_default(),
+                seed,
+            };
+            if let Some(sink) = factory(&info) {
+                sim.attach_sink(sink);
+            }
+        }
+        let mut result = sim.run_to_completion()?;
         let policy = match policy_name {
             Some(name) => {
                 // Use the spec's paper-facing label, as experiment::run_policy
@@ -412,6 +449,7 @@ impl std::fmt::Debug for Campaign {
             .field("policies", &self.policies)
             .field("base_seed", &self.base_seed)
             .field("max_parallelism", &self.max_parallelism)
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }
@@ -663,6 +701,61 @@ mod tests {
             Arc::as_ptr(&profile) as usize,
             "policy builder saw a per-cell profile copy, not the shared handle"
         );
+    }
+
+    #[test]
+    fn metrics_sink_factory_observes_every_cell_without_perturbing() {
+        use crate::observe::{JobEvent, MetricsSink, RoundEvent};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct Counter {
+            jobs: Arc<AtomicUsize>,
+            rounds: Arc<AtomicUsize>,
+        }
+        impl MetricsSink for Counter {
+            fn on_job(&mut self, _: &JobEvent) {
+                self.jobs.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_round(&mut self, _: &RoundEvent) {
+                self.rounds.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let plain = test_campaign().run().unwrap();
+        let jobs = Arc::new(AtomicUsize::new(0));
+        let rounds = Arc::new(AtomicUsize::new(0));
+        let cells: Arc<Mutex<Vec<CellInfo>>> = Arc::new(Mutex::new(Vec::new()));
+        let observed = {
+            let jobs = Arc::clone(&jobs);
+            let rounds = Arc::clone(&rounds);
+            let cells = Arc::clone(&cells);
+            test_campaign()
+                .metrics_sinks(move |info| {
+                    cells.lock().unwrap().push(info.clone());
+                    Some(Box::new(Counter {
+                        jobs: Arc::clone(&jobs),
+                        rounds: Arc::clone(&rounds),
+                    }))
+                })
+                .run()
+                .unwrap()
+        };
+        // Sinks observe without perturbing.
+        for (a, b) in observed.iter().zip(&plain) {
+            assert!(
+                a.result.same_outcome(&b.result),
+                "{}/{}",
+                a.scenario,
+                a.policy
+            );
+        }
+        // Every cell got a sink carrying its campaign identity.
+        let mut cells = cells.lock().unwrap().clone();
+        cells.sort_by_key(|c| c.index);
+        assert_eq!(cells, test_campaign().cells());
+        assert!(jobs.load(Ordering::Relaxed) > 0);
+        assert!(rounds.load(Ordering::Relaxed) > 0);
     }
 
     #[test]

@@ -53,7 +53,7 @@
 
 use super::round::RoundCtx;
 use super::state::EngineState;
-use super::telemetry::Telemetry;
+use super::telemetry::Observer;
 use super::EPS;
 use crate::job_state::ActiveJob;
 use crate::placement::{PlacementPolicy, RoundObservation};
@@ -228,7 +228,7 @@ fn arm_cert(
 /// [`incremental_keys`](crate::sched::SchedulingPolicy::incremental_keys).
 pub(crate) fn hop_to_next_event(
     st: &mut EngineState,
-    tel: &mut Telemetry,
+    obs: &mut Observer<'_>,
     ctx: &RoundCtx<'_>,
     scheduler: &dyn SchedulingPolicy,
     placement: &mut dyn PlacementPolicy,
@@ -419,7 +419,7 @@ pub(crate) fn hop_to_next_event(
         // Commit: replay the bookkeeping of one unchanged round, in the
         // current (fresh-sort-identical) prefix order.
         st.rounds += 1;
-        tel.gpus_in_use.push(t, running_demand as f64);
+        obs.gpu_usage(t, running_demand as f64);
         for i in 0..p {
             let ji = core.seq[i].job;
             let slot = core.soa.slot_of[ji] as usize;
@@ -439,7 +439,7 @@ pub(crate) fn hop_to_next_event(
                 });
             }
             let d = core.soa.demand[slot];
-            tel.busy_gpu_seconds += d * dt;
+            obs.busy_gpu_seconds(d * dt);
             core.soa.attained[slot] += d * dt;
             core.soa.remaining[slot] -= core.soa.progress[slot];
         }

@@ -43,6 +43,9 @@ pub use round::StepOutcome;
 pub use stepper::{SimSnapshot, Simulation};
 
 pub(crate) use stepper::SimulationParts;
+pub(crate) use telemetry::Observer;
+#[cfg(test)]
+pub(crate) use telemetry::Telemetry;
 
 use crate::config::SimConfig;
 use crate::error::{ProfileRole, SimError};

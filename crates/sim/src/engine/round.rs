@@ -19,12 +19,13 @@
 //!   policy compute time (Figure 18) measures only the policy.
 
 use super::state::EngineState;
-use super::telemetry::Telemetry;
+use super::telemetry::Observer;
 use super::EPS;
 use crate::admission::{AdmissionCtx, AdmissionPolicy};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::job_state::JobPhase;
+use crate::observe::{JobEventKind, RoundEvent};
 use crate::placement::{
     validate_allocation, PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation,
 };
@@ -64,7 +65,7 @@ pub(crate) struct RoundCtx<'a> {
 /// same error.
 pub(crate) fn step_round(
     st: &mut EngineState,
-    tel: &mut Telemetry,
+    obs: &mut Observer<'_>,
     ctx: &RoundCtx<'_>,
     scheduler: &dyn SchedulingPolicy,
     placement: &mut dyn PlacementPolicy,
@@ -105,6 +106,7 @@ pub(crate) fn step_round(
         };
         let spec = &st.jobs[st.next_admit].spec;
         if !admission.admit(spec, &a_ctx) {
+            obs.job(t, spec.id, JobEventKind::Rejected);
             st.rejected[st.next_admit] = true;
             st.finished += 1;
         } else if spec.gpu_demand > total_gpus {
@@ -116,6 +118,7 @@ pub(crate) fn step_round(
                 total_gpus,
             });
         } else {
+            obs.job(t, spec.id, JobEventKind::Admitted);
             st.active_demand += spec.gpu_demand;
             st.active_queue.push(st.next_admit);
         }
@@ -133,13 +136,15 @@ pub(crate) fn step_round(
             if serving_pending {
                 let srv = serving.as_mut().expect("serving pending");
                 st.t = t + dt;
-                srv.advance_to(st.t);
+                srv.advance_to(st.t, obs);
+                emit_round(st, obs, 0);
                 return Ok(if srv.is_done() {
                     StepOutcome::Complete
                 } else {
                     StepOutcome::Running
                 });
             }
+            emit_round(st, obs, 0);
             return Ok(StepOutcome::Complete);
         }
         let next_arrival = st.jobs[st.next_admit].spec.arrival;
@@ -152,8 +157,9 @@ pub(crate) fn step_round(
         // The idle hop is identical in fixed and event-driven modes, so
         // advancing serving to the hopped clock preserves equivalence.
         if let Some(srv) = serving.as_mut() {
-            srv.advance_to(st.t);
+            srv.advance_to(st.t, obs);
         }
+        emit_round(st, obs, 0);
         return Ok(StepOutcome::Running);
     }
 
@@ -195,6 +201,7 @@ pub(crate) fn step_round(
             }
             st.jobs[ji].preemptions += 1;
             st.scratch.progress_per_round[ji] = 0.0; // no longer accruing
+            obs.job(t, st.jobs[ji].spec.id, JobEventKind::Preempted);
         }
     }
 
@@ -280,6 +287,7 @@ pub(crate) fn step_round(
         let ji = st.scratch.needs[ri];
         if st.jobs[ji].first_start.is_none() {
             st.jobs[ji].first_start = Some(t);
+            obs.job(t, st.jobs[ji].spec.id, JobEventKind::Started);
         } else {
             // Re-placement of a previously running job: count a migration
             // if the GPU set changed.
@@ -296,6 +304,7 @@ pub(crate) fn step_round(
             if migrated {
                 st.jobs[ji].migrations += 1;
                 st.scratch.migrated[ji] = true;
+                obs.job(t, st.jobs[ji].spec.id, JobEventKind::Migrated);
             }
         }
         st.jobs[ji].phase = JobPhase::Running { gpus: alloc };
@@ -309,7 +318,7 @@ pub(crate) fn step_round(
             scratch.gpu_pool.push(gpus);
         }
     }
-    tel.placement_compute_times.push(policy_time.as_secs_f64());
+    obs.placement_compute(policy_time.as_secs_f64());
 
     // 5. Execute to the round boundary. Rates are constant within the
     // round, so each job's completion time is closed-form. The telemetry
@@ -323,7 +332,7 @@ pub(crate) fn step_round(
         .iter()
         .map(|&ji| st.jobs[ji].spec.gpu_demand)
         .sum();
-    tel.gpus_in_use.push(t, running_demand as f64);
+    obs.gpu_usage(t, running_demand as f64);
     st.scratch.completions.clear();
     let mut finished_this_round = 0usize;
     for i in 0..st.scratch.prefix.len() {
@@ -373,7 +382,7 @@ pub(crate) fn step_round(
         let job = &mut st.jobs[ji];
         if finish_t <= t + dt + EPS {
             let run = finish_t - t;
-            tel.busy_gpu_seconds += demand as f64 * run;
+            obs.busy_gpu_seconds(demand as f64 * run);
             job.attained_service += demand as f64 * run;
             job.remaining_work = 0.0;
             let phase = std::mem::replace(&mut job.phase, JobPhase::Finished { at: finish_t });
@@ -386,8 +395,9 @@ pub(crate) fn step_round(
             finished_this_round += 1;
             st.active_demand -= demand;
             st.scratch.completions.push((finish_t, demand));
+            obs.job(finish_t, st.jobs[ji].spec.id, JobEventKind::Finished);
         } else {
-            tel.busy_gpu_seconds += demand as f64 * dt;
+            obs.busy_gpu_seconds(demand as f64 * dt);
             job.attained_service += demand as f64 * dt;
             job.remaining_work -= (dt - overhead) / slowdown;
         }
@@ -405,7 +415,7 @@ pub(crate) fn step_round(
         // finish time lands within EPS past the boundary (boundary-exact
         // durations) must not out-run the next round's breakpoint at
         // `t + dt` — the job record keeps the exact finish time.
-        tel.gpus_in_use.push(ft.clamp(t, t + dt), in_use);
+        obs.gpu_usage(ft.clamp(t, t + dt), in_use);
     }
 
     // Reset the per-job round flags and compact the active queue.
@@ -433,9 +443,9 @@ pub(crate) fn step_round(
     // incremental-key hooks, so other schedulers fall back to probing.
     if ctx.config.sticky && finished_this_round == 0 && !st.active_queue.is_empty() {
         if ctx.config.event_core && scheduler.incremental_keys() {
-            super::events::hop_to_next_event(st, tel, ctx, scheduler, placement);
+            super::events::hop_to_next_event(st, obs, ctx, scheduler, placement);
         } else if ctx.config.event_driven {
-            skip_stable_rounds(st, tel, ctx, scheduler, placement);
+            skip_stable_rounds(st, obs, ctx, scheduler, placement);
         }
     }
 
@@ -443,9 +453,10 @@ pub(crate) fn step_round(
     // value, so advancing it after the (possibly skipped-ahead) boundary
     // yields identical outcomes under fixed and event-driven stepping.
     if let Some(srv) = serving.as_mut() {
-        srv.advance_to(st.t);
+        srv.advance_to(st.t, obs);
     }
 
+    emit_round(st, obs, st.scratch.prefix.len() - finished_this_round);
     Ok(
         if st.is_complete() && serving.as_ref().is_none_or(|s| s.is_done()) {
             StepOutcome::Complete
@@ -453,6 +464,34 @@ pub(crate) fn step_round(
             StepOutcome::Running
         },
     )
+}
+
+/// Deliver the executed-round boundary event for the step that just ran.
+/// The caller passes the running-job count it already knows (the placed
+/// prefix minus this round's completions; zero on the idle paths), so an
+/// attached sink costs O(1) here — a scan of a deep backlog's active
+/// queue would tax `NullSink` runs measurably (the `observer_overhead`
+/// bench gates this).
+fn emit_round(st: &EngineState, obs: &mut Observer<'_>, running: usize) {
+    if !obs.active() {
+        return;
+    }
+    debug_assert_eq!(
+        running,
+        st.active_queue
+            .iter()
+            .filter(|&&ji| st.jobs[ji].is_running())
+            .count(),
+        "caller-tracked running count drifted from the job table"
+    );
+    obs.round(RoundEvent {
+        round: st.rounds,
+        executed_rounds: st.executed_rounds,
+        t: st.t,
+        running,
+        waiting: st.active_queue.len() - running,
+        finished: st.finished,
+    });
 }
 
 /// Re-derive the cached keys from the current job state and check the
@@ -508,7 +547,7 @@ fn order_still_holds(
 /// keeps one entry per executed round only.
 fn skip_stable_rounds(
     st: &mut EngineState,
-    tel: &mut Telemetry,
+    obs: &mut Observer<'_>,
     ctx: &RoundCtx<'_>,
     scheduler: &dyn SchedulingPolicy,
     placement: &mut dyn PlacementPolicy,
@@ -579,7 +618,7 @@ fn skip_stable_rounds(
 
         // Commit: replay the bookkeeping of one unchanged round.
         st.rounds += 1;
-        tel.gpus_in_use.push(t, running_demand as f64);
+        obs.gpu_usage(t, running_demand as f64);
         for i in 0..st.scratch.prefix.len() {
             let ji = st.scratch.prefix[i];
             if deliver_observations {
@@ -599,7 +638,7 @@ fn skip_stable_rounds(
             }
             let job = &mut st.jobs[ji];
             let demand = job.spec.gpu_demand;
-            tel.busy_gpu_seconds += demand as f64 * dt;
+            obs.busy_gpu_seconds(demand as f64 * dt);
             job.attained_service += demand as f64 * dt;
             job.remaining_work -= st.scratch.progress_per_round[ji];
         }

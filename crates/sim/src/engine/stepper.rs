@@ -11,18 +11,21 @@
 //! [`Scenario::run`](crate::Scenario::run).
 
 use super::round::{step_round, RoundCtx, StepOutcome};
-use super::state::EngineState;
-use super::telemetry::{build_result, RunLabels, Telemetry};
+use super::state::{EngineState, RoundScratch};
+use super::telemetry::{build_result, Observer, RunLabels, Telemetry};
 use crate::admission::AdmissionPolicy;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::job_state::ActiveJob;
 use crate::metrics::SimResult;
+use crate::observe::MetricsSink;
 use crate::placement::PlacementPolicy;
 use crate::sched::SchedulingPolicy;
 use crate::serving::{ServingEngine, ServingJob, ServingSnapshot};
+use crate::state::{SimState, STATE_FORMAT_VERSION};
 use pal_cluster::{ClusterTopology, LocalityModel, VariabilityProfile};
 use pal_trace::{JobId, Trace};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// The resolved ingredients of a run, bundled by
@@ -68,12 +71,16 @@ pub struct Simulation {
     state: EngineState,
     telemetry: Telemetry,
     serving: Option<ServingEngine>,
+    /// Optional attached [`MetricsSink`] — events stream here in addition
+    /// to the built-in accumulators. `None` costs one dead branch per
+    /// event site.
+    sink: Option<Box<dyn MetricsSink + Send>>,
 }
 
 /// A point-in-time view of a stepped simulation: the clocks plus every
 /// job's runtime state. Cloned out of the engine, so holding (or
 /// inspecting) a snapshot cannot perturb the run.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimSnapshot {
     /// Simulated seconds at the start of the next round.
     pub time: f64,
@@ -95,22 +102,25 @@ pub struct SimSnapshot {
     pub serving: Vec<ServingSnapshot>,
 }
 
-// Manual `Debug` so the `serving` field appears only when the run has
-// serving deployments: the debug rendering of training-only snapshots is
-// byte-identical to the pre-serving format.
+// `Debug` is driven by the serde field enumeration (see
+// [`crate::metrics::debug_via_serializer`]): the `serving` field appears
+// only when the run has serving deployments, so the debug rendering of
+// training-only snapshots is byte-identical to the pre-serving format —
+// and the field list cannot drift from what the snapshot serializes.
 impl std::fmt::Debug for SimSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut d = f.debug_struct("SimSnapshot");
-        d.field("time", &self.time)
-            .field("rounds", &self.rounds)
-            .field("executed_rounds", &self.executed_rounds)
-            .field("finished", &self.finished)
-            .field("jobs", &self.jobs)
-            .field("rejected", &self.rejected);
-        if !self.serving.is_empty() {
-            d.field("serving", &self.serving);
-        }
-        d.finish()
+        crate::metrics::debug_via_serializer("SimSnapshot", self.to_value(), f, &|key| {
+            Some(match key {
+                "time" => &self.time as &dyn std::fmt::Debug,
+                "rounds" => &self.rounds,
+                "executed_rounds" => &self.executed_rounds,
+                "finished" => &self.finished,
+                "jobs" => &self.jobs,
+                "rejected" => &self.rejected,
+                "serving" => &self.serving,
+                _ => return None,
+            })
+        })
     }
 }
 
@@ -162,7 +172,25 @@ impl Simulation {
             state,
             telemetry: Telemetry::new(),
             serving,
+            sink: None,
         }
+    }
+
+    /// Attach a [`MetricsSink`]: from the next [`step`](Simulation::step)
+    /// on, every engine event (round boundaries, job lifecycle
+    /// transitions, serving batches, accumulator updates) is also
+    /// delivered to `sink`. Replaces any previously attached sink. Sinks
+    /// observe without perturbing: the run's outcome is bit-identical
+    /// whatever the sink does. See [`crate::observe`] for event cadence
+    /// and a custom-sink example.
+    pub fn attach_sink(&mut self, sink: Box<dyn MetricsSink + Send>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the attached sink, if any — the way to get an
+    /// owned sink (and whatever it collected) back out of a stepped run.
+    pub fn take_sink(&mut self) -> Option<Box<dyn MetricsSink + Send>> {
+        self.sink.take()
     }
 
     /// Advance the simulation by one scheduling round (or one idle
@@ -181,15 +209,149 @@ impl Simulation {
             config: &self.config,
             total_gpus: self.training_gpus,
         };
+        let mut obs = Observer::new(
+            &mut self.telemetry,
+            self.sink.as_deref_mut().map(|s| s as &mut dyn MetricsSink),
+        );
         step_round(
             &mut self.state,
-            &mut self.telemetry,
+            &mut obs,
             &ctx,
             self.scheduler.as_ref(),
             self.placement.as_mut(),
             self.admission.as_ref(),
             &mut self.serving,
         )
+    }
+
+    /// Export the run's complete persistent state at the current round
+    /// boundary: job table, cluster occupancy, clocks, telemetry
+    /// accumulators, the placement policy's opaque state, and every
+    /// serving deployment's position. Per-round scratch and the
+    /// discrete-event core are rebuilt on resume, so they are not
+    /// exported (see [`crate::state`]).
+    ///
+    /// Feeding the result to [`import_state`](Simulation::import_state)
+    /// on a freshly [`Scenario::start`](crate::Scenario::start)-ed
+    /// simulation of the same scenario resumes the run bit-identically:
+    /// the resumed run's [`SimResult`] equals the uninterrupted one's.
+    pub fn export_state(&self) -> SimState {
+        SimState {
+            version: STATE_FORMAT_VERSION,
+            trace: self.trace_name.clone(),
+            scheduler: self.scheduler.name().to_string(),
+            placement: self.placement.name().to_string(),
+            sticky: self.config.sticky,
+            time: self.state.t,
+            rounds: self.state.rounds,
+            executed_rounds: self.state.executed_rounds,
+            finished: self.state.finished,
+            next_admit: self.state.next_admit,
+            active_queue: self.state.active_queue.clone(),
+            active_demand: self.state.active_demand,
+            jobs: self.state.jobs.clone(),
+            rejected: self.state.rejected.clone(),
+            cluster: self.state.cluster.clone(),
+            gpus_in_use: self.telemetry.gpus_in_use.clone(),
+            busy_gpu_seconds: self.telemetry.busy_gpu_seconds,
+            placement_compute_times: self.telemetry.placement_compute_times.clone(),
+            placement_state: self.placement.export_state(),
+            serving: self
+                .serving
+                .as_ref()
+                .map(ServingEngine::export_state)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Restore a state produced by [`export_state`](Simulation::export_state)
+    /// into this freshly started simulation, replacing its `t = 0` state.
+    ///
+    /// The receiving simulation must have been started from a compatible
+    /// scenario: same format version, same trace, same job count, same
+    /// topology, and matching serving deployments. The *policies* may
+    /// differ — that is the point of what-if forking — except that a
+    /// state carrying `placement_state` must be imported into the same
+    /// placement policy it was exported from (opaque policy state does
+    /// not transfer across policies; clear it to fork onto a fresh
+    /// policy). Incompatibilities return [`SimError::StateImport`]; a
+    /// failed import may leave the simulation partially restored, so
+    /// discard it and start a fresh one.
+    pub fn import_state(&mut self, state: &SimState) -> Result<(), SimError> {
+        let fail = |reason: String| SimError::StateImport { reason };
+        if state.version != STATE_FORMAT_VERSION {
+            return Err(fail(format!(
+                "state format v{} unsupported (this build reads v{STATE_FORMAT_VERSION})",
+                state.version
+            )));
+        }
+        if state.trace != self.trace_name {
+            return Err(fail(format!(
+                "state is from trace `{}`, simulation runs `{}`",
+                state.trace, self.trace_name
+            )));
+        }
+        if state.jobs.len() != self.state.jobs.len() {
+            return Err(fail(format!(
+                "state has {} jobs, trace has {}",
+                state.jobs.len(),
+                self.state.jobs.len()
+            )));
+        }
+        if state.cluster.topology() != self.state.cluster.topology() {
+            return Err(fail(format!(
+                "state topology {:?} does not match simulation topology {:?}",
+                state.cluster.topology(),
+                self.state.cluster.topology()
+            )));
+        }
+        if let Some(ps) = &state.placement_state {
+            if state.placement != self.placement.name() {
+                return Err(fail(format!(
+                    "state carries `{}` placement state but the simulation uses `{}` \
+                     (clear placement_state to fork onto a fresh policy)",
+                    state.placement,
+                    self.placement.name()
+                )));
+            }
+            self.placement.import_state(ps).map_err(&fail)?;
+        }
+        match (&mut self.serving, state.serving.is_empty()) {
+            (None, true) => {}
+            (Some(engine), _) => engine.import_state(&state.serving).map_err(&fail)?,
+            (None, false) => {
+                return Err(fail(format!(
+                    "state has {} serving deployments, simulation has none",
+                    state.serving.len()
+                )));
+            }
+        }
+        self.state.jobs = state.jobs.clone();
+        self.state.rejected = state.rejected.clone();
+        self.state.cluster = state.cluster.clone();
+        self.state.t = state.time;
+        self.state.finished = state.finished;
+        self.state.next_admit = state.next_admit;
+        self.state.rounds = state.rounds;
+        self.state.executed_rounds = state.executed_rounds;
+        self.state.active_queue = state.active_queue.clone();
+        self.state.active_demand = state.active_demand;
+        // Scratch and the event core are derived, per-executed-round
+        // state: reset them exactly as `EngineState::new` builds them.
+        let n = state.jobs.len();
+        self.state.scratch = RoundScratch {
+            in_prefix: vec![false; n],
+            migrated: vec![false; n],
+            slowdown: vec![0.0; n],
+            locality_penalty: vec![0.0; n],
+            progress_per_round: vec![0.0; n],
+            ..Default::default()
+        };
+        self.state.event_core = Default::default();
+        self.telemetry.gpus_in_use = state.gpus_in_use.clone();
+        self.telemetry.busy_gpu_seconds = state.busy_gpu_seconds;
+        self.telemetry.placement_compute_times = state.placement_compute_times.clone();
+        Ok(())
     }
 
     /// Simulated time, seconds: the start of the next round to execute.
@@ -390,6 +552,36 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_debug_tracks_serializer_fields() {
+        let mut sim = two_job_scenario().start().unwrap();
+        sim.step().unwrap();
+        let snap = sim.snapshot();
+
+        // Training-only: byte-identical to the pre-serving format.
+        let d = format!("{snap:?}");
+        assert!(!d.contains("serving"), "{d}");
+
+        // With serving present, every field the serializer enumerates is
+        // rendered — Debug cannot drift from the snapshot's serde form.
+        let mut with = snap.clone();
+        with.serving.push(ServingSnapshot {
+            workload: "chat".into(),
+            arrived: 10,
+            completed: 7,
+            slo_met: 6,
+            queued: 3,
+        });
+        let d = format!("{with:?}");
+        let serde::Value::Map(fields) = with.to_value() else {
+            panic!("SimSnapshot serializes as a map");
+        };
+        for (key, _) in &fields {
+            assert!(d.contains(&format!("{key}:")), "missing {key} in {d}");
+        }
+        assert!(d.contains("chat"), "{d}");
+    }
+
+    #[test]
     fn stepper_errors_are_stable() {
         let trace = Trace::new("big", vec![spec(0, 0.0, 64, 100.0)]);
         let mut sim = Scenario::new(trace, ClusterTopology::new(1, 4))
@@ -466,6 +658,111 @@ mod tests {
         while sim.step().unwrap() == StepOutcome::Running {}
         assert_eq!(sim.rounds(), 10);
         assert_eq!(sim.executed_rounds(), 10);
+    }
+
+    #[test]
+    fn export_import_resumes_bit_identically() {
+        // Uninterrupted reference run.
+        let reference = two_job_scenario()
+            .start()
+            .unwrap()
+            .run_to_completion()
+            .unwrap();
+        // Run 1 round, export, import into a fresh sim, finish both.
+        let mut first = two_job_scenario().start().unwrap();
+        first.step().unwrap();
+        let state = first.export_state();
+        assert_eq!(state.version, crate::state::STATE_FORMAT_VERSION);
+        assert_eq!(state.time, 300.0);
+        let mut resumed = two_job_scenario().start().unwrap();
+        resumed.import_state(&state).unwrap();
+        assert_eq!(resumed.time(), 300.0);
+        assert_eq!(resumed.rounds(), 1);
+        let from_resume = resumed.run_to_completion().unwrap();
+        let from_first = first.run_to_completion().unwrap();
+        // `same_outcome`: placement compute times are wall-clock
+        // measurements and never reproduce across runs.
+        assert!(reference.same_outcome(&from_first));
+        assert!(reference.same_outcome(&from_resume));
+        assert_eq!(reference.executed_rounds, from_resume.executed_rounds);
+    }
+
+    #[test]
+    fn export_import_resumes_serving_and_rng_state() {
+        use crate::placement::RandomPlacement;
+        use pal_trace::ServingWorkload;
+        // A scenario exercising both kinds of hidden run state: the
+        // placement RNG (Random) and a mid-stream serving deployment.
+        let scenario = || {
+            let w = ServingWorkload {
+                work_median_s: 0.01,
+                work_sigma: 0.2,
+                slo_s: 0.5,
+                ..ServingWorkload::poisson("chat", 20.0, 400)
+            };
+            Scenario::new(
+                Trace::new(
+                    "mix",
+                    vec![spec(0, 0.0, 2, 900.0), spec(1, 200.0, 1, 500.0)],
+                ),
+                ClusterTopology::new(2, 4),
+            )
+            .placement(RandomPlacement::new(11))
+            .serving(ServingJob::new(w, 1, 1))
+        };
+        let reference = scenario().start().unwrap().run_to_completion().unwrap();
+        let mut first = scenario().start().unwrap();
+        first.step().unwrap();
+        first.step().unwrap();
+        let state = first.export_state();
+        assert!(state.placement_state.is_some(), "Random exports RNG state");
+        assert_eq!(state.serving.len(), 1);
+        assert!(state.serving[0].arrived > 0, "serving stream is mid-flight");
+        let mut resumed = scenario().start().unwrap();
+        resumed.import_state(&state).unwrap();
+        let from_resume = resumed.run_to_completion().unwrap();
+        assert!(reference.same_outcome(&from_resume));
+        assert!(reference.same_outcome(&first.run_to_completion().unwrap()));
+    }
+
+    #[test]
+    fn export_state_round_trips_through_serde() {
+        use serde::{Deserialize, Serialize};
+        let mut sim = two_job_scenario().start().unwrap();
+        sim.step().unwrap();
+        let state = sim.export_state();
+        let value = state.to_value();
+        let back = crate::state::SimState::from_value(&value).unwrap();
+        assert_eq!(state, back);
+    }
+
+    #[test]
+    fn import_rejects_incompatible_states() {
+        let mut sim = two_job_scenario().start().unwrap();
+        sim.step().unwrap();
+        let good = sim.export_state();
+
+        let mut wrong_version = good.clone();
+        wrong_version.version = 999;
+        let mut fresh = two_job_scenario().start().unwrap();
+        assert!(matches!(
+            fresh.import_state(&wrong_version),
+            Err(SimError::StateImport { .. })
+        ));
+
+        let mut wrong_trace = good.clone();
+        wrong_trace.trace = "other".into();
+        assert!(fresh.import_state(&wrong_trace).is_err());
+
+        // Foreign placement state must not restore into a different policy.
+        let mut foreign_policy = good.clone();
+        foreign_policy.placement = "Random".into();
+        foreign_policy.placement_state = Some(serde::Value::Bool(true));
+        assert!(fresh.import_state(&foreign_policy).is_err());
+
+        // The same state with placement_state cleared is a legal fork.
+        foreign_policy.placement_state = None;
+        assert!(fresh.import_state(&foreign_policy).is_ok());
     }
 
     #[test]

@@ -1,10 +1,22 @@
 //! Per-run measurement accumulators and final [`SimResult`] assembly.
+//!
+//! [`Telemetry`] — the accumulator set behind every `SimResult` — is
+//! itself a [`MetricsSink`]: the engine delivers each measurement through
+//! the sink interface, and result assembly is just what the built-in sink
+//! does with the events. [`Observer`] is the hot-loop dispatcher that
+//! feeds the built-in sink *statically* (so float accumulation order — and
+//! therefore the goldens — is untouched by the indirection) and forwards
+//! to an optional attached [`MetricsSink`] behind a single `Option`
+//! branch, which is the entire cost of the observability layer when no
+//! sink is attached.
 
 use super::state::EngineState;
 use crate::job_state::JobPhase;
 use crate::metrics::{JobRecord, SimResult};
+use crate::observe::{JobEvent, JobEventKind, MetricsSink, RoundEvent, ServingBatchEvent};
 use crate::serving::ServingMetrics;
 use pal_stats::StepSeries;
+use pal_trace::JobId;
 
 /// Everything the engine measures about a run, as it runs. Kept separate
 /// from [`EngineState`] so the round loop can borrow simulation state and
@@ -27,6 +39,99 @@ impl Telemetry {
             gpus_in_use: StepSeries::new(0.0),
             busy_gpu_seconds: 0.0,
             placement_compute_times: Vec::new(),
+        }
+    }
+}
+
+/// The built-in sink: accumulation events land in the accumulators that
+/// [`build_result`] later clones into the `SimResult`. Lifecycle events
+/// carry nothing the accumulators need, so their defaults stand.
+impl MetricsSink for Telemetry {
+    fn on_gpu_usage(&mut self, t: f64, gpus: f64) {
+        self.gpus_in_use.push(t, gpus);
+    }
+
+    fn on_busy_gpu_seconds(&mut self, gpu_seconds: f64) {
+        self.busy_gpu_seconds += gpu_seconds;
+    }
+
+    fn on_placement_compute(&mut self, seconds: f64) {
+        self.placement_compute_times.push(seconds);
+    }
+}
+
+/// The round loop's measurement dispatcher: one built-in [`Telemetry`]
+/// sink called statically, plus an optional attached sink behind one
+/// branch. See the module docs for why the split keeps goldens
+/// bit-identical and the no-sink path free.
+pub(crate) struct Observer<'a> {
+    tel: &'a mut Telemetry,
+    extra: Option<&'a mut dyn MetricsSink>,
+}
+
+impl<'a> Observer<'a> {
+    /// Dispatcher over the run's accumulators and an optional extra sink.
+    pub(crate) fn new(tel: &'a mut Telemetry, extra: Option<&'a mut dyn MetricsSink>) -> Self {
+        Observer { tel, extra }
+    }
+
+    /// Whether an extra sink is attached — guard for event payloads that
+    /// cost something to build (allocation, O(jobs) counts).
+    #[inline]
+    pub(crate) fn active(&self) -> bool {
+        self.extra.is_some()
+    }
+
+    /// GPUs-in-use series point.
+    #[inline]
+    pub(crate) fn gpu_usage(&mut self, t: f64, gpus: f64) {
+        self.tel.on_gpu_usage(t, gpus);
+        if let Some(s) = self.extra.as_deref_mut() {
+            s.on_gpu_usage(t, gpus);
+        }
+    }
+
+    /// Busy GPU-seconds increment.
+    #[inline]
+    pub(crate) fn busy_gpu_seconds(&mut self, gpu_seconds: f64) {
+        self.tel.on_busy_gpu_seconds(gpu_seconds);
+        if let Some(s) = self.extra.as_deref_mut() {
+            s.on_busy_gpu_seconds(gpu_seconds);
+        }
+    }
+
+    /// Per-round placement policy compute time.
+    #[inline]
+    pub(crate) fn placement_compute(&mut self, seconds: f64) {
+        self.tel.on_placement_compute(seconds);
+        if let Some(s) = self.extra.as_deref_mut() {
+            s.on_placement_compute(seconds);
+        }
+    }
+
+    /// Job lifecycle transition (extra sink only — the accumulators
+    /// derive job records from the job table at assembly time).
+    #[inline]
+    pub(crate) fn job(&mut self, t: f64, job: JobId, kind: JobEventKind) {
+        if let Some(s) = self.extra.as_deref_mut() {
+            s.on_job(&JobEvent { t, job, kind });
+        }
+    }
+
+    /// Executed-round boundary (extra sink only).
+    #[inline]
+    pub(crate) fn round(&mut self, event: RoundEvent) {
+        if let Some(s) = self.extra.as_deref_mut() {
+            s.on_round(&event);
+        }
+    }
+
+    /// Executed serving batch (extra sink only). Build the event behind
+    /// an [`Observer::active`] check — it owns a `String`.
+    #[inline]
+    pub(crate) fn serving_batch(&mut self, event: ServingBatchEvent) {
+        if let Some(s) = self.extra.as_deref_mut() {
+            s.on_serving_batch(&event);
         }
     }
 }

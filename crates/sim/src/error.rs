@@ -85,6 +85,13 @@ pub enum SimError {
         /// GPUs in the cluster.
         total_gpus: usize,
     },
+    /// An exported simulation state could not be imported: wrong format
+    /// version, a different trace/topology than the receiving simulation,
+    /// or policy state that does not fit the configured policy.
+    StateImport {
+        /// What was incompatible.
+        reason: String,
+    },
     /// A campaign result sink failed to accept a completed cell (disk
     /// full, spill-directory I/O error, out-of-range cell index, …).
     /// Unlike per-cell simulation errors, a sink error aborts the worker
@@ -140,6 +147,9 @@ impl fmt::Display for SimError {
                 f,
                 "serving replicas demand {demand} GPUs but the cluster has {total_gpus}"
             ),
+            SimError::StateImport { reason } => {
+                write!(f, "state import failed: {reason}")
+            }
             SimError::Sink { message } => write!(f, "result sink failed: {message}"),
         }
     }
@@ -194,6 +204,12 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("sink") && msg.contains("disk full"), "{msg}");
+
+        let e = SimError::StateImport {
+            reason: "state format v9 unsupported".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("state import") && msg.contains("v9"), "{msg}");
     }
 
     #[test]

@@ -53,23 +53,27 @@ pub mod engine;
 pub mod error;
 pub mod job_state;
 pub mod metrics;
+pub mod observe;
 pub mod placement;
 pub mod scenario;
 pub mod sched;
 pub mod serving;
+pub mod state;
 
 pub use admission::{AdmissionCtx, AdmissionPolicy, AdmitAll};
 pub use campaign::{
-    Campaign, CampaignResult, CampaignRunStats, CellInfo, CellQueue, MemorySink, PolicySpec,
-    ResultSink, FALLBACK_WORKERS,
+    fork_digest, Campaign, CampaignResult, CampaignRunStats, CellInfo, CellQueue, MemorySink,
+    PolicySpec, ResultSink, WhatIfReport, WhatIfScenario, FALLBACK_WORKERS,
 };
 pub use config::SimConfig;
 pub use engine::{SimSnapshot, Simulation, StepOutcome};
 pub use error::{ProfileRole, SimError};
 pub use metrics::{JobRecord, SimResult};
+pub use observe::{JobEvent, JobEventKind, MetricsSink, NullSink, RoundEvent, ServingBatchEvent};
 pub use placement::{
     Allocation, PlacementCtx, PlacementPolicy, PlacementRequest, RoundObservation,
 };
 pub use scenario::Scenario;
 pub use sched::{KeyState, SchedKey, SchedulingPolicy};
 pub use serving::{BatcherConfig, ServingJob, ServingMetrics, ServingSnapshot};
+pub use state::{ReplicaState, ServingState, SimState, STATE_FORMAT_VERSION};

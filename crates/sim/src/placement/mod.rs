@@ -134,6 +134,31 @@ pub trait PlacementPolicy {
         out: &mut Allocation,
     );
 
+    /// Serialize the policy's mutable run state (RNG words, online
+    /// estimates, …) for [`Simulation::export_state`]. Stateless policies
+    /// — the default — return `None` and restore as factory-fresh;
+    /// stateful ones return a self-describing [`serde::Value`] their
+    /// [`import_state`](Self::import_state) can rebuild from. The value's
+    /// layout is policy-private: it round-trips through the simulator's
+    /// versioned state files opaquely.
+    ///
+    /// [`Simulation::export_state`]: crate::Simulation::export_state
+    fn export_state(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Restore run state produced by [`export_state`](Self::export_state)
+    /// on the *same* policy configuration. Returns an error message when
+    /// the value doesn't fit (wrong policy, wrong shape); the default
+    /// refuses everything, matching the default `export_state`'s `None`.
+    fn import_state(&mut self, state: &serde::Value) -> Result<(), String> {
+        let _ = state;
+        Err(format!(
+            "placement policy {} is stateless and accepts no state",
+            self.name()
+        ))
+    }
+
     /// Allocating convenience wrapper over
     /// [`placement_order_into`](Self::placement_order_into).
     fn placement_order(&self, requests: &[PlacementRequest], ctx: &PlacementCtx) -> Vec<usize> {

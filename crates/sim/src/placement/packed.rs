@@ -8,6 +8,7 @@ use pal_cluster::{ClusterState, GpuId, NodeFree, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize, Value};
 
 /// Best-fit packed placement.
 ///
@@ -88,6 +89,22 @@ impl PlacementPolicy for PackedPlacement {
 
     fn wants_observations(&self) -> bool {
         false // inherits the no-op `observe`
+    }
+
+    // Deterministic mode is stateless (`None`); randomized mode's only
+    // run state is the tie-break RNG.
+    fn export_state(&self) -> Option<Value> {
+        self.rng.as_ref().map(|rng| rng.state().to_value())
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), String> {
+        if self.rng.is_none() {
+            return Err("deterministic Packed placement has no state".into());
+        }
+        let words =
+            <[u64; 4]>::from_value(state).map_err(|e| format!("Packed placement state: {e}"))?;
+        self.rng = Some(StdRng::from_state(words));
+        Ok(())
     }
 
     fn place_into(
@@ -255,6 +272,29 @@ mod tests {
         let a = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l, &s), &s);
         let b = PackedPlacement::deterministic().place(&request(0, 3), &ctx(&p, &l, &s), &s);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_tie_breaks() {
+        let s = state(4);
+        let p = flat_profile(16);
+        let l = LocalityModel::uniform(1.5);
+        let c = ctx(&p, &l, &s);
+        assert!(PackedPlacement::deterministic().export_state().is_none());
+        let mut original = PackedPlacement::randomized(21);
+        original.place(&request(0, 2), &c, &s);
+        let exported = original.export_state().expect("randomized is stateful");
+        let mut restored = PackedPlacement::randomized(0);
+        restored.import_state(&exported).unwrap();
+        for _ in 0..8 {
+            assert_eq!(
+                original.place(&request(0, 3), &c, &s),
+                restored.place(&request(0, 3), &c, &s)
+            );
+        }
+        assert!(PackedPlacement::deterministic()
+            .import_state(&exported)
+            .is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use pal_cluster::{ClusterState, GpuId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize, Value};
 
 /// Uniform random placement (deterministic per seed).
 #[derive(Debug, Clone)]
@@ -36,6 +37,19 @@ impl PlacementPolicy for RandomPlacement {
 
     fn wants_observations(&self) -> bool {
         false // inherits the no-op `observe`
+    }
+
+    // The only mutable run state is the RNG: snapshot its words so a
+    // restored policy continues the exact draw stream.
+    fn export_state(&self) -> Option<Value> {
+        Some(self.rng.state().to_value())
+    }
+
+    fn import_state(&mut self, state: &Value) -> Result<(), String> {
+        let words =
+            <[u64; 4]>::from_value(state).map_err(|e| format!("Random placement state: {e}"))?;
+        self.rng = StdRng::from_state(words);
+        Ok(())
     }
 
     fn place_into(
@@ -101,6 +115,30 @@ mod tests {
         let a = RandomPlacement::new(9).place(&request(0, 4), &ctx, &s);
         let b = RandomPlacement::new(9).place(&request(0, 4), &ctx, &s);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_draw_stream() {
+        let s = state(4);
+        let p = flat_profile(16);
+        let l = LocalityModel::uniform(1.5);
+        let ctx = PlacementCtx {
+            profile: &p,
+            locality: &l,
+            view: s.view(),
+        };
+        let mut original = RandomPlacement::new(7);
+        original.place(&request(0, 3), &ctx, &s); // advance the stream
+        let exported = original.export_state().expect("Random is stateful");
+        let mut restored = RandomPlacement::new(0); // wrong seed on purpose
+        restored.import_state(&exported).unwrap();
+        for _ in 0..8 {
+            assert_eq!(
+                original.place(&request(0, 4), &ctx, &s),
+                restored.place(&request(0, 4), &ctx, &s)
+            );
+        }
+        assert!(restored.import_state(&Value::Bool(true)).is_err());
     }
 
     #[test]

@@ -31,8 +31,11 @@ pub mod batcher;
 
 pub use batcher::{form_batch, BatcherConfig};
 
+use crate::engine::Observer;
 use crate::error::SimError;
+use crate::observe::ServingBatchEvent;
 use crate::placement::{validate_allocation, PlacementCtx, PlacementPolicy, PlacementRequest};
+use crate::state::{ReplicaState, ServingState};
 use pal_cluster::{ClusterState, ClusterTopology, JobClass, LocalityModel, VariabilityProfile};
 use pal_gpumodel::Workload;
 use pal_trace::{JobId, RequestStream, ServingRequest, ServingWorkload};
@@ -161,6 +164,10 @@ struct Deployment {
     name: String,
     cfg: BatcherConfig,
     gpus: usize,
+    /// The workload behind `stream` — kept so state import can rebuild
+    /// the stream at the exported position (streams are deterministic
+    /// per workload seed, so position is just a pull count).
+    workload: Arc<ServingWorkload>,
     stream: RequestStream,
     /// One-slot stream lookahead: the next request not yet queued.
     next: Option<ServingRequest>,
@@ -185,8 +192,10 @@ impl Deployment {
     /// Process every batch whose start time is `≤ t_end`. Start times
     /// depend only on replica availability and request arrivals — never
     /// on `t_end` — so any partition of the timeline into `advance_to`
-    /// calls yields identical batches, latencies, and counters.
-    fn advance_to(&mut self, t_end: f64) {
+    /// calls yields identical batches, latencies, and counters. Each
+    /// executed batch is reported through `obs` (extra sink only; the
+    /// deployment's own counters are the built-in accumulators here).
+    fn advance_to(&mut self, t_end: f64, obs: &mut Observer<'_>) {
         while !self.is_done() {
             let head_arrival = match self.queue.front() {
                 Some(r) => r.arrival,
@@ -224,10 +233,12 @@ impl Deployment {
             form_batch(&mut self.queue, start, slowdown, &self.cfg, &mut self.batch);
             let work: f64 = self.batch.iter().map(|r| r.work).sum();
             let finish = start + (self.cfg.batch_overhead_s + work) * slowdown;
+            let mut batch_slo_met = 0usize;
             for r in &self.batch {
                 self.latencies.push(finish - r.arrival);
                 if finish <= r.deadline + EPS {
                     self.slo_met += 1;
+                    batch_slo_met += 1;
                 }
             }
             self.completed += self.batch.len() as u64;
@@ -236,7 +247,85 @@ impl Deployment {
             if finish > self.last_finish {
                 self.last_finish = finish;
             }
+            if obs.active() {
+                obs.serving_batch(ServingBatchEvent {
+                    workload: self.name.clone(),
+                    start,
+                    finish,
+                    batch_size: self.batch.len(),
+                    slo_met: batch_slo_met,
+                    queued: self.queue.len(),
+                });
+            }
         }
+    }
+
+    fn export_state(&self) -> ServingState {
+        ServingState {
+            workload: self.name.clone(),
+            gpus: self.gpus,
+            arrived: self.arrived,
+            next: self.next,
+            queue: self.queue.iter().copied().collect(),
+            completed: self.completed,
+            batches: self.batches,
+            slo_met: self.slo_met,
+            latencies: self.latencies.clone(),
+            first_arrival: self.first_arrival,
+            last_finish: self.last_finish,
+            replicas: self
+                .replicas
+                .iter()
+                .map(|r| ReplicaState {
+                    slowdown: r.slowdown,
+                    free_at: r.free_at,
+                })
+                .collect(),
+        }
+    }
+
+    /// Restore a state exported from the same workload. The stream is
+    /// repositioned by replaying pulls against a fresh stream — each
+    /// queued arrival consumed one pull, plus one for the lookahead —
+    /// then the lookahead and queue are overwritten wholesale, so the
+    /// resumed deployment sees exactly the continuation the exported one
+    /// would have.
+    fn import_state(&mut self, s: &ServingState) -> Result<(), String> {
+        if s.workload != self.name {
+            return Err(format!(
+                "serving state for workload `{}` does not match deployment `{}`",
+                s.workload, self.name
+            ));
+        }
+        if s.replicas.len() != self.replicas.len() {
+            return Err(format!(
+                "serving state for `{}` has {} replicas, deployment has {}",
+                s.workload,
+                s.replicas.len(),
+                self.replicas.len()
+            ));
+        }
+        let mut stream = self.workload.stream();
+        for _ in 0..s.arrived + u64::from(s.next.is_some()) {
+            stream.next();
+        }
+        self.stream = stream;
+        self.next = s.next;
+        self.queue = s.queue.iter().copied().collect();
+        self.arrived = s.arrived;
+        self.completed = s.completed;
+        self.batches = s.batches;
+        self.slo_met = s.slo_met;
+        self.latencies = s.latencies.clone();
+        self.first_arrival = s.first_arrival;
+        self.last_finish = s.last_finish;
+        self.gpus = s.gpus;
+        for (r, rs) in self.replicas.iter_mut().zip(&s.replicas) {
+            r.slowdown = rs.slowdown;
+            r.free_at = rs.free_at;
+        }
+        self.batch.clear();
+        Ok(())
     }
 
     fn snapshot(&self) -> ServingSnapshot {
@@ -367,6 +456,7 @@ impl ServingEngine {
                 name: job.workload.name.clone(),
                 cfg: job.batcher,
                 gpus: job.total_gpus(),
+                workload: Arc::clone(&job.workload),
                 stream,
                 next,
                 queue: VecDeque::new(),
@@ -398,11 +488,36 @@ impl ServingEngine {
         self.deployments.iter().all(Deployment::is_done)
     }
 
-    /// Advance every deployment's continuous-time processing to `t_end`.
-    pub(crate) fn advance_to(&mut self, t_end: f64) {
+    /// Advance every deployment's continuous-time processing to `t_end`,
+    /// reporting executed batches through `obs`.
+    pub(crate) fn advance_to(&mut self, t_end: f64, obs: &mut Observer<'_>) {
         for d in &mut self.deployments {
-            d.advance_to(t_end);
+            d.advance_to(t_end, obs);
         }
+    }
+
+    /// Persistent state of every deployment, in deployment order.
+    pub(crate) fn export_state(&self) -> Vec<ServingState> {
+        self.deployments
+            .iter()
+            .map(Deployment::export_state)
+            .collect()
+    }
+
+    /// Restore every deployment from states exported by a run of the same
+    /// scenario (deployments are matched positionally and by name).
+    pub(crate) fn import_state(&mut self, states: &[ServingState]) -> Result<(), String> {
+        if states.len() != self.deployments.len() {
+            return Err(format!(
+                "state has {} serving deployments, simulation has {}",
+                states.len(),
+                self.deployments.len()
+            ));
+        }
+        for (d, s) in self.deployments.iter_mut().zip(states) {
+            d.import_state(s)?;
+        }
+        Ok(())
     }
 
     /// Point-in-time progress of every deployment.
@@ -504,6 +619,14 @@ mod tests {
     use crate::placement::PackedPlacement;
     use pal_cluster::ClusterTopology;
 
+    /// Drive an engine with no extra sink attached, as the round loop
+    /// does for an unobserved run.
+    fn advance(e: &mut ServingEngine, t_end: f64) {
+        let mut tel = crate::engine::Telemetry::new();
+        let mut obs = Observer::new(&mut tel, None);
+        e.advance_to(t_end, &mut obs);
+    }
+
     fn engine(replicas: usize, workload: ServingWorkload) -> ServingEngine {
         let topo = ClusterTopology::new(1, 4);
         let mut cluster = ClusterState::new(topo);
@@ -535,7 +658,7 @@ mod tests {
         let mut e = engine(2, workload(50.0, 500));
         assert_eq!(e.gpus_held(), 2);
         assert!(!e.is_done());
-        e.advance_to(1e12);
+        advance(&mut e, 1e12);
         assert!(e.is_done());
         let m = &e.metrics()[0];
         assert_eq!(m.requests, 500);
@@ -551,12 +674,12 @@ mod tests {
     #[test]
     fn advance_granularity_does_not_change_outcomes() {
         let mut coarse = engine(2, workload(80.0, 800));
-        coarse.advance_to(1e12);
+        advance(&mut coarse, 1e12);
         let mut fine = engine(2, workload(80.0, 800));
         let mut t = 0.0;
         while !fine.is_done() {
             t += 0.37;
-            fine.advance_to(t);
+            advance(&mut fine, t);
         }
         assert_eq!(coarse.metrics(), fine.metrics());
     }
@@ -566,7 +689,7 @@ mod tests {
         // 2 replicas × 100 req/s capacity vs 5 req/s offered: every
         // request is served immediately and well within the 0.5 s SLO.
         let mut e = engine(2, workload(5.0, 200));
-        e.advance_to(1e12);
+        advance(&mut e, 1e12);
         let m = &e.metrics()[0];
         assert_eq!(m.slo_attained, 200, "p99 {}", m.latency_p99);
         assert!((m.slo_attainment() - 1.0).abs() < 1e-12);
@@ -583,7 +706,7 @@ mod tests {
             ..workload(100.0, 300)
         };
         let mut e = engine(1, w);
-        e.advance_to(1e12);
+        advance(&mut e, 1e12);
         let m = &e.metrics()[0];
         assert_eq!(m.requests, 300, "never drop requests");
         assert!(
@@ -598,11 +721,11 @@ mod tests {
         let mut e = engine(1, workload(10.0, 100));
         let s0 = &e.snapshots()[0];
         assert_eq!(s0.completed, 0);
-        e.advance_to(4.0);
+        advance(&mut e, 4.0);
         let s1 = &e.snapshots()[0];
         assert!(s1.completed > 0 && s1.completed < 100);
         assert!(s1.arrived >= s1.completed);
-        e.advance_to(1e12);
+        advance(&mut e, 1e12);
         assert_eq!(e.snapshots()[0].completed, 100);
     }
 
@@ -624,7 +747,7 @@ mod tests {
                 &locality,
                 0,
             );
-            e.advance_to(1e12);
+            advance(&mut e, 1e12);
             e.metrics()[0].latency_mean
         };
         assert!(run(2.0) > run(1.0));

@@ -1,0 +1,149 @@
+//! Versioned, serializable simulation state — the export/import format
+//! behind pause-resume and fork-at-T what-if replay.
+//!
+//! [`SimState`] captures everything a paused [`Simulation`] needs to
+//! resume bit-identically: the job table, cluster occupancy, clocks,
+//! accumulated telemetry, the placement policy's opaque run state
+//! ([`PlacementPolicy::export_state`]), and every serving deployment's
+//! queue/counters/replica times. Per-round scratch buffers and the
+//! discrete-event core are deliberately absent — both are rebuilt from
+//! the persistent state at the next executed round, so serializing them
+//! would only version-lock internals.
+//!
+//! ## Versioning
+//!
+//! Every exported state is stamped with [`STATE_FORMAT_VERSION`].
+//! [`Simulation::import_state`] (and the file readers in `pal-config`)
+//! refuse states from a different format version rather than guessing:
+//! the format changes exactly when the engine's persistent state grows a
+//! field, and silently dropping or defaulting one would break the
+//! resumed-equals-uninterrupted guarantee the proptests pin.
+//!
+//! [`Simulation`]: crate::Simulation
+//! [`Simulation::import_state`]: crate::Simulation::import_state
+//! [`PlacementPolicy::export_state`]: crate::PlacementPolicy::export_state
+
+use crate::job_state::ActiveJob;
+use pal_cluster::ClusterState;
+use pal_stats::StepSeries;
+use pal_trace::ServingRequest;
+use serde::{Deserialize, Serialize, Value};
+
+/// Format version written into every [`SimState`]. Bump whenever a field
+/// is added, removed, or reinterpreted; importers reject other versions.
+pub const STATE_FORMAT_VERSION: u32 = 1;
+
+/// The complete persistent state of one simulation run at a round
+/// boundary. Produced by [`Simulation::export_state`], consumed by
+/// [`Simulation::import_state`]; serialize it with the canonical JSON
+/// writer in `pal-config` for on-disk round-trips.
+///
+/// [`Simulation::export_state`]: crate::Simulation::export_state
+/// [`Simulation::import_state`]: crate::Simulation::import_state
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimState {
+    /// Format version ([`STATE_FORMAT_VERSION`] at export time).
+    pub version: u32,
+    /// Name of the trace the run was started from (import sanity check).
+    pub trace: String,
+    /// Scheduling policy name at export (informational — schedulers are
+    /// stateless, and what-if branches may legitimately swap them).
+    pub scheduler: String,
+    /// Placement policy name at export. Checked on import only when
+    /// [`placement_state`](Self::placement_state) is present: restoring
+    /// one policy's opaque state into another is the real hazard.
+    pub placement: String,
+    /// Sticky-placement flag at export (informational, like `scheduler`).
+    pub sticky: bool,
+    /// Simulated seconds at the start of the next round.
+    pub time: f64,
+    /// Simulated scheduling rounds elapsed.
+    pub rounds: usize,
+    /// Rounds the engine actually executed.
+    pub executed_rounds: usize,
+    /// Jobs out of the system (completed or rejected).
+    pub finished: usize,
+    /// Jobs processed by admission so far (arrival order).
+    pub next_admit: usize,
+    /// Indices of admitted, unfinished jobs, ascending.
+    pub active_queue: Vec<usize>,
+    /// Sum of GPU demands over the active queue.
+    pub active_demand: usize,
+    /// Runtime state of every job, in trace order.
+    pub jobs: Vec<ActiveJob>,
+    /// Whether admission rejected each job (parallel to `jobs`).
+    pub rejected: Vec<bool>,
+    /// GPU occupancy, including GPUs held by serving replicas.
+    pub cluster: ClusterState,
+    /// GPUs-in-use series accumulated so far.
+    pub gpus_in_use: StepSeries,
+    /// Busy GPU-seconds accumulated so far.
+    pub busy_gpu_seconds: f64,
+    /// Per-round placement compute times accumulated so far.
+    pub placement_compute_times: Vec<f64>,
+    /// The placement policy's opaque run state — `None` for stateless
+    /// policies (and cleared by what-if forks, whose branch policies
+    /// start fresh by design).
+    pub placement_state: Option<Value>,
+    /// Per-deployment serving state, in deployment order; empty for
+    /// training-only runs.
+    pub serving: Vec<ServingState>,
+}
+
+/// Persistent state of one serving deployment: stream position, queue,
+/// counters, latency log, and per-replica availability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingState {
+    /// Workload name (matched against the deployment on import).
+    pub workload: String,
+    /// GPUs the deployment holds.
+    pub gpus: usize,
+    /// Requests that have entered the queue so far. Together with
+    /// `next`, this pins the request stream's position: the stream has
+    /// been pulled `arrived + next.is_some()` times, which import
+    /// replays against a fresh stream (same workload, same seed) to
+    /// land on the identical continuation.
+    pub arrived: u64,
+    /// The one-slot stream lookahead (pulled but not yet queued).
+    pub next: Option<ServingRequest>,
+    /// Requests waiting for a batch, FIFO order.
+    pub queue: Vec<ServingRequest>,
+    /// Requests served so far.
+    pub completed: u64,
+    /// Batches executed so far.
+    pub batches: u64,
+    /// Requests that met their deadline so far.
+    pub slo_met: u64,
+    /// Latency of every completed request, completion order.
+    pub latencies: Vec<f64>,
+    /// Arrival time of the first request (0 until one arrives).
+    pub first_arrival: f64,
+    /// Completion time of the last batch so far.
+    pub last_finish: f64,
+    /// Per-replica `(slowdown, free_at)`, replica order.
+    pub replicas: Vec<ReplicaState>,
+}
+
+/// Persistent state of one serving replica.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaState {
+    /// Service slowdown of the replica's GPUs (Equation 1).
+    pub slowdown: f64,
+    /// Time the replica frees up.
+    pub free_at: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_state_round_trips_through_serde() {
+        let r = ReplicaState {
+            slowdown: 1.25,
+            free_at: 301.5,
+        };
+        let v = r.to_value();
+        assert_eq!(ReplicaState::from_value(&v).unwrap(), r);
+    }
+}

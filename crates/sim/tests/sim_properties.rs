@@ -6,8 +6,10 @@ use pal_cluster::{ClusterTopology, JobClass, LocalityModel, VariabilityProfile};
 use pal_gpumodel::Workload;
 use pal_sim::placement::{PackedPlacement, RandomPlacement};
 use pal_sim::sched::{Fifo, Las, SchedulingPolicy, Srsf, Srtf};
-use pal_sim::{PlacementPolicy, Scenario, SimConfig, SimResult};
-use pal_trace::{JobId, JobSpec, Trace};
+use pal_sim::{
+    Campaign, PlacementPolicy, PolicySpec, Scenario, ServingJob, SimConfig, SimResult, StepOutcome,
+};
+use pal_trace::{JobId, JobSpec, ServingWorkload, Trace};
 use proptest::prelude::*;
 
 /// Strategy: a random small trace on a random small cluster.
@@ -203,5 +205,117 @@ proptest! {
             "expected {}, got {run_time}",
             penalty * ideal
         );
+    }
+}
+
+/// Build the scenario used by the pause/resume properties: random trace,
+/// seeded Random placement (so hidden RNG state is in play), optional
+/// serving deployment, fixed-round or event-driven stepping.
+fn resumable_scenario(
+    topo: ClusterTopology,
+    trace: &Trace,
+    scores: &[f64],
+    seed: u64,
+    event_driven: bool,
+    serving: bool,
+) -> Scenario {
+    let mut s = Scenario::new(trace.clone(), topo)
+        .profile(VariabilityProfile::from_raw(vec![scores.to_vec(); 3]))
+        .locality(LocalityModel::uniform(1.5))
+        .placement(RandomPlacement::new(seed))
+        .event_driven(event_driven);
+    if serving {
+        let w = ServingWorkload {
+            work_median_s: 0.01,
+            work_sigma: 0.2,
+            slo_s: 0.5,
+            ..ServingWorkload::poisson("chat", 20.0, 200)
+        };
+        s = s.serving(ServingJob::new(w, 1, 1));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn export_import_at_any_step_matches_uninterrupted(
+        (topo, trace, scores) in scenario(),
+        seed in 0u64..500,
+        steps in 0usize..40,
+        event_driven in any::<bool>(),
+        serving in any::<bool>(),
+    ) {
+        // A serving replica holds one GPU for the whole run, so cap
+        // training demands at the remaining capacity.
+        let trace = if serving {
+            let jobs = trace
+                .jobs
+                .iter()
+                .cloned()
+                .map(|mut j| {
+                    j.gpu_demand = j.gpu_demand.min(topo.total_gpus() - 1);
+                    j
+                })
+                .collect();
+            Trace::new("prop", jobs)
+        } else {
+            trace
+        };
+        let build = || resumable_scenario(topo, &trace, &scores, seed, event_driven, serving);
+
+        let reference = build().run().expect("property scenario misconfigured");
+        let mut first = build().start().unwrap();
+        for _ in 0..steps {
+            if first.step().unwrap() != StepOutcome::Running {
+                break;
+            }
+        }
+        let state = first.export_state();
+        let mut resumed = build().start().unwrap();
+        resumed.import_state(&state).unwrap();
+        let from_resume = resumed.run_to_completion().unwrap();
+        let from_first = first.run_to_completion().unwrap();
+        prop_assert!(
+            reference.same_outcome(&from_first),
+            "stepped run diverged from uninterrupted"
+        );
+        prop_assert!(
+            reference.same_outcome(&from_resume),
+            "export at step {} / import lost state", steps
+        );
+        prop_assert_eq!(reference.executed_rounds, from_resume.executed_rounds);
+    }
+
+    #[test]
+    fn what_if_fork_at_zero_matches_fresh_runs(
+        (topo, trace, scores) in scenario(),
+        seed in 0u64..500,
+    ) {
+        let c = Campaign::new()
+            .seed(seed)
+            .scenario("prop", move || {
+                Scenario::new(trace.clone(), topo)
+                    .profile(VariabilityProfile::from_raw(vec![scores.clone(); 3]))
+                    .locality(LocalityModel::uniform(1.5))
+            })
+            .policy(PolicySpec::new("Random", |_, s| {
+                Box::new(RandomPlacement::new(s))
+            }))
+            .policy(PolicySpec::new("Packed", |_, s| {
+                Box::new(PackedPlacement::randomized(s))
+            }));
+        let fresh = c.run_sequential().unwrap();
+        let report = c.what_if(0.0).unwrap();
+        prop_assert_eq!(report.scenarios.len(), 1);
+        for (branch, cell) in report.scenarios[0].branches.iter().zip(&fresh) {
+            prop_assert_eq!(&branch.policy, &cell.policy);
+            prop_assert_eq!(branch.seed, cell.seed);
+            prop_assert!(
+                branch.result.same_outcome(&cell.result),
+                "fork_at(0) branch `{}` diverged from a fresh run", branch.policy
+            );
+        }
     }
 }
